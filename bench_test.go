@@ -1,0 +1,164 @@
+package numaplace
+
+// One benchmark per paper table and figure: each regenerates the
+// corresponding result (at reduced fidelity where full fidelity would take
+// minutes) so `go test -bench=.` exercises the entire evaluation. Ablation
+// benches at the bottom probe the design choices called out in DESIGN.md.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machines"
+	"repro/internal/mlearn"
+	"repro/internal/placement"
+	"repro/internal/workloads"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImportantPlacements(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		m    Machine
+		v    int
+	}{{"amd-16", machines.AMD(), 16}, {"intel-24", machines.Intel(), 24}} {
+		b.Run(tc.name, func(b *testing.B) {
+			spec := SpecFor(tc.m)
+			for i := 0; i < b.N; i++ {
+				if _, err := Placements(spec, tc.v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4AMD(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(io.Discard, machines.AMD(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4Intel(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(io.Discard, machines.Intel(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(io.Discard, machines.Intel(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationNoParetoFilter measures the placement-space blow-up
+// when the Pareto packing filter is disabled: every balanced feasible
+// packing contributes placements.
+func BenchmarkAblationNoParetoFilter(b *testing.B) {
+	spec := SpecFor(machines.AMD())
+	scores := spec.Node.FeasibleScores(16)
+	all := placement.AllNodes(spec)
+	b.Run("filtered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			packs := placement.GenPackings(scores, all)
+			placement.FilterPackings(spec, packs)
+		}
+	})
+	b.Run("unfiltered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			placement.GenPackings(scores, all)
+		}
+	})
+}
+
+// BenchmarkAblationForestSize sweeps the ensemble size of the final model.
+func BenchmarkAblationForestSize(b *testing.B) {
+	m := machines.Intel()
+	ws := append(workloads.Paper(), workloads.CorpusFrom(20, 7, []string{"flat", "bw", "lat"})...)
+	ds, err := core.Collect(m, ws, 24, core.CollectConfig{Trials: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, trees := range []int{10, 50, 100} {
+		b.Run(map[int]string{10: "trees-10", 50: "trees-50", 100: "trees-100"}[trees], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.Train(ds, core.TrainConfig{
+					Forest:         mlearn.ForestConfig{Trees: trees},
+					SelectionTrees: 6, SelectionFolds: 3, Seed: 1,
+					FixedPair: &[2]int{1, 6},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictLatency measures the paper's "inference time is
+// negligible (milliseconds)" claim for a trained predictor.
+func BenchmarkPredictLatency(b *testing.B) {
+	m := machines.Intel()
+	ws := append(workloads.Paper(), workloads.CorpusFrom(20, 7, []string{"flat", "bw", "lat"})...)
+	ds, err := core.Collect(m, ws, 24, core.CollectConfig{Trials: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := core.Train(ds, core.TrainConfig{
+		Forest: mlearn.ForestConfig{Trees: 100}, FixedPair: &[2]int{1, 6}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.Predict(1000, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command migsim simulates container memory migration (Table 2) for one
+// workload under all three mechanisms.
+//
+// Usage:
+//
+//	migsim -workload postgres-tpcc
+//	migsim -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/migrate"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "WTbtree", "paper workload name")
+	all := flag.Bool("all", false, "print the full Table 2")
+	workers := flag.Int("workers", 0, "fast-migration worker threads (0 = default)")
+	flag.Parse()
+
+	if *all {
+		if _, err := experiments.Table2(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	p := migrate.ProfileFor(w, 16)
+	cfg := migrate.Config{Workers: *workers}
+	fmt.Printf("%s: %.1f GB (%.1f GB page cache), %d tasks\n", w.Name, w.MemoryGB, p.PageCacheGB, p.Tasks)
+	for _, mech := range []migrate.Mechanism{migrate.Fast, migrate.DefaultLinux, migrate.Throttled} {
+		r, err := migrate.Run(p, mech, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-14s %7.1f s, moved %5.1f GB (%.1f GB page cache), overhead %.0f%%\n",
+			mech, r.Seconds, r.MovedGB, r.PageCacheGB, r.OverheadPct)
+	}
+}

@@ -1,0 +1,40 @@
+// Command migtry prints the simulated Table 2 next to the paper's values,
+// for calibration of the migration constants.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/migrate"
+	"repro/internal/workloads"
+)
+
+var paper = map[string][2]float64{ // fast, default linux (seconds)
+	"BLAST": {3.0, 5.9}, "canneal": {0.3, 3.9}, "fluidanimate": {0.3, 2.3},
+	"freqmine": {0.3, 4.2}, "gcc": {0.3, 2.8}, "kmeans": {1.5, 6.5},
+	"pca": {2.8, 10.0}, "postgres-tpch": {5.8, 117.1}, "postgres-tpcc": {14.9, 431.0},
+	"spark-cc": {3.7, 139.9}, "spark-pr-lj": {3.8, 137.0}, "streamcluster": {0.1, 0.4},
+	"swaptions": {0.1, 0.0}, "ft.C": {1.3, 19.4}, "dc.B": {5.4, 51.7},
+	"wc": {3.4, 19.5}, "wr": {3.6, 18.9}, "WTbtree": {6.3, 43.8},
+}
+
+func main() {
+	fmt.Printf("%-14s %8s %8s | %8s %8s | %8s\n", "workload", "fast", "paper", "linux", "paper", "ratio")
+	for _, w := range workloads.Paper() {
+		p := migrate.ProfileFor(w, 16)
+		fast, err := migrate.Run(p, migrate.Fast, migrate.Config{})
+		if err != nil {
+			panic(err)
+		}
+		linux, err := migrate.Run(p, migrate.DefaultLinux, migrate.Config{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-14s %8.1f %8.1f | %8.1f %8.1f | %8.1f\n",
+			w.Name, fast.Seconds, paper[w.Name][0], linux.Seconds, paper[w.Name][1],
+			linux.Seconds/fast.Seconds)
+	}
+	wt, _ := workloads.ByName("WTbtree")
+	th, _ := migrate.Run(migrate.ProfileFor(wt, 16), migrate.Throttled, migrate.Config{})
+	fmt.Printf("throttled WTbtree: %.1fs overhead %.1f%% (paper: 60s, 3-6%%)\n", th.Seconds, th.OverheadPct)
+}

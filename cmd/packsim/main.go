@@ -1,0 +1,79 @@
+// Command packsim runs the Figure 5 packing comparison for one workload on
+// one machine: instances per machine and performance-goal violations under
+// the four policies.
+//
+// Usage:
+//
+//	packsim -machine amd -workload WTbtree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machines"
+	"repro/internal/mlearn"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	machine := flag.String("machine", "amd", "machine model: amd or intel")
+	workload := flag.String("workload", "WTbtree", "paper workload name")
+	flag.Parse()
+
+	var m machines.Machine
+	switch *machine {
+	case "amd":
+		m = machines.AMD()
+	case "intel":
+		m = machines.Intel()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	v := experiments.VCPUsFor(m)
+
+	ws := append(workloads.Paper(),
+		workloads.CorpusFrom(50, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
+	ds, err := core.Collect(m, ws, v, core.CollectConfig{Trials: 3})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pred, err := core.Train(ds, core.TrainConfig{Seed: 1, Forest: mlearn.ForestConfig{Trees: 100}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exp, err := sched.NewExperiment(m, w, v, pred)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s containers (%d vCPUs) on %s\n", w.Name, v, m.Topo.Name)
+	tbl := stats.NewTable("goal", "ML", "Conservative", "Aggressive", "Aggressive(Smart)")
+	for _, goal := range []float64{0.9, 1.0, 1.1} {
+		row := []interface{}{fmt.Sprintf("%.0f%%", goal*100)}
+		for _, kind := range []sched.PolicyKind{sched.ML, sched.Conservative, sched.Aggressive, sched.SmartAggressive} {
+			r, err := exp.Run(kind, goal)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			row = append(row, fmt.Sprintf("%d / %.1f%%", r.Instances, r.ViolationPct))
+		}
+		tbl.Row(row...)
+	}
+	tbl.Render(os.Stdout)
+}

@@ -1,0 +1,65 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation on the simulated machines and prints them in order.
+//
+// Usage:
+//
+//	paperrepro            # everything at paper fidelity
+//	paperrepro -quick     # low-fidelity smoke run
+//	paperrepro -only fig4 # one experiment: table1, counts, fig1, fig3,
+//	                      # fig4, fig5, table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/machines"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "low-fidelity smoke run")
+	only := flag.String("only", "", "run a single experiment")
+	flag.Parse()
+
+	cfg := experiments.Config{}
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	w := os.Stdout
+
+	run := func(name string, fn func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		fmt.Fprintf(w, "==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+
+	run("table1", func() error { return experiments.Table1(w) })
+	run("counts", func() error { _, err := experiments.PlacementCounts(w); return err })
+	run("fig1", func() error { _, err := experiments.Figure1(w); return err })
+	run("fig3", func() error { _, err := experiments.Figure3(w, cfg); return err })
+	run("fig4", func() error {
+		for _, m := range []machines.Machine{machines.AMD(), machines.Intel()} {
+			if _, err := experiments.Figure4(w, m, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("fig5", func() error {
+		for _, m := range []machines.Machine{machines.AMD(), machines.Intel()} {
+			if _, err := experiments.Figure5(w, m, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("table2", func() error { _, err := experiments.Table2(w); return err })
+}

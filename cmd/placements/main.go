@@ -1,0 +1,65 @@
+// Command placements enumerates the important placements of a machine for
+// a given container size, printing the score vectors the way the paper
+// reports them (§4: 13 placements for AMD/16 vCPUs, 7 for Intel/24 vCPUs).
+//
+// Usage:
+//
+//	placements -machine amd -vcpus 16
+//	placements -machine intel -vcpus 24 -packings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/concern"
+	"repro/internal/machines"
+	"repro/internal/placement"
+)
+
+func main() {
+	machine := flag.String("machine", "amd", "machine model: amd, intel, zen, haswell-cod")
+	vcpus := flag.Int("vcpus", 16, "container vCPU count")
+	showPackings := flag.Bool("packings", false, "also print surviving packings")
+	flag.Parse()
+
+	var m machines.Machine
+	switch *machine {
+	case "amd":
+		m = machines.AMD()
+	case "intel":
+		m = machines.Intel()
+	case "zen":
+		m = machines.Zen()
+	case "haswell-cod":
+		m = machines.HaswellCoD()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+
+	spec := concern.FromMachine(m)
+	fmt.Printf("machine: %s\n", m.Topo)
+	fmt.Printf("concerns: %v\n", spec.ConcernNames())
+
+	imps, err := placement.Enumerate(spec, *vcpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("important placements for %d vCPUs: %d\n", *vcpus, len(imps))
+	for _, p := range imps {
+		fmt.Printf("  %s\n", p)
+	}
+
+	if *showPackings {
+		nodeScores := spec.Node.FeasibleScores(*vcpus)
+		all := placement.AllNodes(spec)
+		packs := placement.FilterPackings(spec, placement.GenPackings(nodeScores, all))
+		fmt.Printf("surviving packings: %d\n", len(packs))
+		for _, p := range packs {
+			fmt.Printf("  %s\n", p)
+		}
+	}
+}

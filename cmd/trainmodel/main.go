@@ -1,0 +1,85 @@
+// Command trainmodel trains a performance predictor for a machine and
+// container size and writes it as JSON, printing its cross-validated
+// accuracy (a single-machine slice of the Figure 4 evaluation).
+//
+// Usage:
+//
+//	trainmodel -machine intel -vcpus 24 -out model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machines"
+	"repro/internal/mlearn"
+	"repro/internal/workloads"
+)
+
+func main() {
+	machine := flag.String("machine", "intel", "machine model: amd, intel, zen, haswell-cod")
+	vcpus := flag.Int("vcpus", 0, "container vCPU count (default: paper value for the machine)")
+	out := flag.String("out", "", "write the trained predictor JSON here")
+	trees := flag.Int("trees", 100, "random forest size")
+	flag.Parse()
+
+	var m machines.Machine
+	switch *machine {
+	case "amd":
+		m = machines.AMD()
+	case "intel":
+		m = machines.Intel()
+	case "zen":
+		m = machines.Zen()
+	case "haswell-cod":
+		m = machines.HaswellCoD()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	v := *vcpus
+	if v == 0 {
+		v = experiments.VCPUsFor(m)
+	}
+
+	ws := append(workloads.Paper(),
+		workloads.CorpusFrom(50, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
+	ds, err := core.Collect(m, ws, v, core.CollectConfig{Trials: 3})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collect:", err)
+		os.Exit(1)
+	}
+	pred, err := core.Train(ds, core.TrainConfig{
+		Seed: 1, Forest: mlearn.ForestConfig{Trees: *trees},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s, %d vCPUs: observe placements #%d and #%d\n", m.Topo.Name, v, pred.Base+1, pred.Probe+1)
+
+	// Training-set accuracy summary.
+	var predAll, actAll [][]float64
+	for w := range ds.Workloads {
+		predAll = append(predAll, pred.PredictRow(ds, w))
+		actAll = append(actAll, ds.RelVector(w, pred.Base))
+	}
+	fmt.Printf("training-set MAPE: %.2f%%\n", mlearn.MAPE(predAll, actAll))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pred.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+		fmt.Println("model written to", *out)
+	}
+}

@@ -1,0 +1,36 @@
+// Newhardware: the paper's portability claim (§8) — point the methodology
+// at machines it has never seen (an AMD Zen-style system where L3 sharing
+// decouples from the memory controller, and an Intel Haswell-E
+// cluster-on-die system with an asymmetric on-die interconnect) and get
+// concern specifications and important placements with zero retooling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	for _, tc := range []struct {
+		m     numaplace.Machine
+		vcpus int
+	}{
+		{numaplace.Zen(), 16},
+		{numaplace.HaswellCoD(), 12},
+	} {
+		fmt.Println("machine:", tc.m.Topo)
+		spec := numaplace.SpecFor(tc.m)
+		fmt.Println("derived concerns:", spec.ConcernNames())
+		placements, err := numaplace.Placements(spec, tc.vcpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("important placements for %d vCPUs: %d\n", tc.vcpus, len(placements))
+		for _, p := range placements {
+			fmt.Println(" ", p)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,54 @@
+// Packing: the paper's §7 use case — pack as many WiredTiger containers
+// onto the AMD machine as possible while respecting a performance goal,
+// comparing the four placement policies of Figure 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/mlearn"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+func main() {
+	m := numaplace.AMD()
+	const vcpus = 16
+
+	ws := append(numaplace.PaperWorkloads(),
+		workloads.CorpusFrom(30, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
+	ds, err := numaplace.Collect(m, ws, vcpus, numaplace.CollectConfig{Trials: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := numaplace.Train(ds, numaplace.TrainConfig{
+		Seed: 1, Forest: mlearn.ForestConfig{Trees: 100},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wt, _ := numaplace.WorkloadByName("WTbtree")
+	exp, err := numaplace.NewPackingExperiment(m, wt, vcpus, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("packing %s containers (%d vCPUs) on %s\n", wt.Name, vcpus, m.Topo.Name)
+	for _, goal := range []float64{0.9, 1.0, 1.1} {
+		fmt.Printf("goal = %.0f%% of baseline:\n", goal*100)
+		for _, kind := range []sched.PolicyKind{
+			numaplace.PolicyML, numaplace.PolicyConservative,
+			numaplace.PolicyAggressive, numaplace.PolicySmartAggressive,
+		} {
+			r, err := exp.Run(kind, goal)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s %d instances/machine, %.1f%% violation\n",
+				kind.String()+":", r.Instances, r.ViolationPct)
+		}
+	}
+}

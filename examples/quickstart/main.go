@@ -1,0 +1,74 @@
+// Quickstart: the full pipeline on the Intel machine — derive the concern
+// specification, enumerate important placements, train a predictor, and
+// predict a container's performance vector from two observations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/mlearn"
+	"repro/internal/perfsim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	m := numaplace.Intel()
+	fmt.Println("machine:", m.Topo)
+
+	// Step 1: the abstract machine model (scheduling concerns).
+	spec := numaplace.SpecFor(m)
+	fmt.Println("concerns:", spec.ConcernNames())
+
+	// Step 2: important placements for a 24-vCPU container.
+	placements, err := numaplace.Placements(spec, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("important placements: %d\n", len(placements))
+	for _, p := range placements {
+		fmt.Println(" ", p)
+	}
+
+	// Step 3: train the model on the workload corpus.
+	ws := append(numaplace.PaperWorkloads(),
+		workloads.CorpusFrom(30, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
+	ds, err := numaplace.Collect(m, ws, 24, numaplace.CollectConfig{Trials: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := numaplace.Train(ds, numaplace.TrainConfig{
+		Seed: 1, Forest: mlearn.ForestConfig{Trees: 100},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: observe placements #%d and #%d\n", pred.Base+1, pred.Probe+1)
+
+	// Step 4: a "new" container arrives; observe it in the two input
+	// placements and predict its full vector.
+	wt, _ := numaplace.WorkloadByName("WTbtree")
+	obs := func(idx int) float64 {
+		threads, err := numaplace.Pin(spec, placements[idx].Placement, 24)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perf, err := perfsim.Run(m, wt, threads, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return perf
+	}
+	basePerf, probePerf := obs(pred.Base), obs(pred.Probe)
+	vec, err := pred.Predict(basePerf, probePerf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed %.0f and %.0f ops/s; predicted vector (baseline #%d):\n", basePerf, probePerf, pred.Base+1)
+	for i, v := range vec {
+		fmt.Printf("  placement #%d: %.3f (predicted %.0f ops/s)\n", i+1, v, basePerf/v)
+	}
+	best := numaplace.BestPlacement(vec)
+	fmt.Printf("best placement: #%d %s\n", best+1, placements[best].Nodes)
+}

@@ -1,0 +1,92 @@
+package numaplace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/migrate"
+	"repro/internal/mlearn"
+	"repro/internal/workloads"
+)
+
+// TestFacadePipeline exercises the public API end to end on the Intel
+// machine: spec, placements, collection, training, prediction, persistence.
+func TestFacadePipeline(t *testing.T) {
+	m := Intel()
+	spec := SpecFor(m)
+	placements, err := Placements(spec, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) != 7 {
+		t.Fatalf("placements = %d, want 7", len(placements))
+	}
+
+	ws := append(PaperWorkloads(), workloads.CorpusFrom(15, 3, []string{"flat", "bw", "lat"})...)
+	ds, err := Collect(m, ws, 24, CollectConfig{Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Train(ds, TrainConfig{
+		Seed: 1, Forest: mlearn.ForestConfig{Trees: 20},
+		SelectionTrees: 6, SelectionFolds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wt, ok := WorkloadByName("WTbtree")
+	if !ok {
+		t.Fatal("WTbtree missing")
+	}
+	wi := ds.WorkloadIndex(wt.Name)
+	vec, err := pred.Predict(ds.Perf[wi][pred.Base], ds.Perf[wi][pred.Probe])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 7 {
+		t.Fatalf("vector length %d", len(vec))
+	}
+	// WiredTiger prefers few nodes on Intel (Fig. 1); even this reduced-
+	// fidelity model must not recommend spreading it over 3-4 nodes.
+	best := BestPlacement(vec)
+	if placements[best].Nodes.Len() > 2 {
+		t.Errorf("predicted best placement %s, want 1-2 nodes", placements[best].Nodes)
+	}
+
+	// Persistence round trip through the facade.
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := loaded.Predict(ds.Perf[wi][pred.Base], ds.Perf[wi][pred.Probe])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vec {
+		if vec[i] != v2[i] {
+			t.Fatal("loaded predictor disagrees")
+		}
+	}
+}
+
+// TestFacadeMigration exercises the migration surface.
+func TestFacadeMigration(t *testing.T) {
+	wt, _ := WorkloadByName("postgres-tpcc")
+	p := MigrationProfileFor(wt, 16)
+	fast, err := Migrate(p, MigrateFast, migrate.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linux, err := Migrate(p, MigrateDefaultLinux, migrate.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linux.Seconds/fast.Seconds < 10 {
+		t.Errorf("TPC-C speedup %.1fx, want order of magnitude", linux.Seconds/fast.Seconds)
+	}
+}

@@ -1,0 +1,203 @@
+// Package concern implements the paper's central abstraction, the
+// scheduling concern (§4): a per-resource scorer that reduces a vCPU
+// placement to the static degree of sharing of one hardware resource. A
+// vector of concern scores uniquely identifies each placement that is
+// distinct with respect to resource sharing.
+//
+// Two structural kinds of concern exist:
+//
+//   - CountConcern: symmetric, countable resources (L2/SMT groups, L3
+//     caches, NUMA nodes). The score is the number of resource instances in
+//     use. Each carries the paper's Count (instances on the machine),
+//     Capacity (hardware threads per instance) and a cost / inverse-
+//     performance classification (paper Table 1).
+//
+//   - SetConcern: non-symmetric resources whose score depends on *which*
+//     nodes are used, not how many — the asymmetric interconnect. The score
+//     is the measured aggregate bandwidth of the node set.
+package concern
+
+import (
+	"fmt"
+
+	"repro/internal/interconnect"
+	"repro/internal/machines"
+	"repro/internal/topology"
+)
+
+// CountConcern is a symmetric, countable shared resource.
+type CountConcern struct {
+	// Name of the resource, e.g. "L2/SMT", "L3".
+	Name string
+	// Count is the total number of instances on the machine.
+	Count int
+	// Capacity is the number of hardware threads served by one instance.
+	Capacity int
+	// PerNode is the number of instances inside one NUMA node.
+	PerNode int
+	// AffectsCost reports whether a lower score reduces the user's cost
+	// (fewer NUMA nodes or cache groups frees capacity for other
+	// containers).
+	AffectsCost bool
+	// InversePossible reports whether a lower score can ever *improve*
+	// performance (e.g. cooperative cache sharing).
+	InversePossible bool
+}
+
+// FeasibleScores implements Algorithm 1: the scores i in 1..Count that are
+// balanced (v mod i == 0) and feasible (v/i <= Capacity) for v vCPUs.
+func (c *CountConcern) FeasibleScores(v int) []int {
+	var scores []int
+	for i := 1; i <= c.Count; i++ {
+		if v%i == 0 && v/i <= c.Capacity {
+			scores = append(scores, i)
+		}
+	}
+	return scores
+}
+
+// SetConcern is a resource whose utilisation depends on the identity of the
+// nodes in use. The paper's only instance is the interconnect: its score is
+// the aggregate measured bandwidth among the nodes of the placement.
+type SetConcern struct {
+	Name string
+	// Score returns the resource utilisation of a node set, higher = more
+	// resource available. Deterministic and a pure function of the set.
+	Score func(topology.NodeSet) int64
+}
+
+// Spec is the full concern specification of a machine: the abstract machine
+// model the user provides in Step 1 of the paper's workflow.
+type Spec struct {
+	Machine machines.Machine
+
+	// Node is the allocation concern: NUMA nodes are the unit of resource
+	// allocation (§3). On the paper's systems this concern *is* the L3
+	// concern; on Zen-style machines it covers the memory controller while
+	// L3 moves to PerNode.
+	Node *CountConcern
+
+	// PerNode are enumerated concerns for resources that appear several
+	// times inside one node (L2/SMT groups; Zen CCX L3s). For each the
+	// algorithm enumerates every feasible sharing degree.
+	PerNode []*CountConcern
+
+	// Pareto are concerns that neither affect cost nor can have an inverse
+	// relationship with performance; placements strictly worse on them are
+	// discarded (the interconnect).
+	Pareto []*SetConcern
+}
+
+// FromMachine derives the concern specification automatically from the
+// machine description, the way the paper envisions the specification being
+// shipped "as part of system BIOS".
+func FromMachine(m machines.Machine) *Spec {
+	t := m.Topo
+	spec := &Spec{Machine: m}
+
+	if t.L3PerNode == 1 {
+		// The L3 concern covers L3 cache + memory controller + DRAM
+		// bandwidth and doubles as the node/allocation concern (paper
+		// Table 1, AMD and Intel).
+		spec.Node = &CountConcern{
+			Name:            "L3",
+			Count:           t.NumL3,
+			Capacity:        t.ThreadsPerL3(),
+			PerNode:         1,
+			AffectsCost:     true,
+			InversePossible: true,
+		}
+	} else {
+		// Zen-style: memory controller sharing is the node concern, L3
+		// sharing is a separate per-node concern.
+		spec.Node = &CountConcern{
+			Name:            "Node",
+			Count:           t.NumNodes,
+			Capacity:        t.ThreadsPerNode(),
+			PerNode:         1,
+			AffectsCost:     true,
+			InversePossible: true,
+		}
+		spec.PerNode = append(spec.PerNode, &CountConcern{
+			Name:            "L3",
+			Count:           t.NumL3,
+			Capacity:        t.ThreadsPerL3(),
+			PerNode:         t.L3PerNode,
+			AffectsCost:     true,
+			InversePossible: true,
+		})
+	}
+
+	// L2/SMT concern: L2 cache, instruction fetch/decode, FPU (AMD CMT) or
+	// the SMT pipeline (Intel HT). Only meaningful when an L2 group can
+	// hold more than one hardware thread.
+	if t.ThreadsPerL2() > 1 {
+		spec.PerNode = append(spec.PerNode, &CountConcern{
+			Name:            "L2/SMT",
+			Count:           t.NumL2,
+			Capacity:        t.ThreadsPerL2(),
+			PerNode:         t.L2PerNode(),
+			AffectsCost:     true,
+			InversePossible: true,
+		})
+	}
+
+	// Interconnect concern: only needed when the interconnect is
+	// asymmetric; on a symmetric machine every same-size node set scores
+	// identically, so the concern adds no information (paper §4).
+	if !m.IC.Symmetric() {
+		spec.Pareto = append(spec.Pareto, InterconnectConcern(m.IC))
+	}
+	return spec
+}
+
+// InterconnectConcern wraps an interconnect graph as a Pareto SetConcern.
+func InterconnectConcern(g *interconnect.Graph) *SetConcern {
+	return &SetConcern{
+		Name:  "Interconnect",
+		Score: g.Measure,
+	}
+}
+
+// Validate checks internal consistency of a hand-written Spec.
+func (s *Spec) Validate() error {
+	if s.Node == nil {
+		return fmt.Errorf("concern: spec has no node/allocation concern")
+	}
+	if s.Node.Count <= 0 || s.Node.Capacity <= 0 {
+		return fmt.Errorf("concern: node concern %q has non-positive count or capacity", s.Node.Name)
+	}
+	for _, c := range s.PerNode {
+		if c.PerNode <= 0 {
+			return fmt.Errorf("concern: per-node concern %q must have positive PerNode", c.Name)
+		}
+		if c.Count != c.PerNode*s.Node.Count {
+			return fmt.Errorf("concern: per-node concern %q count %d != PerNode %d x nodes %d",
+				c.Name, c.Count, c.PerNode, s.Node.Count)
+		}
+	}
+	for _, c := range s.Pareto {
+		if c.Score == nil {
+			return fmt.Errorf("concern: pareto concern %q has no score function", c.Name)
+		}
+	}
+	return nil
+}
+
+// VectorLen returns the length of this spec's score vectors:
+// one entry per per-node concern, one for the node concern, and one per
+// Pareto concern.
+func (s *Spec) VectorLen() int { return len(s.PerNode) + 1 + len(s.Pareto) }
+
+// ConcernNames returns the score-vector component names in vector order.
+func (s *Spec) ConcernNames() []string {
+	names := make([]string, 0, s.VectorLen())
+	for _, c := range s.PerNode {
+		names = append(names, c.Name)
+	}
+	names = append(names, s.Node.Name)
+	for _, c := range s.Pareto {
+		names = append(names, c.Name)
+	}
+	return names
+}

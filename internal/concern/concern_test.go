@@ -1,0 +1,170 @@
+package concern
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/interconnect"
+	"repro/internal/machines"
+	"repro/internal/topology"
+)
+
+func TestAMDSpecMatchesPaperTable1(t *testing.T) {
+	spec := FromMachine(machines.AMD())
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Node concern is the L3 concern: count 8, capacity 8 hw threads.
+	if spec.Node.Name != "L3" || spec.Node.Count != 8 || spec.Node.Capacity != 8 {
+		t.Errorf("node concern = %+v, want L3 count 8 capacity 8", spec.Node)
+	}
+	if !spec.Node.AffectsCost || !spec.Node.InversePossible {
+		t.Error("L3 concern must affect cost and allow inverse performance (paper Table 1)")
+	}
+	// One per-node concern: L2/SMT with L2Count 32 and capacity 2.
+	if len(spec.PerNode) != 1 {
+		t.Fatalf("per-node concerns = %d, want 1", len(spec.PerNode))
+	}
+	l2 := spec.PerNode[0]
+	if l2.Name != "L2/SMT" || l2.Count != 32 || l2.Capacity != 2 || l2.PerNode != 4 {
+		t.Errorf("L2 concern = %+v, want count 32 capacity 2 perNode 4", l2)
+	}
+	if !l2.AffectsCost || !l2.InversePossible {
+		t.Error("L2/SMT concern must affect cost and allow inverse performance")
+	}
+	// Interconnect concern present (asymmetric machine), not cost-related.
+	if len(spec.Pareto) != 1 || spec.Pareto[0].Name != "Interconnect" {
+		t.Fatalf("pareto concerns = %v", spec.Pareto)
+	}
+	if got := spec.ConcernNames(); !reflect.DeepEqual(got, []string{"L2/SMT", "L3", "Interconnect"}) {
+		t.Errorf("ConcernNames = %v", got)
+	}
+	if spec.VectorLen() != 3 {
+		t.Errorf("VectorLen = %d, want 3", spec.VectorLen())
+	}
+}
+
+func TestIntelSpecHasNoInterconnectConcern(t *testing.T) {
+	spec := FromMachine(machines.Intel())
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Pareto) != 0 {
+		t.Error("symmetric interconnect must not produce an interconnect concern (paper §4)")
+	}
+	if spec.Node.Name != "L3" || spec.Node.Count != 4 || spec.Node.Capacity != 24 {
+		t.Errorf("node concern = %+v", spec.Node)
+	}
+	l2 := spec.PerNode[0]
+	if l2.Count != 48 || l2.Capacity != 2 || l2.PerNode != 12 {
+		t.Errorf("L2 concern = %+v", l2)
+	}
+}
+
+func TestZenSpecSplitsL3FromNode(t *testing.T) {
+	spec := FromMachine(machines.Zen())
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Node.Name != "Node" {
+		t.Fatalf("Zen node concern = %q, want Node (memory controller)", spec.Node.Name)
+	}
+	if len(spec.PerNode) != 2 {
+		t.Fatalf("Zen per-node concerns = %d, want 2 (L3 + L2/SMT)", len(spec.PerNode))
+	}
+	if spec.PerNode[0].Name != "L3" || spec.PerNode[0].PerNode != 2 {
+		t.Errorf("Zen L3 concern = %+v", spec.PerNode[0])
+	}
+	if spec.PerNode[1].Name != "L2/SMT" {
+		t.Errorf("Zen second concern = %+v", spec.PerNode[1])
+	}
+}
+
+func TestFeasibleScoresAMD(t *testing.T) {
+	spec := FromMachine(machines.AMD())
+	// Algorithm 1 on the paper's numbers: L3 scores {2,4,8}, L2 scores {8,16}.
+	if got := spec.Node.FeasibleScores(16); !reflect.DeepEqual(got, []int{2, 4, 8}) {
+		t.Errorf("AMD L3 scores = %v, want [2 4 8]", got)
+	}
+	if got := spec.PerNode[0].FeasibleScores(16); !reflect.DeepEqual(got, []int{8, 16}) {
+		t.Errorf("AMD L2 scores = %v, want [8 16]", got)
+	}
+}
+
+func TestFeasibleScoresIntel(t *testing.T) {
+	spec := FromMachine(machines.Intel())
+	if got := spec.Node.FeasibleScores(24); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Errorf("Intel L3 scores = %v, want [1 2 3 4]", got)
+	}
+	if got := spec.PerNode[0].FeasibleScores(24); !reflect.DeepEqual(got, []int{12, 24}) {
+		t.Errorf("Intel L2 scores = %v, want [12 24]", got)
+	}
+}
+
+func TestFeasibleScoresEdgeCases(t *testing.T) {
+	c := &CountConcern{Name: "x", Count: 8, Capacity: 2}
+	// v=1: only score 1 qualifies (1 mod i == 0 only for i=1; capacity ok).
+	if got := c.FeasibleScores(1); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("FeasibleScores(1) = %v", got)
+	}
+	// v larger than total capacity: no feasible scores.
+	if got := c.FeasibleScores(17); got != nil {
+		t.Errorf("FeasibleScores(17) = %v, want none", got)
+	}
+	// Prime v: only v itself (and 1 if capacity allows).
+	if got := c.FeasibleScores(7); !reflect.DeepEqual(got, []int{7}) {
+		t.Errorf("FeasibleScores(7) = %v, want [7]", got)
+	}
+}
+
+func TestInterconnectConcernScores(t *testing.T) {
+	m := machines.AMD()
+	c := InterconnectConcern(m.IC)
+	if c.Name != "Interconnect" {
+		t.Fatalf("name = %q", c.Name)
+	}
+	if got := c.Score(topology.FullNodeSet(8)); got != 35000 {
+		t.Errorf("full-set interconnect score = %d, want 35000", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	m := machines.AMD()
+	cases := []*Spec{
+		{Machine: m},
+		{Machine: m, Node: &CountConcern{Name: "L3", Count: 0, Capacity: 8}},
+		{Machine: m, Node: &CountConcern{Name: "L3", Count: 8, Capacity: 8},
+			PerNode: []*CountConcern{{Name: "L2", Count: 32, PerNode: 0}}},
+		{Machine: m, Node: &CountConcern{Name: "L3", Count: 8, Capacity: 8},
+			PerNode: []*CountConcern{{Name: "L2", Count: 30, PerNode: 4}}}, // 30 != 4*8
+		{Machine: m, Node: &CountConcern{Name: "L3", Count: 8, Capacity: 8},
+			Pareto: []*SetConcern{{Name: "IC"}}}, // nil score func
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid spec", i)
+		}
+	}
+}
+
+func TestHaswellCoDSpec(t *testing.T) {
+	spec := FromMachine(machines.HaswellCoD())
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster-on-die has an asymmetric interconnect: concern required.
+	if len(spec.Pareto) != 1 {
+		t.Error("Haswell-CoD must have an interconnect concern")
+	}
+}
+
+func TestSymmetricGraphConcernOmitted(t *testing.T) {
+	// A hand-built machine with a symmetric graph gets no Pareto concern
+	// even with many nodes.
+	m := machines.Intel()
+	m.IC = interconnect.NewSymmetric(4, 12345)
+	spec := FromMachine(m)
+	if len(spec.Pareto) != 0 {
+		t.Error("symmetric graph should omit interconnect concern")
+	}
+}

@@ -1,0 +1,84 @@
+// Package container provides the virtual-container abstraction of the
+// paper's target environment (§3): a workload encapsulated with a fixed
+// number of vCPUs, mapped onto hardware threads by the scheduler, and — for
+// workloads that support it — reporting a live performance metric the
+// placement policy can consume.
+package container
+
+import (
+	"fmt"
+
+	"repro/internal/machines"
+	"repro/internal/perfsim"
+	"repro/internal/topology"
+)
+
+// Container is one virtual container instance.
+type Container struct {
+	ID       int
+	Workload perfsim.Workload
+	VCPUs    int
+
+	// Threads is the current vCPU-to-hardware-thread mapping; nil while
+	// unplaced. Pinned records whether the mapping was chosen explicitly
+	// (pinned cpuset) or left to the OS.
+	Threads []topology.ThreadID
+	Pinned  bool
+
+	// history of reported throughput samples (most recent last).
+	history []float64
+}
+
+// New creates an unplaced container.
+func New(id int, w perfsim.Workload, vcpus int) *Container {
+	return &Container{ID: id, Workload: w, VCPUs: vcpus}
+}
+
+// Place installs a thread mapping. The mapping length must equal VCPUs.
+func (c *Container) Place(threads []topology.ThreadID, pinned bool) error {
+	if len(threads) != c.VCPUs {
+		return fmt.Errorf("container %d: mapping has %d threads, want %d", c.ID, len(threads), c.VCPUs)
+	}
+	c.Threads = append([]topology.ThreadID(nil), threads...)
+	c.Pinned = pinned
+	return nil
+}
+
+// Placed reports whether the container currently has a mapping.
+func (c *Container) Placed() bool { return c.Threads != nil }
+
+// Observe runs the container alone on machine m in its current mapping and
+// records the throughput sample (the paper's "runs the workload in two
+// placements during the first few seconds ... without interrupting the
+// workload"). trial selects the measurement-noise draw.
+func (c *Container) Observe(m machines.Machine, trial int) (float64, error) {
+	if !c.Placed() {
+		return 0, fmt.Errorf("container %d: not placed", c.ID)
+	}
+	perf, err := perfsim.Run(m, c.Workload, c.Threads, trial)
+	if err != nil {
+		return 0, err
+	}
+	c.history = append(c.history, perf)
+	return perf, nil
+}
+
+// Report records an externally measured throughput sample (used when the
+// container runs co-located and the scheduler simulates tenants together).
+func (c *Container) Report(perf float64) { c.history = append(c.history, perf) }
+
+// LastPerf returns the most recent sample, or 0 if none was reported.
+// Only workloads with Workload.ReportsOnline expose this at runtime; the
+// packing experiments use it for every workload the way the paper uses
+// offline-measured metrics for non-reporting applications.
+func (c *Container) LastPerf() float64 {
+	if len(c.history) == 0 {
+		return 0
+	}
+	return c.history[len(c.history)-1]
+}
+
+// History returns all recorded samples, oldest first.
+func (c *Container) History() []float64 {
+	return append([]float64(nil), c.history...)
+}

@@ -1,0 +1,88 @@
+package container
+
+import (
+	"testing"
+
+	"repro/internal/machines"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+func TestLifecycle(t *testing.T) {
+	w, _ := workloads.ByName("WTbtree")
+	c := New(1, w, 4)
+	if c.Placed() {
+		t.Fatal("new container claims to be placed")
+	}
+	if _, err := c.Observe(machines.AMD(), 0); err == nil {
+		t.Fatal("Observe before placement accepted")
+	}
+	if err := c.Place([]topology.ThreadID{0, 1}, true); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+	if err := c.Place([]topology.ThreadID{0, 1, 2, 3}, true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Placed() || !c.Pinned {
+		t.Fatal("placement state wrong")
+	}
+}
+
+func TestObserveRecordsHistory(t *testing.T) {
+	w, _ := workloads.ByName("swaptions")
+	m := machines.AMD()
+	c := New(2, w, 4)
+	if err := c.Place([]topology.ThreadID{0, 1, 2, 3}, true); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.Observe(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= 0 {
+		t.Fatalf("perf %v", p1)
+	}
+	if c.LastPerf() != p1 {
+		t.Fatal("LastPerf mismatch")
+	}
+	c.Report(123)
+	if c.LastPerf() != 123 {
+		t.Fatal("Report not recorded")
+	}
+	h := c.History()
+	if len(h) != 2 || h[0] != p1 || h[1] != 123 {
+		t.Fatalf("history %v", h)
+	}
+	// History returns a copy.
+	h[0] = -1
+	if c.History()[0] == -1 {
+		t.Fatal("History aliases internal state")
+	}
+}
+
+func TestLastPerfEmpty(t *testing.T) {
+	w, _ := workloads.ByName("gcc")
+	c := New(3, w, 2)
+	if c.LastPerf() != 0 {
+		t.Fatal("LastPerf on empty history")
+	}
+	if c.History() != nil {
+		t.Fatal("History on empty container")
+	}
+}
+
+func TestPlaceCopiesMapping(t *testing.T) {
+	w, _ := workloads.ByName("gcc")
+	c := New(4, w, 2)
+	threads := []topology.ThreadID{5, 6}
+	if err := c.Place(threads, false); err != nil {
+		t.Fatal(err)
+	}
+	threads[0] = 99
+	if c.Threads[0] == 99 {
+		t.Fatal("Place aliases caller slice")
+	}
+	if c.Pinned {
+		t.Fatal("unpinned placement marked pinned")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mlearn"
+)
+
+// Predict returns the predicted performance vector of a container from its
+// observed throughput in the Base and Probe placements (any consistent
+// metric: ops/s, IPC, transactions/s). Entry p is predicted
+// perf(Base)/perf(p), the paper's vector convention; lower means placement
+// p is faster than the baseline.
+func (p *Predictor) Predict(perfBase, perfProbe float64) ([]float64, error) {
+	if p.Variant != PerfFeatures {
+		return nil, fmt.Errorf("core: Predict requires the perf-measurements variant, have %s", p.Variant)
+	}
+	if perfBase <= 0 || perfProbe <= 0 {
+		return nil, fmt.Errorf("core: non-positive performance observation (%v, %v)", perfBase, perfProbe)
+	}
+	return p.forest.Predict([]float64{perfProbe / perfBase}), nil
+}
+
+// PredictHPE returns the performance vector from counters observed in the
+// Base placement (HPE variant), optionally with the perf ratio for the
+// Combined variant.
+func (p *Predictor) PredictHPE(hpes []float64, perfRatio float64) ([]float64, error) {
+	var x []float64
+	switch p.Variant {
+	case HPEFeatures:
+	case Combined:
+		x = append(x, perfRatio)
+	default:
+		return nil, fmt.Errorf("core: PredictHPE requires an HPE variant, have %s", p.Variant)
+	}
+	for _, f := range p.HPEFeats {
+		if f >= len(hpes) {
+			return nil, fmt.Errorf("core: counter index %d out of range (%d counters)", f, len(hpes))
+		}
+		x = append(x, hpes[f])
+	}
+	return p.forest.Predict(x), nil
+}
+
+// PredictRow runs the predictor on a dataset row (testing/evaluation).
+func (p *Predictor) PredictRow(ds *Dataset, w int) []float64 {
+	return p.forest.Predict(features(ds, p, w))
+}
+
+// BestPlacement returns the index of the fastest predicted placement
+// (smallest vector entry, since entries are baseline/perf).
+func BestPlacement(vector []float64) int {
+	best := 0
+	for i, v := range vector {
+		if v < vector[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// predictorJSON is the serialized form of a Predictor.
+type predictorJSON struct {
+	Variant       Variant            `json:"variant"`
+	Base          int                `json:"base"`
+	Probe         int                `json:"probe"`
+	HPEFeats      []int              `json:"hpeFeats,omitempty"`
+	NumPlacements int                `json:"numPlacements"`
+	Forest        *mlearn.ForestDump `json:"forest"`
+}
+
+// Save writes the predictor as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(predictorJSON{
+		Variant: p.Variant, Base: p.Base, Probe: p.Probe,
+		HPEFeats: p.HPEFeats, NumPlacements: p.NumPlacements,
+		Forest: p.forest.Dump(),
+	})
+}
+
+// LoadPredictor reads a predictor previously written by Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var pj predictorJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	}
+	f, err := mlearn.LoadForest(pj.Forest)
+	if err != nil {
+		return nil, err
+	}
+	if pj.NumPlacements != f.OutDim() {
+		return nil, fmt.Errorf("core: predictor claims %d placements but forest outputs %d", pj.NumPlacements, f.OutDim())
+	}
+	return &Predictor{
+		Variant: pj.Variant, Base: pj.Base, Probe: pj.Probe,
+		HPEFeats: pj.HPEFeats, NumPlacements: pj.NumPlacements,
+		forest: f,
+	}, nil
+}

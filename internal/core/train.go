@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mlearn"
+)
+
+// Variant selects the model's input features (§5-§6 compare these).
+type Variant int
+
+const (
+	// PerfFeatures: actual performance observed in two automatically
+	// chosen important placements — the paper's preferred design.
+	PerfFeatures Variant = iota
+	// HPEFeatures: hardware performance events observed in a single
+	// (baseline) placement, selected by Sequential Forward Selection —
+	// the inferior baseline the paper compares against.
+	HPEFeatures
+	// Combined: both. The paper reports it "did not improve accuracy over
+	// the first one".
+	Combined
+)
+
+func (v Variant) String() string {
+	switch v {
+	case PerfFeatures:
+		return "perf-measurements"
+	case HPEFeatures:
+		return "hpe-single-placement"
+	case Combined:
+		return "combined"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// TrainConfig controls predictor training.
+type TrainConfig struct {
+	Variant Variant
+
+	// Forest configures the final model (default: 100 trees).
+	Forest mlearn.ForestConfig
+
+	// SelectionTrees is the (smaller) ensemble size used inside the input-
+	// pair search and SFS loops (default 15).
+	SelectionTrees int
+
+	// SelectionFolds is the group k-fold count used during selection
+	// (default 5).
+	SelectionFolds int
+
+	// MaxHPEFeatures caps SFS for the HPE variants (default 8).
+	MaxHPEFeatures int
+
+	// FixedPair forces the input placement pair (indices into
+	// Dataset.Placements; baseline first) instead of searching. Used by
+	// ablation studies.
+	FixedPair *[2]int
+
+	// Seed drives all stochastic components.
+	Seed uint64
+}
+
+func (c TrainConfig) selectionTrees() int {
+	if c.SelectionTrees <= 0 {
+		return 15
+	}
+	return c.SelectionTrees
+}
+
+func (c TrainConfig) selectionFolds() int {
+	if c.SelectionFolds <= 0 {
+		return 5
+	}
+	return c.SelectionFolds
+}
+
+func (c TrainConfig) maxHPE() int {
+	if c.MaxHPEFeatures <= 0 {
+		return 8
+	}
+	return c.MaxHPEFeatures
+}
+
+// Predictor is a trained performance model for one machine and vCPU count.
+type Predictor struct {
+	Variant Variant
+	// Base and Probe are indices into Placements: the two placements whose
+	// observed performance feeds the model. Predictions are relative to
+	// Base (vector entry p = perf(Base)/perf(p)).
+	Base, Probe int
+	// HPEFeats are the SFS-selected counter indices (HPE variants).
+	HPEFeats []int
+
+	NumPlacements int
+	forest        *mlearn.Forest
+}
+
+// Train fits a predictor on the dataset according to cfg. For the
+// PerfFeatures variant it searches all placement pairs for the one whose
+// cross-validated accuracy is best ("the training process automatically
+// finds the two of the important placements that give the highest
+// accuracy", §5).
+func Train(ds *Dataset, cfg TrainConfig) (*Predictor, error) {
+	if len(ds.Workloads) < 4 {
+		return nil, fmt.Errorf("core: need at least 4 training workloads, have %d", len(ds.Workloads))
+	}
+	if (cfg.Variant == HPEFeatures || cfg.Variant == Combined) && len(ds.HPE) != len(ds.Workloads) {
+		return nil, fmt.Errorf("core: HPE variant requires a dataset collected WithHPEs")
+	}
+
+	p := &Predictor{Variant: cfg.Variant, NumPlacements: len(ds.Placements)}
+
+	// Choose the input placement pair.
+	switch {
+	case cfg.FixedPair != nil:
+		p.Base, p.Probe = cfg.FixedPair[0], cfg.FixedPair[1]
+		if err := validPair(ds, p.Base, p.Probe); err != nil {
+			return nil, err
+		}
+	case cfg.Variant == HPEFeatures:
+		// Single-placement variant: the baseline is the placement whose
+		// HPEs predict best; probe is unused but kept equal to base.
+		base, err := bestHPEBase(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Base, p.Probe = base, base
+	default:
+		base, probe, err := bestPair(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Base, p.Probe = base, probe
+	}
+
+	// SFS for the HPE variants.
+	if cfg.Variant == HPEFeatures || cfg.Variant == Combined {
+		feats, err := selectHPEs(ds, p.Base, p.Probe, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.HPEFeats = feats
+	}
+
+	// Final model on the full dataset.
+	X, Y := designMatrix(ds, p, nil)
+	forestCfg := cfg.Forest
+	forestCfg.Seed = xmix(cfg.Seed, 0xF1A1)
+	f, err := mlearn.TrainForest(X, Y, forestCfg)
+	if err != nil {
+		return nil, err
+	}
+	p.forest = f
+	return p, nil
+}
+
+func validPair(ds *Dataset, base, probe int) error {
+	n := len(ds.Placements)
+	if base < 0 || base >= n || probe < 0 || probe >= n || base == probe {
+		return fmt.Errorf("core: invalid placement pair (%d, %d) for %d placements", base, probe, n)
+	}
+	return nil
+}
+
+// features builds the model input for workload row w under predictor
+// settings (base, probe, variant, hpeFeats).
+func features(ds *Dataset, p *Predictor, w int) []float64 {
+	var x []float64
+	if p.Variant == PerfFeatures || p.Variant == Combined {
+		x = append(x, ds.Perf[w][p.Probe]/ds.Perf[w][p.Base])
+	}
+	if p.Variant == HPEFeatures || p.Variant == Combined {
+		for _, f := range p.HPEFeats {
+			x = append(x, ds.HPE[w][p.Base][f])
+		}
+	}
+	return x
+}
+
+// designMatrix builds (X, Y) over the given rows (nil = all rows).
+func designMatrix(ds *Dataset, p *Predictor, rows []int) ([][]float64, [][]float64) {
+	if rows == nil {
+		rows = make([]int, len(ds.Workloads))
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	X := make([][]float64, 0, len(rows))
+	Y := make([][]float64, 0, len(rows))
+	for _, w := range rows {
+		X = append(X, features(ds, p, w))
+		Y = append(Y, ds.RelVector(w, p.Base))
+	}
+	return X, Y
+}
+
+// cvMAPE evaluates a candidate predictor configuration by group k-fold
+// cross-validation, returning the mean absolute percentage error.
+func cvMAPE(ds *Dataset, p *Predictor, cfg TrainConfig, seed uint64) (float64, error) {
+	folds, err := mlearn.GroupKFold(ds.Groups, cfg.selectionFolds())
+	if err != nil {
+		return 0, err
+	}
+	var pred, actual [][]float64
+	for fi, fold := range folds {
+		X, Y := designMatrix(ds, p, fold.Train)
+		f, err := mlearn.TrainForest(X, Y, mlearn.ForestConfig{
+			Trees: cfg.selectionTrees(),
+			Seed:  xmix(seed, uint64(fi)),
+		})
+		if err != nil {
+			return 0, err
+		}
+		for _, w := range fold.Test {
+			pred = append(pred, f.Predict(features(ds, p, w)))
+			actual = append(actual, ds.RelVector(w, p.Base))
+		}
+	}
+	return mlearn.MAPE(pred, actual), nil
+}
+
+// bestPair searches all unordered placement pairs for the one minimizing
+// cross-validated error; the lower-indexed placement acts as the baseline.
+func bestPair(ds *Dataset, cfg TrainConfig) (int, int, error) {
+	n := len(ds.Placements)
+	bestBase, bestProbe := -1, -1
+	bestErr := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cand := &Predictor{Variant: PerfFeatures, Base: i, Probe: j}
+			if cfg.Variant == Combined {
+				cand.Variant = PerfFeatures // pair search uses perf ratio only
+			}
+			e, err := cvMAPE(ds, cand, cfg, xmix(cfg.Seed, uint64(i*n+j)))
+			if err != nil {
+				return 0, 0, err
+			}
+			if e < bestErr {
+				bestErr, bestBase, bestProbe = e, i, j
+			}
+		}
+	}
+	if bestBase < 0 {
+		return 0, 0, fmt.Errorf("core: pair search failed")
+	}
+	return bestBase, bestProbe, nil
+}
+
+// bestHPEBase picks the observation placement for the single-placement
+// HPE variant using a coarse screen with all counters as features.
+func bestHPEBase(ds *Dataset, cfg TrainConfig) (int, error) {
+	nHPE := len(ds.HPE[0][0])
+	all := make([]int, nHPE)
+	for i := range all {
+		all[i] = i
+	}
+	best, bestErr := -1, math.Inf(1)
+	for b := range ds.Placements {
+		cand := &Predictor{Variant: HPEFeatures, Base: b, Probe: b, HPEFeats: all}
+		e, err := cvMAPE(ds, cand, cfg, xmix(cfg.Seed, 0xBA5E+uint64(b)))
+		if err != nil {
+			return 0, err
+		}
+		if e < bestErr {
+			bestErr, best = e, b
+		}
+	}
+	return best, nil
+}
+
+// selectHPEs runs Sequential Forward Selection over the counters.
+func selectHPEs(ds *Dataset, base, probe int, cfg TrainConfig) ([]int, error) {
+	nHPE := len(ds.HPE[0][0])
+	var evalErr error
+	eval := func(subset []int) float64 {
+		cand := &Predictor{Variant: cfg.Variant, Base: base, Probe: probe, HPEFeats: subset}
+		e, err := cvMAPE(ds, cand, cfg, xmix(cfg.Seed, 0x5F5+uint64(len(subset))))
+		if err != nil {
+			evalErr = err
+			return math.Inf(-1)
+		}
+		return -e
+	}
+	feats := mlearn.SFS(nHPE, cfg.maxHPE(), eval)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("core: SFS selected no counters")
+	}
+	return feats, nil
+}
+
+func xmix(a, b uint64) uint64 {
+	h := a*0x9e3779b97f4a7c15 + b
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}

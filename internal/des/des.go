@@ -1,0 +1,85 @@
+// Package des is a minimal discrete-event simulation kernel: a virtual
+// clock and a time-ordered event queue. The memory-migration simulator is
+// built on it; the kernel is generic and reusable.
+package des
+
+import "container/heap"
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now   float64
+	queue eventHeap
+	seq   int64 // tie-breaker preserving scheduling order at equal times
+}
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// would silently corrupt causality.
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		panic("des: scheduling event in the past")
+	}
+	heap.Push(&s.queue, event{time: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn d seconds from now.
+func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Step executes the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (s *Sim) Run() float64 {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (s *Sim) RunUntil(t float64) {
+	for s.queue.Len() > 0 && s.queue[0].time <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.queue.Len() }

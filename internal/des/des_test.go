@@ -1,0 +1,88 @@
+package des
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var s Sim
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	if end := s.Run(); end != 3 {
+		t.Fatalf("end time %v", end)
+	}
+	if !reflect.DeepEqual(order, []int{1, 2, 3}) {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var s Sim
+	var times []float64
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if !reflect.DeepEqual(times, []float64{1, 3}) {
+		t.Fatalf("times %v", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	ran := 0
+	s.At(1, func() { ran++ })
+	s.At(5, func() { ran++ })
+	s.RunUntil(3)
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock %v, want 3", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	s.Run()
+	if ran != 2 || s.Now() != 5 {
+		t.Fatalf("final state ran=%d now=%v", ran, s.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var s Sim
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}

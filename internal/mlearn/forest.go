@@ -1,0 +1,93 @@
+package mlearn
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// ForestConfig controls random forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// Tree configures the individual trees. If Tree.FeatureSubset is 0 a
+	// regression default of max(1, d/3) is applied.
+	Tree TreeConfig
+	// Seed makes training deterministic.
+	Seed uint64
+}
+
+func (c ForestConfig) trees() int {
+	if c.Trees <= 0 {
+		return 100
+	}
+	return c.Trees
+}
+
+// Forest is a multi-output Random Forest regressor: bagged CART trees with
+// per-split feature subsampling, predictions averaged across trees. This is
+// the model of the paper's §5 ("we use a multi-output Random Forest
+// regressor ... known for its ability to learn non-linear functions with
+// very little or no tuning").
+type Forest struct {
+	trees  []*Tree
+	inDim  int
+	outDim int
+}
+
+// TrainForest fits a forest on (X, Y).
+func TrainForest(X, Y [][]float64, cfg ForestConfig) (*Forest, error) {
+	if len(X) == 0 || len(X) != len(Y) {
+		return nil, fmt.Errorf("mlearn: bad training set: %d inputs, %d outputs", len(X), len(Y))
+	}
+	inDim := len(X[0])
+	treeCfg := cfg.Tree
+	if treeCfg.FeatureSubset <= 0 {
+		treeCfg.FeatureSubset = inDim / 3
+		if treeCfg.FeatureSubset < 1 {
+			treeCfg.FeatureSubset = 1
+		}
+	}
+	f := &Forest{inDim: inDim, outDim: len(Y[0])}
+	rng := xrand.New(xrand.Mix(cfg.Seed, 0xF07E57))
+	n := len(X)
+	for i := 0; i < cfg.trees(); i++ {
+		// Bootstrap sample.
+		bx := make([][]float64, n)
+		by := make([][]float64, n)
+		for j := 0; j < n; j++ {
+			k := rng.Intn(n)
+			bx[j], by[j] = X[k], Y[k]
+		}
+		tr, err := BuildTree(bx, by, treeCfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, tr)
+	}
+	return f, nil
+}
+
+// Predict averages the trees' output vectors for input x.
+func (f *Forest) Predict(x []float64) []float64 {
+	out := make([]float64, f.outDim)
+	for _, t := range f.trees {
+		p := t.Predict(x)
+		for d := range out {
+			out[d] += p[d]
+		}
+	}
+	for d := range out {
+		out[d] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// InDim returns the expected input dimensionality.
+func (f *Forest) InDim() int { return f.inDim }
+
+// OutDim returns the output dimensionality.
+func (f *Forest) OutDim() int { return f.outDim }

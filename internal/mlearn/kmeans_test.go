@@ -1,0 +1,167 @@
+package mlearn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// threeBlobs returns 3 well-separated gaussian clusters of 20 points each.
+func threeBlobs() ([][]float64, []int) {
+	rng := xrand.New(11)
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	var points [][]float64
+	var labels []int
+	for c, center := range centers {
+		for i := 0; i < 20; i++ {
+			points = append(points, []float64{
+				center[0] + 0.5*rng.NormFloat64(),
+				center[1] + 0.5*rng.NormFloat64(),
+			})
+			labels = append(labels, c)
+		}
+	}
+	return points, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	points, labels := threeBlobs()
+	res, err := KMeans(points, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-blob points share a cluster; different blobs differ.
+	for i := range points {
+		for j := range points {
+			same := labels[i] == labels[j]
+			if same != (res.Assign[i] == res.Assign[j]) {
+				t.Fatalf("points %d and %d mis-clustered", i, j)
+			}
+		}
+	}
+	if res.Inertia <= 0 {
+		t.Error("inertia should be positive for noisy blobs")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	points, _ := threeBlobs()
+	a, _ := KMeans(points, 3, 7)
+	b, _ := KMeans(points, 3, 7)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans([][]float64{{1}}, 2, 0); err == nil {
+		t.Error("fewer points than clusters accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 2, 0); err == nil {
+		t.Error("ragged points accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	_, _ = KMeans([][]float64{{1}}, 0, 0)
+}
+
+func TestSilhouetteSeparatedVsOverlapping(t *testing.T) {
+	points, labels := threeBlobs()
+	// Correct clustering: silhouette near 1.
+	good := Silhouette(points, labels, 3)
+	if good < 0.8 {
+		t.Errorf("silhouette of true clustering = %v, want > 0.8", good)
+	}
+	// Random clustering: much worse.
+	rng := xrand.New(3)
+	random := make([]int, len(points))
+	for i := range random {
+		random[i] = rng.Intn(3)
+	}
+	bad := Silhouette(points, random, 3)
+	if bad >= good {
+		t.Errorf("random clustering silhouette %v >= true %v", bad, good)
+	}
+}
+
+func TestSilhouetteEdgeCases(t *testing.T) {
+	if s := Silhouette(nil, nil, 2); s != 0 {
+		t.Errorf("empty silhouette = %v", s)
+	}
+	// All points in one cluster: contributes nothing.
+	points := [][]float64{{0}, {1}, {2}}
+	if s := Silhouette(points, []int{0, 0, 0}, 1); s != 0 {
+		t.Errorf("single-cluster silhouette = %v, want 0", s)
+	}
+	// Singletons contribute 0.
+	if s := Silhouette(points, []int{0, 1, 2}, 3); s != 0 {
+		t.Errorf("all-singleton silhouette = %v, want 0", s)
+	}
+}
+
+func TestChooseKFindsThree(t *testing.T) {
+	points, _ := threeBlobs()
+	res, sil, err := ChooseK(points, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Errorf("ChooseK picked k=%d, want 3 (silhouette %v)", res.K, sil)
+	}
+	if sil < 0.8 {
+		t.Errorf("best silhouette %v too low", sil)
+	}
+}
+
+func TestChooseKErrors(t *testing.T) {
+	if _, _, err := ChooseK([][]float64{{1}, {2}}, 1, 0); err == nil {
+		t.Error("kMax < 2 accepted")
+	}
+	if _, _, err := ChooseK(nil, 4, 0); err == nil {
+		t.Error("no points accepted")
+	}
+}
+
+func TestKMeansEmptyClusterReseeded(t *testing.T) {
+	// Duplicated points can empty a cluster mid-iteration; ensure no panic
+	// and a valid assignment.
+	points := [][]float64{{0, 0}, {0, 0}, {0, 0}, {5, 5}, {5, 5}, {9, 9}}
+	res, err := KMeans(points, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 3 {
+			t.Fatalf("assignment out of range: %d", a)
+		}
+	}
+}
+
+func TestKMeansOneDimensional(t *testing.T) {
+	points := [][]float64{{1}, {1.1}, {0.9}, {8}, {8.1}, {7.9}}
+	res, err := KMeans(points, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] != res.Assign[1] || res.Assign[0] != res.Assign[2] {
+		t.Error("low blob split")
+	}
+	if res.Assign[3] != res.Assign[4] || res.Assign[3] != res.Assign[5] {
+		t.Error("high blob split")
+	}
+	if res.Assign[0] == res.Assign[3] {
+		t.Error("blobs merged")
+	}
+	// Centroids near 1 and 8.
+	lo := math.Min(res.Centroids[0][0], res.Centroids[1][0])
+	hi := math.Max(res.Centroids[0][0], res.Centroids[1][0])
+	if math.Abs(lo-1) > 0.2 || math.Abs(hi-8) > 0.2 {
+		t.Errorf("centroids %v", res.Centroids)
+	}
+}

@@ -1,0 +1,113 @@
+package mlearn
+
+import "fmt"
+
+// NodeDump is the serializable form of a tree node.
+type NodeDump struct {
+	Feature   int       `json:"f"`
+	Threshold float64   `json:"t,omitempty"`
+	Left      int32     `json:"l,omitempty"`
+	Right     int32     `json:"r,omitempty"`
+	Value     []float64 `json:"v"`
+}
+
+// TreeDump is the serializable form of a Tree.
+type TreeDump struct {
+	Nodes  []NodeDump `json:"nodes"`
+	InDim  int        `json:"in"`
+	OutDim int        `json:"out"`
+}
+
+// ForestDump is the serializable form of a Forest, for persisting trained
+// predictors (the paper trains one model per machine and vCPU count, so
+// deployments ship models alongside the machine specification).
+type ForestDump struct {
+	Trees  []TreeDump `json:"trees"`
+	InDim  int        `json:"in"`
+	OutDim int        `json:"out"`
+}
+
+// Dump exports the forest for serialization.
+func (f *Forest) Dump() *ForestDump {
+	d := &ForestDump{InDim: f.inDim, OutDim: f.outDim}
+	for _, t := range f.trees {
+		td := TreeDump{InDim: t.inDim, OutDim: t.outDim}
+		for _, n := range t.nodes {
+			td.Nodes = append(td.Nodes, NodeDump{
+				Feature: n.feature, Threshold: n.threshold,
+				Left: n.left, Right: n.right, Value: n.value,
+			})
+		}
+		d.Trees = append(d.Trees, td)
+	}
+	return d
+}
+
+// LoadForest reconstructs a Forest from its dump, validating structure.
+func LoadForest(d *ForestDump) (*Forest, error) {
+	if d == nil || len(d.Trees) == 0 {
+		return nil, fmt.Errorf("mlearn: empty forest dump")
+	}
+	f := &Forest{inDim: d.InDim, outDim: d.OutDim}
+	for ti, td := range d.Trees {
+		if len(td.Nodes) == 0 {
+			return nil, fmt.Errorf("mlearn: tree %d has no nodes", ti)
+		}
+		t := &Tree{inDim: td.InDim, outDim: td.OutDim}
+		for ni, n := range td.Nodes {
+			if n.Feature >= td.InDim {
+				return nil, fmt.Errorf("mlearn: tree %d node %d: feature %d out of range", ti, ni, n.Feature)
+			}
+			if n.Feature >= 0 {
+				if int(n.Left) >= len(td.Nodes) || int(n.Right) >= len(td.Nodes) ||
+					int(n.Left) <= ni || int(n.Right) <= ni {
+					return nil, fmt.Errorf("mlearn: tree %d node %d: bad children", ti, ni)
+				}
+			}
+			if n.Feature < 0 && len(n.Value) != td.OutDim {
+				return nil, fmt.Errorf("mlearn: tree %d node %d: leaf dim %d, want %d", ti, ni, len(n.Value), td.OutDim)
+			}
+			t.nodes = append(t.nodes, node{
+				feature: n.Feature, threshold: n.Threshold,
+				left: n.Left, right: n.Right, value: n.Value,
+			})
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}
+
+// GroupKFold assigns each distinct group to one of k folds round-robin
+// (in first-appearance order) and returns the resulting train/test splits.
+// Used where full leave-one-group-out is too slow (input-pair search, SFS).
+func GroupKFold(groups []string, k int) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("mlearn: k %d < 2", k)
+	}
+	order := []string{}
+	seen := map[string]int{}
+	for _, g := range groups {
+		if _, ok := seen[g]; !ok {
+			seen[g] = len(order)
+			order = append(order, g)
+		}
+	}
+	if len(order) < k {
+		k = len(order)
+		if k < 2 {
+			return nil, fmt.Errorf("mlearn: need at least 2 groups")
+		}
+	}
+	folds := make([]Fold, k)
+	for i, g := range groups {
+		f := seen[g] % k
+		for j := range folds {
+			if j == f {
+				folds[j].Test = append(folds[j].Test, i)
+			} else {
+				folds[j].Train = append(folds[j].Train, i)
+			}
+		}
+	}
+	return folds, nil
+}

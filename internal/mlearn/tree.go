@@ -1,0 +1,248 @@
+// Package mlearn implements the machine-learning building blocks the paper
+// uses, from scratch on the standard library: multi-output CART regression
+// trees, a multi-output Random Forest regressor (§5's model), k-means
+// clustering with silhouette-based selection of k (the workload-category
+// analysis of §5), Sequential Forward Selection (the HPE feature-selection
+// baseline), and leave-one-group-out cross-validation with the accuracy
+// metrics reported in §6.
+package mlearn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// TreeConfig controls CART tree induction.
+type TreeConfig struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf (default 1).
+	MinLeaf int
+	// FeatureSubset is the number of candidate features examined per
+	// split; 0 tries all features (plain CART). Random forests use a
+	// random subset per split to de-correlate trees.
+	FeatureSubset int
+}
+
+func (c TreeConfig) minLeaf() int {
+	if c.MinLeaf <= 0 {
+		return 1
+	}
+	return c.MinLeaf
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	left      int32
+	right     int32
+	value     []float64 // leaf prediction (mean of samples)
+}
+
+// Tree is a multi-output CART regression tree. Splits minimize the summed
+// per-output squared error.
+type Tree struct {
+	nodes  []node
+	inDim  int
+	outDim int
+}
+
+// BuildTree grows a tree on (X, Y). All rows of X must share a length, as
+// must all rows of Y. rng drives feature subsampling; pass nil when
+// FeatureSubset is 0.
+func BuildTree(X, Y [][]float64, cfg TreeConfig, rng *xrand.SplitMix64) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(Y) {
+		return nil, fmt.Errorf("mlearn: bad training set: %d inputs, %d outputs", len(X), len(Y))
+	}
+	t := &Tree{inDim: len(X[0]), outDim: len(Y[0])}
+	for i := range X {
+		if len(X[i]) != t.inDim {
+			return nil, fmt.Errorf("mlearn: row %d has %d features, want %d", i, len(X[i]), t.inDim)
+		}
+		if len(Y[i]) != t.outDim {
+			return nil, fmt.Errorf("mlearn: row %d has %d outputs, want %d", i, len(Y[i]), t.outDim)
+		}
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.grow(X, Y, idx, 1, cfg, rng)
+	return t, nil
+}
+
+// grow recursively builds the subtree over the sample indices idx and
+// returns its node index.
+func (t *Tree) grow(X, Y [][]float64, idx []int, depth int, cfg TreeConfig, rng *xrand.SplitMix64) int32 {
+	mean := meanRows(Y, idx, t.outDim)
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1, value: mean})
+
+	if len(idx) < 2*cfg.minLeaf() || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) || pure(Y, idx) {
+		return self
+	}
+
+	feat, thr, ok := t.bestSplit(X, Y, idx, cfg, rng)
+	if !ok {
+		return self
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.minLeaf() || len(right) < cfg.minLeaf() {
+		return self
+	}
+	l := t.grow(X, Y, left, depth+1, cfg, rng)
+	r := t.grow(X, Y, right, depth+1, cfg, rng)
+	t.nodes[self].feature = feat
+	t.nodes[self].threshold = thr
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+// bestSplit scans candidate features for the split minimizing the total
+// squared error of the two children, using prefix sums over sorted values.
+func (t *Tree) bestSplit(X, Y [][]float64, idx []int, cfg TreeConfig, rng *xrand.SplitMix64) (int, float64, bool) {
+	features := make([]int, t.inDim)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.FeatureSubset > 0 && cfg.FeatureSubset < t.inDim {
+		if rng == nil {
+			rng = xrand.New(0)
+		}
+		rng.Shuffle(len(features), func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.FeatureSubset]
+	}
+
+	n := len(idx)
+	order := make([]int, n)
+	sum := make([]float64, t.outDim)
+	sumsq := make([]float64, t.outDim)
+	bestGain := math.Inf(-1)
+	bestFeat, bestThr := -1, 0.0
+
+	// Total SSE before splitting (constant across features; gain compares
+	// children only, so we just minimize child SSE).
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		if X[order[0]][f] == X[order[n-1]][f] {
+			continue // constant feature
+		}
+		for d := range sum {
+			sum[d], sumsq[d] = 0, 0
+		}
+		total := make([]float64, t.outDim)
+		totalSq := make([]float64, t.outDim)
+		for _, i := range order {
+			for d := 0; d < t.outDim; d++ {
+				total[d] += Y[i][d]
+				totalSq[d] += Y[i][d] * Y[i][d]
+			}
+		}
+		minLeaf := cfg.minLeaf()
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			for d := 0; d < t.outDim; d++ {
+				sum[d] += Y[i][d]
+				sumsq[d] += Y[i][d] * Y[i][d]
+			}
+			if k+1 < minLeaf || n-k-1 < minLeaf {
+				continue
+			}
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue // cannot split between equal values
+			}
+			nl, nr := float64(k+1), float64(n-k-1)
+			var childSSE float64
+			for d := 0; d < t.outDim; d++ {
+				rs := total[d] - sum[d]
+				rq := totalSq[d] - sumsq[d]
+				childSSE += (sumsq[d] - sum[d]*sum[d]/nl) + (rq - rs*rs/nr)
+			}
+			if gain := -childSSE; gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (X[order[k]][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+	return bestFeat, bestThr, bestFeat >= 0
+}
+
+// Predict returns the tree's output vector for input x.
+func (t *Tree) Predict(x []float64) []float64 {
+	if len(x) != t.inDim {
+		panic(fmt.Sprintf("mlearn: input has %d features, tree expects %d", len(x), t.inDim))
+	}
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			out := make([]float64, len(nd.value))
+			copy(out, nd.value)
+			return out
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (a root-only tree has depth 1).
+func (t *Tree) Depth() int {
+	var rec func(i int32) int
+	rec = func(i int32) int {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return 1
+		}
+		l, r := rec(nd.left), rec(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(0)
+}
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+func meanRows(Y [][]float64, idx []int, dim int) []float64 {
+	m := make([]float64, dim)
+	for _, i := range idx {
+		for d := 0; d < dim; d++ {
+			m[d] += Y[i][d]
+		}
+	}
+	for d := range m {
+		m[d] /= float64(len(idx))
+	}
+	return m
+}
+
+func pure(Y [][]float64, idx []int) bool {
+	first := Y[idx[0]]
+	for _, i := range idx[1:] {
+		for d := range first {
+			if Y[i][d] != first[d] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+package mlearn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestTreeFitsSimpleStep(t *testing.T) {
+	// y = [0,0] for x<0.5, [1,2] for x>=0.5: one split suffices.
+	var X, Y [][]float64
+	for i := 0; i < 20; i++ {
+		x := float64(i) / 20
+		X = append(X, []float64{x})
+		if x < 0.5 {
+			Y = append(Y, []float64{0, 0})
+		} else {
+			Y = append(Y, []float64{1, 2})
+		}
+	}
+	tree, err := BuildTree(X, Y, TreeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		p := tree.Predict(X[i])
+		if p[0] != Y[i][0] || p[1] != Y[i][1] {
+			t.Fatalf("x=%v: predict %v, want %v", X[i], p, Y[i])
+		}
+	}
+	if d := tree.Depth(); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+	if n := tree.NumNodes(); n != 3 {
+		t.Errorf("NumNodes = %d, want 3", n)
+	}
+}
+
+func TestTreeInterpolatesSmoothFunction(t *testing.T) {
+	// y = x1^2 + x2 on a grid; unseen midpoints must be close.
+	var X, Y [][]float64
+	for i := 0; i <= 20; i++ {
+		for j := 0; j <= 20; j++ {
+			x1, x2 := float64(i)/20, float64(j)/20
+			X = append(X, []float64{x1, x2})
+			Y = append(Y, []float64{x1*x1 + x2})
+		}
+	}
+	tree, err := BuildTree(X, Y, TreeConfig{MinLeaf: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range [][]float64{{0.52, 0.18}, {0.11, 0.93}, {0.77, 0.44}} {
+		want := probe[0]*probe[0] + probe[1]
+		got := tree.Predict(probe)[0]
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("f(%v) = %v, want ~%v", probe, got, want)
+		}
+	}
+}
+
+func TestTreeRespectsMinLeafAndDepth(t *testing.T) {
+	var X, Y [][]float64
+	rng := xrand.New(1)
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()
+		X = append(X, []float64{x})
+		Y = append(Y, []float64{rng.Float64()})
+	}
+	shallow, err := BuildTree(X, Y, TreeConfig{MaxDepth: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := shallow.Depth(); d > 3 {
+		t.Errorf("Depth = %d exceeds MaxDepth 3", d)
+	}
+	big, err := BuildTree(X, Y, TreeConfig{MinLeaf: 25}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf 25 over 100 noisy samples the tree stays small.
+	if n := big.NumNodes(); n > 9 {
+		t.Errorf("NumNodes = %d, too many for MinLeaf 25", n)
+	}
+}
+
+func TestTreePureLeafStopsEarly(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	Y := [][]float64{{7}, {7}, {7}, {7}}
+	tree, err := BuildTree(X, Y, TreeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumNodes() != 1 {
+		t.Errorf("constant target grew %d nodes", tree.NumNodes())
+	}
+	if p := tree.Predict([]float64{99}); p[0] != 7 {
+		t.Errorf("predict = %v", p)
+	}
+}
+
+func TestTreeConstantFeature(t *testing.T) {
+	// A constant feature cannot be split on; the other feature can.
+	X := [][]float64{{5, 0}, {5, 1}, {5, 2}, {5, 3}}
+	Y := [][]float64{{0}, {0}, {1}, {1}}
+	tree, err := BuildTree(X, Y, TreeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tree.Predict([]float64{5, 0.2}); p[0] != 0 {
+		t.Errorf("predict low = %v", p)
+	}
+	if p := tree.Predict([]float64{5, 2.9}); p[0] != 1 {
+		t.Errorf("predict high = %v", p)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := BuildTree(nil, nil, TreeConfig{}, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := BuildTree([][]float64{{1}}, [][]float64{{1}, {2}}, TreeConfig{}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := BuildTree([][]float64{{1}, {1, 2}}, [][]float64{{1}, {2}}, TreeConfig{}, nil); err == nil {
+		t.Error("ragged X accepted")
+	}
+	if _, err := BuildTree([][]float64{{1}, {2}}, [][]float64{{1}, {2, 3}}, TreeConfig{}, nil); err == nil {
+		t.Error("ragged Y accepted")
+	}
+}
+
+func TestTreePredictPanicsOnBadDim(t *testing.T) {
+	tree, _ := BuildTree([][]float64{{1}, {2}}, [][]float64{{1}, {2}}, TreeConfig{}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Predict with wrong dim did not panic")
+		}
+	}()
+	tree.Predict([]float64{1, 2})
+}
+
+func TestTreePredictionIsTrainingMeanProperty(t *testing.T) {
+	// Property: for any data, the root-only tree (MaxDepth 1) predicts the
+	// mean of Y.
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		X := make([][]float64, len(raw))
+		Y := make([][]float64, len(raw))
+		var mean float64
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true // mean would overflow; not a tree property
+			}
+			X[i] = []float64{float64(i)}
+			Y[i] = []float64{v}
+			mean += v
+		}
+		mean /= float64(len(raw))
+		tree, err := BuildTree(X, Y, TreeConfig{MaxDepth: 1}, nil)
+		if err != nil {
+			return false
+		}
+		got := tree.Predict([]float64{0})[0]
+		return math.Abs(got-mean) < 1e-9*math.Max(1, math.Abs(mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForestRegression(t *testing.T) {
+	// Noisy quadratic; forest should beat a constant predictor easily.
+	rng := xrand.New(9)
+	var X, Y [][]float64
+	for i := 0; i < 300; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		X = append(X, []float64{x1, x2})
+		Y = append(Y, []float64{x1*x1 + 0.5*x2 + 0.02*rng.NormFloat64()})
+	}
+	f, err := TrainForest(X, Y, ForestConfig{Trees: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumTrees() != 50 || f.InDim() != 2 || f.OutDim() != 1 {
+		t.Fatalf("forest shape: trees=%d in=%d out=%d", f.NumTrees(), f.InDim(), f.OutDim())
+	}
+	var sse, sseMean float64
+	var mean float64
+	for _, y := range Y {
+		mean += y[0]
+	}
+	mean /= float64(len(Y))
+	for i := range X {
+		p := f.Predict(X[i])[0]
+		sse += (p - Y[i][0]) * (p - Y[i][0])
+		sseMean += (mean - Y[i][0]) * (mean - Y[i][0])
+	}
+	if sse > 0.1*sseMean {
+		t.Errorf("forest SSE %v not much better than constant %v", sse, sseMean)
+	}
+}
+
+func TestForestDeterministicBySeed(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	Y := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	a, err := TrainForest(X, Y, ForestConfig{Trees: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := TrainForest(X, Y, ForestConfig{Trees: 10, Seed: 42})
+	c, _ := TrainForest(X, Y, ForestConfig{Trees: 10, Seed: 43})
+	probe := []float64{3.5}
+	if a.Predict(probe)[0] != b.Predict(probe)[0] {
+		t.Error("same seed, different predictions")
+	}
+	if a.Predict(probe)[0] == c.Predict(probe)[0] {
+		t.Error("different seeds, identical predictions (suspicious)")
+	}
+}
+
+func TestForestMultiOutput(t *testing.T) {
+	// Outputs are independent functions; both must be learned.
+	rng := xrand.New(5)
+	var X, Y [][]float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()
+		X = append(X, []float64{x})
+		Y = append(Y, []float64{x, 1 - x})
+	}
+	f, err := TrainForest(X, Y, ForestConfig{Trees: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Predict([]float64{0.3})
+	if math.Abs(p[0]-0.3) > 0.05 || math.Abs(p[1]-0.7) > 0.05 {
+		t.Errorf("multi-output prediction %v, want ~[0.3 0.7]", p)
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	if _, err := TrainForest(nil, nil, ForestConfig{}); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TrainForest([][]float64{{1}}, [][]float64{}, ForestConfig{}); err == nil {
+		t.Error("mismatched set accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Package perfsim is the reproduction's substitute for the paper's physical
+// testbeds: an analytic performance model of a multicore NUMA machine. It
+// predicts the throughput of a workload from the *static* properties of its
+// thread placement — SMT/CMT pipeline sharing, aggregate cache capacity,
+// DRAM bandwidth saturation, inter-thread communication latency,
+// interconnect traffic, cooperative cache sharing and load imbalance — plus
+// seeded measurement noise. It also synthesizes hardware performance event
+// (HPE) readings with the same information limits the paper describes in §6
+// (a single placement's HPEs cannot separate latency sensitivity from
+// memory intensity).
+//
+// The simulator enforces the paper's core modelling assumption (§3):
+// identically scored placements yield identical performance, because every
+// performance factor is a function of placement attributes that are fully
+// determined by the score vector (plus node identity only through the
+// measured interconnect score).
+package perfsim
+
+import (
+	"fmt"
+
+	"repro/internal/machines"
+	"repro/internal/topology"
+)
+
+// Attrs are the placement attributes the performance model consumes,
+// derived from a concrete assignment of vCPUs to hardware threads.
+type Attrs struct {
+	VCPUs      int
+	Nodes      topology.NodeSet
+	NumNodes   int
+	UsedL2     int     // distinct L2 domains in use
+	UsedL3     int     // distinct L3 domains in use
+	SMTShare   float64 // average threads per used L2 group (1 = no sharing)
+	L3ShareAvg float64 // average threads per used L3 domain
+
+	AggL3MB   float64 // aggregate L3 capacity available, MB
+	DRAMBWMBs float64 // aggregate local memory bandwidth, MB/s
+	ICBWMBs   float64 // measured interconnect score of the node set, MB/s
+	AvgLatNS  float64 // mean pairwise inter-thread communication latency
+	Imbalance float64 // max node load / mean node load (>= 1)
+
+	// Machine constants captured for the model.
+	coreSpeed   float64
+	latSameL2NS float64
+}
+
+// ComputeAttrs derives placement attributes from a thread assignment.
+// The assignment does not need to be balanced — OS-chosen (unpinned)
+// mappings are supported, which is how the Conservative and Aggressive
+// policies of §7 are simulated.
+func ComputeAttrs(m machines.Machine, threads []topology.ThreadID) (Attrs, error) {
+	t := m.Topo
+	if len(threads) == 0 {
+		return Attrs{}, fmt.Errorf("perfsim: empty thread assignment")
+	}
+	seen := make(map[topology.ThreadID]bool, len(threads))
+	l2 := map[topology.DomainID]int{}
+	l3 := map[topology.DomainID]int{}
+	nodeLoad := map[topology.NodeID]int{}
+	var nodes topology.NodeSet
+	for _, id := range threads {
+		if id < 0 || int(id) >= t.TotalThreads() {
+			return Attrs{}, fmt.Errorf("perfsim: thread %d out of range", id)
+		}
+		if seen[id] {
+			return Attrs{}, fmt.Errorf("perfsim: thread %d assigned twice", id)
+		}
+		seen[id] = true
+		th := t.Threads[id]
+		l2[th.L2]++
+		l3[th.L3]++
+		nodeLoad[th.Node]++
+		nodes = nodes.Add(th.Node)
+	}
+
+	v := len(threads)
+	a := Attrs{
+		VCPUs:       v,
+		Nodes:       nodes,
+		NumNodes:    nodes.Len(),
+		UsedL2:      len(l2),
+		UsedL3:      len(l3),
+		coreSpeed:   t.CoreSpeed,
+		latSameL2NS: t.LatSameL2NS,
+	}
+	a.SMTShare = float64(v) / float64(len(l2))
+	a.L3ShareAvg = float64(v) / float64(len(l3))
+	a.AggL3MB = float64(len(l3)) * float64(t.L3SizeKB) / 1024
+	a.DRAMBWMBs = float64(a.NumNodes) * float64(t.NodeDRAMBandwidthMBs)
+	a.ICBWMBs = float64(m.IC.Measure(nodes))
+
+	// Mean pairwise communication latency by the closest shared level.
+	var totalLat float64
+	pairs := 0
+	for i := 0; i < len(threads); i++ {
+		for j := i + 1; j < len(threads); j++ {
+			a1, a2 := t.Threads[threads[i]], t.Threads[threads[j]]
+			totalLat += pairLatency(t, m, a1, a2)
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		a.AvgLatNS = totalLat / float64(pairs)
+	}
+
+	// Load imbalance across the nodes actually used.
+	maxLoad := 0
+	for _, load := range nodeLoad {
+		if load > maxLoad {
+			maxLoad = load
+		}
+	}
+	mean := float64(v) / float64(len(nodeLoad))
+	a.Imbalance = float64(maxLoad) / mean
+	return a, nil
+}
+
+func pairLatency(t *topology.Topology, m machines.Machine, a, b topology.Thread) float64 {
+	switch {
+	case a.L2 == b.L2:
+		return t.LatSameL2NS
+	case a.L3 == b.L3:
+		return t.LatSameL3NS
+	default:
+		if m.IC.Hops(a.Node, b.Node) <= 1 {
+			return t.LatOneHopNS
+		}
+		return t.LatTwoHopNS
+	}
+}

@@ -1,0 +1,135 @@
+package perfsim
+
+import "math"
+
+// Workload describes an application's placement sensitivities — the hidden
+// ground truth the paper's machine-learning model must learn to predict
+// from two performance observations. Fields are dimensionless in [0,1]
+// unless noted.
+type Workload struct {
+	Name string
+
+	// BaselineOps is the throughput of one vCPU (operations per second) on
+	// an uncontended reference core with all factors at 1.0.
+	BaselineOps float64
+
+	// WorkingSetMB is the aggregate hot working set competing for L3 space.
+	WorkingSetMB float64
+
+	// MemIntensity weighs how strongly cache misses hurt (0 = compute
+	// bound, 1 = fully memory bound).
+	MemIntensity float64
+
+	// BWPerVCPU is the DRAM bandwidth demand of one vCPU in MB/s when its
+	// working set misses the cache entirely.
+	BWPerVCPU float64
+
+	// CommIntensity weighs sensitivity to inter-thread communication
+	// latency (lock handoffs, message passing, shared B-tree nodes).
+	CommIntensity float64
+
+	// ICPerVCPU is the cross-node traffic of one vCPU in MB/s when its
+	// data is spread over remote nodes.
+	ICPerVCPU float64
+
+	// SMTFactor multiplies per-vCPU throughput when two hardware threads
+	// share an L2/SMT group (paper: sharing the pipeline, front-end, FPU).
+	// Below 1 the workload dislikes SMT; kmeans-like workloads exceed 1.
+	SMTFactor float64
+
+	// CacheCoop is the throughput bonus per unit of L3 sharing from
+	// cooperative prefetching (threads loading data for each other).
+	CacheCoop float64
+
+	// Table 2 bookkeeping (memory migration experiment).
+	MemoryGB    float64 // total container memory including page cache
+	PageCacheGB float64 // page-cache portion of MemoryGB
+	Processes   int     // tasks in the container (TPC-C has many)
+
+	// ReportsOnline marks workloads that expose a live throughput metric
+	// (§7 picks WiredTiger for the throttled-migration study because the
+	// others do not report performance during execution).
+	ReportsOnline bool
+}
+
+// Model constants. These are properties of the simulated hardware-software
+// stack, not of individual workloads; they were fixed once so that the
+// published shapes (Fig. 1, Fig. 4 trends) emerge from workload descriptors.
+const (
+	// missPenalty scales how strongly an L3 miss ratio degrades a fully
+	// memory-intensive workload.
+	missPenalty = 2.2
+	// latRefNS normalizes communication latency: the factor halves for a
+	// fully latency-bound workload when the mean pairwise latency exceeds
+	// the reference by latRefNS nanoseconds.
+	latRefNS = 170.0
+	// coopRef is the L3 sharing degree at which the full cooperative bonus
+	// applies.
+	coopRef = 8.0
+)
+
+// Perf returns the deterministic throughput (operations/second) of workload
+// w running v vCPUs in a placement with attributes a, before measurement
+// noise. Shares below 1.0 model co-located tenants (see SimulateShared).
+func Perf(w Workload, a Attrs, shares Shares) float64 {
+	speed := a.coreSpeed
+	base := w.BaselineOps * float64(a.VCPUs) * speed
+
+	// SMT/CMT pipeline sharing: geometric in the sharing degree so that a
+	// fractional average (unbalanced OS mappings) interpolates smoothly.
+	fSMT := math.Pow(w.SMTFactor, a.SMTShare-1)
+
+	// Cache fitting: the miss ratio of the hot working set is the part
+	// that does not fit in the available share of aggregate L3.
+	availL3 := a.AggL3MB * shares.L3
+	miss := 0.0
+	if w.WorkingSetMB > 0 {
+		miss = math.Max(0, 1-availL3/w.WorkingSetMB)
+	}
+	fCache := 1 / (1 + w.MemIntensity*missPenalty*miss)
+
+	// DRAM bandwidth saturation: demand scales with the miss ratio (a
+	// cache-resident working set produces little memory traffic).
+	demand := float64(a.VCPUs) * w.BWPerVCPU * (0.25 + 0.75*miss) * speed
+	supply := a.DRAMBWMBs * shares.DRAM
+	fBW := 1.0
+	if demand > supply && demand > 0 {
+		fBW = supply / demand
+	}
+
+	// Communication latency relative to the best possible (same-L2).
+	fComm := 1 / (1 + w.CommIntensity*math.Max(0, a.AvgLatNS-a.latSameL2NS)/latRefNS)
+
+	// Interconnect traffic: only when spread across nodes; the remote
+	// fraction of accesses grows with the node count.
+	fIC := 1.0
+	if a.NumNodes > 1 {
+		remote := float64(a.NumNodes-1) / float64(a.NumNodes)
+		traffic := float64(a.VCPUs) * w.ICPerVCPU * remote * speed
+		icSupply := a.ICBWMBs * shares.IC
+		if traffic > icSupply && traffic > 0 {
+			fIC = icSupply / traffic
+		}
+	}
+
+	// Cooperative cache sharing: threads packed onto fewer L3s prefetch
+	// for each other.
+	fCoop := 1 + w.CacheCoop*math.Min(1, (a.L3ShareAvg-1)/(coopRef-1))
+
+	// Load imbalance creates stragglers; synchronization-heavy workloads
+	// suffer the full imbalance, embarrassingly parallel ones less.
+	fStrag := math.Pow(1/a.Imbalance, 0.4+0.6*w.CommIntensity)
+
+	return base * fSMT * fCache * fBW * fComm * fIC * fCoop * fStrag
+}
+
+// Shares is the fraction of each shared resource available to a tenant
+// (1.0 when the node set is exclusively owned; see SimulateShared).
+type Shares struct {
+	L3   float64
+	DRAM float64
+	IC   float64
+}
+
+// ExclusiveShares is the share vector of a container that owns its nodes.
+func ExclusiveShares() Shares { return Shares{L3: 1, DRAM: 1, IC: 1} }

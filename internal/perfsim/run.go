@@ -1,0 +1,196 @@
+package perfsim
+
+import (
+	"repro/internal/machines"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// noiseSD is the relative standard deviation of measurement noise applied
+// to every simulated run (real throughput measurements over a few seconds
+// jitter by a percent or two).
+const noiseSD = 0.012
+
+// icCoupling scales how strongly one tenant's cross-node traffic consumes
+// interconnect capacity seen by other tenants on disjoint nodes.
+const icCoupling = 0.45
+
+// Run executes workload w on the given thread assignment with exclusive
+// node ownership and returns its noisy throughput in operations/second.
+// trial selects the noise draw; identical (workload, placement, trial)
+// triples always return the same value.
+func Run(m machines.Machine, w Workload, threads []topology.ThreadID, trial int) (float64, error) {
+	a, err := ComputeAttrs(m, threads)
+	if err != nil {
+		return 0, err
+	}
+	return noisy(Perf(w, a, ExclusiveShares()), w, a, trial), nil
+}
+
+// noisy applies deterministic multiplicative measurement noise.
+func noisy(perf float64, w Workload, a Attrs, trial int) float64 {
+	seed := xrand.Mix(
+		xrand.HashString(w.Name),
+		uint64(a.Nodes),
+		uint64(a.UsedL2),
+		uint64(trial),
+	)
+	rng := xrand.New(seed)
+	return perf * (1 + noiseSD*rng.NormFloat64())
+}
+
+// Tenant is one container participating in a shared-machine simulation.
+type Tenant struct {
+	W       Workload
+	Threads []topology.ThreadID
+}
+
+// SimulateShared runs several containers on one machine at once and
+// returns each tenant's noisy throughput. Tenants whose threads land on
+// the same NUMA nodes split that node's L3 capacity and DRAM bandwidth in
+// proportion to their thread counts; tenants sharing an L2/SMT group
+// experience the group's total occupancy. This models the §7 scenario
+// where the Aggressive policy lets containers interfere.
+func SimulateShared(m machines.Machine, tenants []Tenant, trial int) ([]float64, error) {
+	t := m.Topo
+
+	// Per-node and per-L2-group occupancy across all tenants.
+	nodeTotal := map[topology.NodeID]int{}
+	l2Total := map[topology.DomainID]int{}
+	for _, tn := range tenants {
+		for _, id := range tn.Threads {
+			th := t.Threads[id]
+			nodeTotal[th.Node]++
+			l2Total[th.L2]++
+		}
+	}
+
+	// Cross-tenant interconnect pressure: even disjoint node sets share
+	// HT/QPI links (the paper's §3 caveat that nodes interfere "if those
+	// nodes share the interconnect"). Each tenant's interconnect supply is
+	// reduced by the fraction of machine-wide link capacity consumed by
+	// the other tenants' cross-node traffic.
+	capacity := float64(m.IC.Measure(topology.FullNodeSet(t.NumNodes)))
+	traffic := make([]float64, len(tenants))
+	var totalTraffic float64
+	for i, tn := range tenants {
+		nodes := map[topology.NodeID]bool{}
+		for _, id := range tn.Threads {
+			nodes[t.Threads[id].Node] = true
+		}
+		if len(nodes) > 1 {
+			remote := float64(len(nodes)-1) / float64(len(nodes))
+			traffic[i] = float64(len(tn.Threads)) * tn.W.ICPerVCPU * remote * t.CoreSpeed
+		}
+		totalTraffic += traffic[i]
+	}
+
+	out := make([]float64, len(tenants))
+	for i, tn := range tenants {
+		a, err := ComputeAttrs(m, tn.Threads)
+		if err != nil {
+			return nil, err
+		}
+
+		// Thread-proportional share of each node this tenant touches.
+		nodeMine := map[topology.NodeID]int{}
+		for _, id := range tn.Threads {
+			nodeMine[t.Threads[id].Node]++
+		}
+		var shareSum float64
+		for n, mine := range nodeMine {
+			shareSum += float64(mine) / float64(nodeTotal[n])
+		}
+		share := shareSum / float64(len(nodeMine)) // mean share across used nodes
+
+		// SMT occupancy including foreign threads: recompute the average
+		// threads per used L2 group counting everyone in the group.
+		var occ float64
+		for _, id := range tn.Threads {
+			occ += float64(l2Total[t.Threads[id].L2])
+		}
+		a.SMTShare = occ / float64(len(tn.Threads))
+
+		icShare := share
+		if capacity > 0 {
+			// Routed traffic only partially overlaps any given tenant's
+			// links, so foreign traffic costs less than its full volume.
+			foreign := icCoupling * (totalTraffic - traffic[i]) / capacity
+			if cross := 1 - foreign; cross < icShare {
+				icShare = cross
+			}
+			if icShare < 0.2 {
+				icShare = 0.2
+			}
+		}
+		shares := Shares{L3: share, DRAM: share, IC: icShare}
+		out[i] = noisy(Perf(tn.W, a, shares), tn.W, a, trial*31+i)
+	}
+	return out, nil
+}
+
+// LinuxMap simulates the vCPU-to-thread mapping an unpinned Linux kernel
+// produces for a container of v vCPUs on an otherwise configured machine
+// (§7: "Neither Conservative nor Aggressive pin vCPUs to cores, allowing
+// Linux to perform the mapping in the way it wishes, and possibly creating
+// unneeded contention"). The load balancer packs one runnable thread per
+// idle core before using SMT siblings, but it is placement-naive: the cores
+// it picks are effectively arbitrary with respect to nodes and cache
+// groups. busy marks hardware threads already taken by other containers.
+func LinuxMap(m machines.Machine, v int, busy map[topology.ThreadID]bool, rng *xrand.SplitMix64) []topology.ThreadID {
+	t := m.Topo
+	coreLoad := map[topology.CoreID]int{}
+	for id, b := range busy {
+		if b {
+			coreLoad[t.Threads[id].Core]++
+		}
+	}
+	// Candidate threads grouped by how loaded their core already is:
+	// prefer fully idle cores, then lightly loaded ones.
+	var out []topology.ThreadID
+	taken := map[topology.ThreadID]bool{}
+	for len(out) < v {
+		// Collect free threads at the minimum current core load.
+		best := -1
+		var candidates []topology.ThreadID
+		for _, th := range t.Threads {
+			if busy[th.ID] || taken[th.ID] {
+				continue
+			}
+			load := coreLoad[th.Core]
+			if best == -1 || load < best {
+				best = load
+				candidates = candidates[:0]
+			}
+			if load == best {
+				candidates = append(candidates, th.ID)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil // machine full
+		}
+		// CFS has wake affinity: related threads usually stay near nodes
+		// the container already occupies, but the balancer still leaks
+		// them across the machine.
+		if len(out) > 0 && rng.Float64() < 0.7 {
+			usedNodes := map[topology.NodeID]bool{}
+			for _, id := range out {
+				usedNodes[t.Threads[id].Node] = true
+			}
+			var near []topology.ThreadID
+			for _, id := range candidates {
+				if usedNodes[t.Threads[id].Node] {
+					near = append(near, id)
+				}
+			}
+			if len(near) > 0 {
+				candidates = near
+			}
+		}
+		pick := candidates[rng.Intn(len(candidates))]
+		out = append(out, pick)
+		taken[pick] = true
+		coreLoad[t.Threads[pick].Core]++
+	}
+	return out
+}

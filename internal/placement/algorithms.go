@@ -1,0 +1,337 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/concern"
+	"repro/internal/topology"
+)
+
+// AllNodes returns the full node set of the spec's machine.
+func AllNodes(spec *concern.Spec) topology.NodeSet {
+	return topology.FullNodeSet(spec.Node.Count)
+}
+
+// Packing is a partition of the machine's nodes into placements (paper
+// Algorithm 2): the first part might host the target container, the rest
+// host other containers. Parts are kept in canonical order (ascending by
+// bitmask) so identical packings compare equal.
+type Packing []topology.NodeSet
+
+func (p Packing) String() string {
+	s := make([]string, len(p))
+	for i, part := range p {
+		s[i] = part.String()
+	}
+	return "[" + join(s, " ") + "]"
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}
+
+// key returns a canonical comparable encoding of the packing.
+func (p Packing) key() string {
+	out := ""
+	for _, part := range p {
+		out += fmt.Sprintf("%x;", uint64(part))
+	}
+	return out
+}
+
+// sizeKey returns the canonical encoding of the packing's part-size
+// multiset (the paper's "L3 scores in a packing").
+func (p Packing) sizeKey() string {
+	sizes := make([]int, len(p))
+	for i, part := range p {
+		sizes[i] = part.Len()
+	}
+	sort.Ints(sizes)
+	return fmt.Sprint(sizes)
+}
+
+func (p Packing) canonical() Packing {
+	q := append(Packing(nil), p...)
+	sort.Slice(q, func(i, j int) bool { return q[i] < q[j] })
+	return q
+}
+
+// GenPackings implements Algorithm 2: it enumerates every partition of the
+// node set `all` into parts whose sizes appear in nodeScores. Unlike the
+// paper's pseudocode, which enumerates every part ordering and removes
+// duplicates afterwards, this version generates each unordered partition
+// exactly once by always placing the lowest unassigned node into the next
+// part; TestGenPackingsMatchesNaive cross-checks the two against each other.
+func GenPackings(nodeScores []int, all topology.NodeSet) []Packing {
+	var out []Packing
+	var rec func(left topology.NodeSet, cur Packing)
+	rec = func(left topology.NodeSet, cur Packing) {
+		if left.Empty() {
+			out = append(out, append(Packing(nil), cur...).canonical())
+			return
+		}
+		low := left.IDs()[0]
+		rest := left.Remove(low)
+		for _, size := range nodeScores {
+			if size > left.Len() {
+				continue
+			}
+			rest.Subsets(size-1, func(sub topology.NodeSet) {
+				part := sub.Add(low)
+				rec(left.Minus(part), append(cur, part))
+			})
+		}
+	}
+	rec(all, nil)
+	return out
+}
+
+// genPackingsNaive is the paper's Algorithm 2 verbatim: for every allowed
+// size, for every combination of remaining nodes, recurse; duplicates (the
+// same partition reached in different part orders) are removed afterwards.
+// It exists as a test oracle for GenPackings.
+func genPackingsNaive(nodeScores []int, all topology.NodeSet) []Packing {
+	var out []Packing
+	var rec func(left topology.NodeSet, cur Packing)
+	rec = func(left topology.NodeSet, cur Packing) {
+		for _, size := range nodeScores {
+			if size > left.Len() {
+				continue
+			}
+			left.Subsets(size, func(part topology.NodeSet) {
+				remaining := left.Minus(part)
+				next := append(append(Packing(nil), cur...), part)
+				if remaining.Empty() {
+					out = append(out, next.canonical())
+				} else {
+					rec(remaining, next)
+				}
+			})
+		}
+	}
+	rec(all, nil)
+	// Remove duplicates.
+	seen := make(map[string]bool)
+	dedup := out[:0]
+	for _, p := range out {
+		k := p.key()
+		if !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup
+}
+
+// paretoScores returns, for each Pareto concern, the ascending sorted list
+// of part scores of the packing.
+func paretoScores(spec *concern.Spec, p Packing) [][]int64 {
+	lists := make([][]int64, len(spec.Pareto))
+	for ci, c := range spec.Pareto {
+		scores := make([]int64, len(p))
+		for i, part := range p {
+			scores[i] = c.Score(part)
+		}
+		sort.Slice(scores, func(a, b int) bool { return scores[a] < scores[b] })
+		lists[ci] = scores
+	}
+	return lists
+}
+
+func listsEqual(a, b [][]int64) bool {
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dominates reports whether packing score-lists b supersede a: b is at
+// least as good elementwise on every Pareto concern and not identical.
+func dominates(b, a [][]int64) bool {
+	for i := range a {
+		for j := range a[i] {
+			if b[i][j] < a[i][j] {
+				return false
+			}
+		}
+	}
+	return !listsEqual(a, b)
+}
+
+// FilterPackings implements the first half of Algorithm 3: group packings
+// by their part-size multiset (same "L3 scores"), de-duplicate packings
+// with identical Pareto score lists, and remove packings superseded by a
+// strictly better packing of the same shape. With no Pareto concerns
+// (symmetric interconnect) every shape collapses to one representative.
+func FilterPackings(spec *concern.Spec, packings []Packing) []Packing {
+	type entry struct {
+		p      Packing
+		scores [][]int64
+	}
+	groups := make(map[string][]entry)
+	var order []string
+	for _, p := range packings {
+		k := p.sizeKey()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], entry{p, paretoScores(spec, p)})
+	}
+
+	var out []Packing
+	for _, k := range order {
+		g := groups[k]
+		// De-duplicate identical score lists, keeping the first
+		// representative (the paper's "remove duplicates").
+		seen := make(map[string]bool)
+		uniq := g[:0]
+		for _, e := range g {
+			key := fmt.Sprint(e.scores)
+			if !seen[key] {
+				seen[key] = true
+				uniq = append(uniq, e)
+			}
+		}
+		for i, a := range uniq {
+			dominated := false
+			for j, b := range uniq {
+				if i != j && dominates(b.scores, a.scores) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out = append(out, a.p)
+			}
+		}
+	}
+	return out
+}
+
+// Enumerate runs the full pipeline of §4 for a container with v vCPUs:
+// Algorithm 1 (feasible scores), Algorithm 2 (packings), Algorithm 3
+// (Pareto filter + per-node concern enumeration + de-duplication by score
+// vector). The result is the machine's important placements, sorted by
+// ascending node count, then per-node scores, then descending Pareto
+// scores, and numbered from 1 (the numbering used on figure x-axes).
+func Enumerate(spec *concern.Spec, v int) ([]Important, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if v <= 0 {
+		return nil, fmt.Errorf("placement: vCPU count %d must be positive", v)
+	}
+	nodeScores := spec.Node.FeasibleScores(v)
+	if len(nodeScores) == 0 {
+		return nil, fmt.Errorf("placement: no balanced feasible node counts for %d vCPUs (node capacity %d, %d nodes)",
+			v, spec.Node.Capacity, spec.Node.Count)
+	}
+	perNodeScores := make([][]int, len(spec.PerNode))
+	for i, c := range spec.PerNode {
+		perNodeScores[i] = c.FeasibleScores(v)
+		if len(perNodeScores[i]) == 0 {
+			return nil, fmt.Errorf("placement: no balanced feasible scores for concern %q with %d vCPUs", c.Name, v)
+		}
+	}
+
+	all := topology.FullNodeSet(spec.Node.Count)
+	packings := FilterPackings(spec, GenPackings(nodeScores, all))
+
+	// Collect placements from surviving packings, enumerating per-node
+	// concern scores that fit in the part (Algorithm 3's final loop:
+	// keep L2S iff perNode*L3S >= L2S, strengthened with divisibility so
+	// every node uses the same number of instances — the balance property).
+	seen := make(map[string]bool)
+	var out []Important
+	for _, packing := range packings {
+		for _, part := range packing {
+			placements := expandPerNode(spec, perNodeScores, part)
+			for _, p := range placements {
+				vec := VectorOf(spec, p)
+				k := vec.Key()
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, Important{Placement: p, Vec: vec})
+				}
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Vec, out[j].Vec
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		for k := range a.PerNode {
+			if a.PerNode[k] != b.PerNode[k] {
+				return a.PerNode[k] < b.PerNode[k]
+			}
+		}
+		for k := range a.Pareto {
+			if a.Pareto[k] != b.Pareto[k] {
+				return a.Pareto[k] > b.Pareto[k]
+			}
+		}
+		return false
+	})
+	for i := range out {
+		out[i].ID = i + 1
+	}
+	return out, nil
+}
+
+// expandPerNode enumerates every valid combination of per-node concern
+// scores for a placement on the given node set.
+func expandPerNode(spec *concern.Spec, feasible [][]int, part topology.NodeSet) []Placement {
+	n := part.Len()
+	var out []Placement
+	var rec func(i int, chosen []int)
+	rec = func(i int, chosen []int) {
+		if i == len(spec.PerNode) {
+			out = append(out, Placement{
+				Nodes:         part,
+				PerNodeScores: append([]int(nil), chosen...),
+			})
+			return
+		}
+		c := spec.PerNode[i]
+		for _, s := range feasible[i] {
+			// The part offers perNode*n instances of this resource.
+			if s > c.PerNode*n {
+				continue
+			}
+			// Balance: every node must use the same number of instances,
+			// and each coarser domain must split evenly into finer ones
+			// (spec builders list per-node concerns coarse to fine).
+			prev := n
+			perPrev := c.PerNode // finer instances per coarser domain
+			if i > 0 {
+				prev = chosen[i-1]
+				perPrev = c.Count / spec.PerNode[i-1].Count
+			}
+			if s%n != 0 || s%prev != 0 {
+				continue
+			}
+			// Nested capacity: the selected coarser domains only contain
+			// perPrev instances of this finer resource each.
+			if s/prev > perPrev {
+				continue
+			}
+			rec(i+1, append(chosen, s))
+		}
+	}
+	rec(0, nil)
+	return out
+}

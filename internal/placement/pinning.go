@@ -1,0 +1,143 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/concern"
+	"repro/internal/topology"
+)
+
+// Pin materializes a placement into a concrete assignment of v vCPUs to
+// hardware threads (one thread per vCPU). vCPUs are spread evenly over the
+// placement's nodes; inside a node they fill the selected number of cache
+// domains hierarchically, coarsest concern first (node, then e.g. L3 on
+// Zen-style machines, then L2/SMT). The result is deterministic:
+// lowest-numbered domains and threads are used first, and when a cache
+// group is not fully used, distinct cores are preferred over SMT siblings.
+func Pin(spec *concern.Spec, p Placement, v int) ([]topology.ThreadID, error) {
+	t := spec.Machine.Topo
+	nodes := p.Nodes.IDs()
+	n := len(nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("placement: empty node set")
+	}
+	if v%n != 0 {
+		return nil, fmt.Errorf("placement: %d vCPUs not divisible by %d nodes", v, n)
+	}
+	if v/n > t.ThreadsPerNode() {
+		return nil, fmt.Errorf("placement: %d vCPUs per node exceeds capacity %d", v/n, t.ThreadsPerNode())
+	}
+	if len(p.PerNodeScores) != len(spec.PerNode) {
+		return nil, fmt.Errorf("placement: %d per-node scores for %d concerns", len(p.PerNodeScores), len(spec.PerNode))
+	}
+
+	// Build the chain of sharing levels: node count, then each per-node
+	// concern score coarse to fine. Each level's score must divide the
+	// next (the balance property, enforced by Enumerate).
+	scores := append([]int{n}, p.PerNodeScores...)
+	for i := 1; i < len(scores); i++ {
+		c := spec.PerNode[i-1]
+		if scores[i]%scores[i-1] != 0 {
+			return nil, fmt.Errorf("placement: concern %q score %d not divisible by coarser score %d",
+				c.Name, scores[i], scores[i-1])
+		}
+		if v%scores[i] != 0 {
+			return nil, fmt.Errorf("placement: %d vCPUs not divisible by %q score %d", v, c.Name, scores[i])
+		}
+	}
+
+	// domainOf returns the grouping key of a thread at a given level.
+	domainOf := func(level int, th topology.Thread) (topology.DomainID, error) {
+		if level == 0 {
+			return topology.DomainID(th.Node), nil
+		}
+		switch spec.PerNode[level-1].Name {
+		case "L2/SMT":
+			return th.L2, nil
+		case "L3":
+			return th.L3, nil
+		default:
+			return 0, fmt.Errorf("placement: unknown per-node concern %q", spec.PerNode[level-1].Name)
+		}
+	}
+
+	// Recursively select threads: at each level, group the candidate
+	// threads by domain, keep the first (score[level]/score[level-1])
+	// domains, and recurse into each with an equal share of vCPUs.
+	var pick func(level int, candidates []topology.Thread, want int) ([]topology.ThreadID, error)
+	pick = func(level int, candidates []topology.Thread, want int) ([]topology.ThreadID, error) {
+		if level == len(scores) {
+			// Leaf: pick `want` threads, distinct cores before SMT siblings.
+			sort.Slice(candidates, func(i, j int) bool {
+				if candidates[i].SMT != candidates[j].SMT {
+					return candidates[i].SMT < candidates[j].SMT
+				}
+				return candidates[i].ID < candidates[j].ID
+			})
+			if want > len(candidates) {
+				return nil, fmt.Errorf("placement: need %d threads, domain has %d", want, len(candidates))
+			}
+			ids := make([]topology.ThreadID, want)
+			for i := 0; i < want; i++ {
+				ids[i] = candidates[i].ID
+			}
+			return ids, nil
+		}
+		perParent := scores[level]
+		if level > 0 {
+			perParent = scores[level] / scores[level-1]
+		}
+		byDomain := make(map[topology.DomainID][]topology.Thread)
+		var order []topology.DomainID
+		for _, th := range candidates {
+			d, err := domainOf(level, th)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := byDomain[d]; !ok {
+				order = append(order, d)
+			}
+			byDomain[d] = append(byDomain[d], th)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		if level == 0 {
+			// Node level: the placement's node set *is* the selection.
+			order = order[:0]
+			for _, id := range nodes {
+				order = append(order, topology.DomainID(id))
+			}
+		} else {
+			if perParent > len(order) {
+				return nil, fmt.Errorf("placement: need %d domains at level %d, have %d", perParent, level, len(order))
+			}
+			order = order[:perParent]
+		}
+		if want%len(order) != 0 {
+			return nil, fmt.Errorf("placement: %d vCPUs not divisible over %d domains", want, len(order))
+		}
+		share := want / len(order)
+		var out []topology.ThreadID
+		for _, d := range order {
+			ids, err := pick(level+1, byDomain[d], share)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ids...)
+		}
+		return out, nil
+	}
+
+	all := make([]topology.Thread, 0, v)
+	for _, node := range nodes {
+		for _, tid := range t.Nodes[node].Threads {
+			all = append(all, t.Threads[tid])
+		}
+	}
+	pinned, err := pick(0, all, v)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pinned, func(i, j int) bool { return pinned[i] < pinned[j] })
+	return pinned, nil
+}

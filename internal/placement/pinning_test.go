@@ -1,0 +1,184 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/concern"
+	"repro/internal/machines"
+	"repro/internal/topology"
+)
+
+func TestPinAMDAllImportantPlacements(t *testing.T) {
+	spec := amdSpec()
+	topo := spec.Machine.Topo
+	imps, err := Enumerate(spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range imps {
+		threads, err := Pin(spec, p.Placement, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(threads) != 16 {
+			t.Fatalf("%s: pinned %d threads", p, len(threads))
+		}
+		// Threads distinct, each vCPU on its own hardware thread.
+		seen := map[topology.ThreadID]bool{}
+		nodeCount := map[topology.NodeID]int{}
+		l2Used := map[topology.DomainID]int{}
+		for _, id := range threads {
+			if seen[id] {
+				t.Fatalf("%s: thread %d pinned twice", p, id)
+			}
+			seen[id] = true
+			th := topo.Threads[id]
+			if !p.Nodes.Contains(th.Node) {
+				t.Fatalf("%s: thread %d on node %d outside placement", p, id, th.Node)
+			}
+			nodeCount[th.Node]++
+			l2Used[th.L2]++
+		}
+		// Balance: equal vCPUs per node.
+		perNode := 16 / p.Nodes.Len()
+		for n, c := range nodeCount {
+			if c != perNode {
+				t.Fatalf("%s: node %d has %d vCPUs, want %d", p, n, c, perNode)
+			}
+		}
+		if len(nodeCount) != p.Nodes.Len() {
+			t.Fatalf("%s: used %d nodes, want %d", p, len(nodeCount), p.Nodes.Len())
+		}
+		// L2 score honoured: exactly that many L2 domains, evenly loaded.
+		if len(l2Used) != p.PerNodeScores[0] {
+			t.Fatalf("%s: used %d L2 domains, want %d", p, len(l2Used), p.PerNodeScores[0])
+		}
+		perL2 := 16 / p.PerNodeScores[0]
+		for d, c := range l2Used {
+			if c != perL2 {
+				t.Fatalf("%s: L2 %d has %d vCPUs, want %d", p, d, c, perL2)
+			}
+		}
+	}
+}
+
+func TestPinIntelAllImportantPlacements(t *testing.T) {
+	spec := intelSpec()
+	topo := spec.Machine.Topo
+	imps, err := Enumerate(spec, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range imps {
+		threads, err := Pin(spec, p.Placement, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		l2Used := map[topology.DomainID]int{}
+		coresUsed := map[topology.CoreID]int{}
+		for _, id := range threads {
+			th := topo.Threads[id]
+			l2Used[th.L2]++
+			coresUsed[th.Core]++
+		}
+		if len(l2Used) != p.Vec.PerNode[0] {
+			t.Fatalf("%s: used %d L2 domains, want %d", p, len(l2Used), p.Vec.PerNode[0])
+		}
+		// No-SMT placements (L2 score 24) put one vCPU per core; SMT
+		// placements (score 12) put two on each used core.
+		wantPerCore := 24 / p.Vec.PerNode[0]
+		for c, n := range coresUsed {
+			if n != wantPerCore {
+				t.Fatalf("%s: core %d has %d vCPUs, want %d", p, c, n, wantPerCore)
+			}
+		}
+	}
+}
+
+func TestPinPrefersDistinctCores(t *testing.T) {
+	// Intel, 24 vCPUs, 4 nodes, L2 score 24 (no SMT): all SMT indices 0.
+	spec := intelSpec()
+	topo := spec.Machine.Topo
+	p := Placement{Nodes: topology.FullNodeSet(4), PerNodeScores: []int{24}}
+	threads, err := Pin(spec, p, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range threads {
+		if topo.Threads[id].SMT != 0 {
+			t.Fatalf("no-SMT placement uses sibling thread %d", id)
+		}
+	}
+}
+
+func TestPinErrors(t *testing.T) {
+	spec := amdSpec()
+	// Empty node set.
+	if _, err := Pin(spec, Placement{}, 16); err == nil {
+		t.Error("empty placement accepted")
+	}
+	// vCPUs not divisible by nodes.
+	if _, err := Pin(spec, Placement{Nodes: topology.NewNodeSet(0, 1, 2), PerNodeScores: []int{8}}, 16); err == nil {
+		t.Error("16 vCPUs on 3 nodes accepted")
+	}
+	// Too many vCPUs per node.
+	if _, err := Pin(spec, Placement{Nodes: topology.NewNodeSet(0), PerNodeScores: []int{8}}, 16); err == nil {
+		t.Error("16 vCPUs on one 8-thread node accepted")
+	}
+	// Wrong per-node score count.
+	if _, err := Pin(spec, Placement{Nodes: topology.NewNodeSet(0, 1), PerNodeScores: nil}, 16); err == nil {
+		t.Error("missing per-node scores accepted")
+	}
+	// L2 score not divisible by node count.
+	if _, err := Pin(spec, Placement{Nodes: topology.NewNodeSet(0, 1, 2, 5), PerNodeScores: []int{10}}, 16); err == nil {
+		t.Error("unbalanced L2 score accepted")
+	}
+}
+
+func TestPinDeterministic(t *testing.T) {
+	spec := amdSpec()
+	p := Placement{Nodes: topology.NewNodeSet(2, 3, 4, 5), PerNodeScores: []int{16}}
+	a, err := Pin(spec, p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pin(spec, p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Pin not deterministic")
+		}
+	}
+}
+
+func TestPinZen(t *testing.T) {
+	spec := zenSpec()
+	imps, err := Enumerate(spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := spec.Machine.Topo
+	for _, p := range imps {
+		threads, err := Pin(spec, p.Placement, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		l3Used := map[topology.DomainID]bool{}
+		l2Used := map[topology.DomainID]bool{}
+		for _, id := range threads {
+			l3Used[topo.Threads[id].L3] = true
+			l2Used[topo.Threads[id].L2] = true
+		}
+		// Zen per-node concerns: [L3, L2/SMT]; both scores must be honoured.
+		if len(l3Used) != p.Vec.PerNode[0] {
+			t.Fatalf("%s: used %d L3s, want %d", p, len(l3Used), p.Vec.PerNode[0])
+		}
+		if len(l2Used) != p.Vec.PerNode[1] {
+			t.Fatalf("%s: used %d L2s, want %d", p, len(l2Used), p.Vec.PerNode[1])
+		}
+	}
+}
+
+func zenSpec() *concern.Spec { return concern.FromMachine(machines.Zen()) }

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 1e-12 {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("empty-input conventions broken")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2}
+	for p, want := range cases {
+		if got := Percentile(xs, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+	// Unsorted input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.Row("alpha", 1.5)
+	tbl.Row("b", "x")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.50") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d", len(lines))
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, []string{"a", "bb"}, []float64{1, 2}, 10)
+	out := buf.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	// All-zero values must not divide by zero.
+	Bars(&buf, []string{"z"}, []float64{0}, 10)
+}

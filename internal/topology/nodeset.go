@@ -1,0 +1,107 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// NodeSet is a set of NUMA nodes, represented as a bitmask. It supports
+// machines with up to 64 nodes, which covers every system the paper or its
+// successors discuss.
+type NodeSet uint64
+
+// NewNodeSet builds a set from explicit node IDs.
+func NewNodeSet(ids ...NodeID) NodeSet {
+	var s NodeSet
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// FullNodeSet returns the set {0, 1, ..., n-1}.
+func FullNodeSet(n int) NodeSet {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^NodeSet(0)
+	}
+	return NodeSet(1)<<uint(n) - 1
+}
+
+// Add returns the set with id included.
+func (s NodeSet) Add(id NodeID) NodeSet { return s | 1<<uint(id) }
+
+// Remove returns the set with id excluded.
+func (s NodeSet) Remove(id NodeID) NodeSet { return s &^ (1 << uint(id)) }
+
+// Contains reports whether id is in the set.
+func (s NodeSet) Contains(id NodeID) bool { return s&(1<<uint(id)) != 0 }
+
+// Union returns s ∪ o.
+func (s NodeSet) Union(o NodeSet) NodeSet { return s | o }
+
+// Intersect returns s ∩ o.
+func (s NodeSet) Intersect(o NodeSet) NodeSet { return s & o }
+
+// Minus returns s \ o.
+func (s NodeSet) Minus(o NodeSet) NodeSet { return s &^ o }
+
+// Len returns the number of nodes in the set.
+func (s NodeSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no nodes.
+func (s NodeSet) Empty() bool { return s == 0 }
+
+// IDs returns the members in ascending order.
+func (s NodeSet) IDs() []NodeID {
+	ids := make([]NodeID, 0, s.Len())
+	for m := uint64(s); m != 0; m &= m - 1 {
+		ids = append(ids, NodeID(bits.TrailingZeros64(m)))
+	}
+	return ids
+}
+
+// ForEach calls fn for every member in ascending order.
+func (s NodeSet) ForEach(fn func(NodeID)) {
+	for m := uint64(s); m != 0; m &= m - 1 {
+		fn(NodeID(bits.TrailingZeros64(m)))
+	}
+}
+
+// Subsets calls fn for every subset of s having exactly k members.
+// It enumerates combinations without allocation beyond the recursion.
+func (s NodeSet) Subsets(k int, fn func(NodeSet)) {
+	ids := s.IDs()
+	if k < 0 || k > len(ids) {
+		return
+	}
+	var rec func(start int, cur NodeSet, left int)
+	rec = func(start int, cur NodeSet, left int) {
+		if left == 0 {
+			fn(cur)
+			return
+		}
+		// Not enough remaining elements to fill the subset: prune.
+		for i := start; i <= len(ids)-left; i++ {
+			rec(i+1, cur.Add(ids[i]), left-1)
+		}
+	}
+	rec(0, 0, k)
+}
+
+// String formats the set as "{0,2,4,6}".
+func (s NodeSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.IDs() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

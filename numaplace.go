@@ -1,0 +1,134 @@
+// Package numaplace is the public facade of this reproduction of
+// "Placement of Virtual Containers on NUMA systems: A Practical and
+// Comprehensive Model" (Funston et al., USENIX ATC 2018).
+//
+// It re-exports the pipeline end to end:
+//
+//	m := numaplace.AMD()                         // machine description
+//	spec := numaplace.SpecFor(m)                 // Step 1: concerns
+//	placements, _ := numaplace.Placements(spec, 16) // Step 2: important placements
+//	ds, _ := numaplace.Collect(m, ws, 16, ...)   // Step 3: training runs
+//	pred, _ := numaplace.Train(ds, ...)          //         model
+//	vec, _ := pred.Predict(perfA, perfB)         // Step 4: predict & place
+//
+// See the examples/ directory for runnable programs and internal/… for the
+// full implementation.
+package numaplace
+
+import (
+	"io"
+
+	"repro/internal/concern"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/migrate"
+	"repro/internal/perfsim"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// Machine descriptions (paper §2 testbeds and §8 forward-looking systems).
+var (
+	AMD        = machines.AMD
+	Intel      = machines.Intel
+	Zen        = machines.Zen
+	HaswellCoD = machines.HaswellCoD
+)
+
+// Machine bundles a topology and interconnect graph.
+type Machine = machines.Machine
+
+// Spec is a machine's scheduling-concern specification (paper §4).
+type Spec = concern.Spec
+
+// SpecFor derives the concern specification from a machine description.
+func SpecFor(m Machine) *Spec { return concern.FromMachine(m) }
+
+// Important is one important placement with its score vector.
+type Important = placement.Important
+
+// Placements enumerates the important placements for a container size
+// (paper Algorithms 1-3).
+func Placements(spec *Spec, vcpus int) ([]Important, error) {
+	return placement.Enumerate(spec, vcpus)
+}
+
+// Pin materializes a placement into a vCPU-to-hardware-thread assignment.
+func Pin(spec *Spec, p placement.Placement, vcpus int) ([]topology.ThreadID, error) {
+	return placement.Pin(spec, p, vcpus)
+}
+
+// Workload is a container's performance-sensitivity descriptor.
+type Workload = perfsim.Workload
+
+// PaperWorkloads returns the 18 applications of the paper's evaluation.
+func PaperWorkloads() []Workload { return workloads.Paper() }
+
+// WorkloadByName looks up a paper workload.
+func WorkloadByName(name string) (Workload, bool) { return workloads.ByName(name) }
+
+// Dataset holds ground-truth training executions.
+type Dataset = core.Dataset
+
+// CollectConfig configures ground-truth collection.
+type CollectConfig = core.CollectConfig
+
+// Collect measures every workload in every important placement (Step 3's
+// training runs, on the simulated machine).
+func Collect(m Machine, ws []Workload, vcpus int, cfg CollectConfig) (*Dataset, error) {
+	return core.Collect(m, ws, vcpus, cfg)
+}
+
+// TrainConfig configures predictor training.
+type TrainConfig = core.TrainConfig
+
+// Predictor is the trained performance model (multi-output random forest
+// over two placement observations).
+type Predictor = core.Predictor
+
+// Train fits a predictor, automatically selecting the two input placements.
+func Train(ds *Dataset, cfg TrainConfig) (*Predictor, error) { return core.Train(ds, cfg) }
+
+// LoadPredictor reads a predictor saved with Predictor.Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) { return core.LoadPredictor(r) }
+
+// BestPlacement returns the fastest predicted placement index of a vector.
+func BestPlacement(vec []float64) int { return core.BestPlacement(vec) }
+
+// PackingExperiment is the §7 packing study for one machine and workload.
+type PackingExperiment = sched.Experiment
+
+// NewPackingExperiment builds a packing experiment (Figure 5).
+func NewPackingExperiment(m Machine, w Workload, vcpus int, pred *Predictor) (*PackingExperiment, error) {
+	return sched.NewExperiment(m, w, vcpus, pred)
+}
+
+// Packing policies (Figure 5).
+const (
+	PolicyML              = sched.ML
+	PolicyConservative    = sched.Conservative
+	PolicyAggressive      = sched.Aggressive
+	PolicySmartAggressive = sched.SmartAggressive
+)
+
+// MigrationProfile describes a container's memory for migration.
+type MigrationProfile = migrate.Profile
+
+// MigrationProfileFor derives a migration profile from a workload.
+func MigrationProfileFor(w Workload, vcpus int) MigrationProfile {
+	return migrate.ProfileFor(w, vcpus)
+}
+
+// Migration mechanisms (Table 2).
+const (
+	MigrateDefaultLinux = migrate.DefaultLinux
+	MigrateFast         = migrate.Fast
+	MigrateThrottled    = migrate.Throttled
+)
+
+// Migrate simulates one container migration.
+func Migrate(p MigrationProfile, mech migrate.Mechanism, cfg migrate.Config) (*migrate.Result, error) {
+	return migrate.Run(p, mech, cfg)
+}
