@@ -1,0 +1,26 @@
+# Build / verification entry points. `make ci` mirrors the CI workflow.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/
+
+# Runs the full benchmark suite with fixed -benchtime and emits BENCH_1.json.
+# Override the budget with BENCHTIME=200ms etc.
+bench:
+	sh scripts/bench.sh BENCH_1.json
+
+ci: vet build test

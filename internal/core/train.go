@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/mlearn"
+	"repro/internal/xparallel"
 )
 
 // Variant selects the model's input features (§5-§6 compare these).
@@ -198,49 +199,70 @@ func designMatrix(ds *Dataset, p *Predictor, rows []int) ([][]float64, [][]float
 }
 
 // cvMAPE evaluates a candidate predictor configuration by group k-fold
-// cross-validation, returning the mean absolute percentage error.
+// cross-validation, returning the mean absolute percentage error. Folds
+// train and predict concurrently; their predictions are concatenated in
+// fold order, so the error is bit-identical at any worker count.
 func cvMAPE(ds *Dataset, p *Predictor, cfg TrainConfig, seed uint64) (float64, error) {
 	folds, err := mlearn.GroupKFold(ds.Groups, cfg.selectionFolds())
 	if err != nil {
 		return 0, err
 	}
-	var pred, actual [][]float64
-	for fi, fold := range folds {
+	type foldOut struct {
+		pred, actual [][]float64
+	}
+	outs, err := xparallel.MapErr(len(folds), 0, func(fi int) (foldOut, error) {
+		fold := folds[fi]
 		X, Y := designMatrix(ds, p, fold.Train)
 		f, err := mlearn.TrainForest(X, Y, mlearn.ForestConfig{
 			Trees: cfg.selectionTrees(),
 			Seed:  xmix(seed, uint64(fi)),
 		})
 		if err != nil {
-			return 0, err
+			return foldOut{}, err
 		}
+		var o foldOut
 		for _, w := range fold.Test {
-			pred = append(pred, f.Predict(features(ds, p, w)))
-			actual = append(actual, ds.RelVector(w, p.Base))
+			o.pred = append(o.pred, f.Predict(features(ds, p, w)))
+			o.actual = append(o.actual, ds.RelVector(w, p.Base))
 		}
+		return o, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var pred, actual [][]float64
+	for _, o := range outs {
+		pred = append(pred, o.pred...)
+		actual = append(actual, o.actual...)
 	}
 	return mlearn.MAPE(pred, actual), nil
 }
 
 // bestPair searches all unordered placement pairs for the one minimizing
 // cross-validated error; the lower-indexed placement acts as the baseline.
+// Candidate pairs are evaluated concurrently; the winner is selected by a
+// serial scan in pair order, so ties resolve exactly as in a serial search.
 func bestPair(ds *Dataset, cfg TrainConfig) (int, int, error) {
 	n := len(ds.Placements)
-	bestBase, bestProbe := -1, -1
-	bestErr := math.Inf(1)
+	var pairs [][2]int
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			cand := &Predictor{Variant: PerfFeatures, Base: i, Probe: j}
-			if cfg.Variant == Combined {
-				cand.Variant = PerfFeatures // pair search uses perf ratio only
-			}
-			e, err := cvMAPE(ds, cand, cfg, xmix(cfg.Seed, uint64(i*n+j)))
-			if err != nil {
-				return 0, 0, err
-			}
-			if e < bestErr {
-				bestErr, bestBase, bestProbe = e, i, j
-			}
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	errs, err := xparallel.MapErr(len(pairs), 0, func(pi int) (float64, error) {
+		i, j := pairs[pi][0], pairs[pi][1]
+		cand := &Predictor{Variant: PerfFeatures, Base: i, Probe: j}
+		return cvMAPE(ds, cand, cfg, xmix(cfg.Seed, uint64(i*n+j)))
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	bestBase, bestProbe := -1, -1
+	bestErr := math.Inf(1)
+	for pi, e := range errs {
+		if e < bestErr {
+			bestErr, bestBase, bestProbe = e, pairs[pi][0], pairs[pi][1]
 		}
 	}
 	if bestBase < 0 {
@@ -257,13 +279,15 @@ func bestHPEBase(ds *Dataset, cfg TrainConfig) (int, error) {
 	for i := range all {
 		all[i] = i
 	}
-	best, bestErr := -1, math.Inf(1)
-	for b := range ds.Placements {
+	errs, err := xparallel.MapErr(len(ds.Placements), 0, func(b int) (float64, error) {
 		cand := &Predictor{Variant: HPEFeatures, Base: b, Probe: b, HPEFeats: all}
-		e, err := cvMAPE(ds, cand, cfg, xmix(cfg.Seed, 0xBA5E+uint64(b)))
-		if err != nil {
-			return 0, err
-		}
+		return cvMAPE(ds, cand, cfg, xmix(cfg.Seed, 0xBA5E+uint64(b)))
+	})
+	if err != nil {
+		return 0, err
+	}
+	best, bestErr := -1, math.Inf(1)
+	for b, e := range errs {
 		if e < bestErr {
 			bestErr, best = e, b
 		}

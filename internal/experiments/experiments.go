@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/stats"
 	"repro/internal/workloads"
+	"repro/internal/xparallel"
 )
 
 // Config scales the experiment fidelity; the zero value selects the full
@@ -125,24 +127,40 @@ type PlacementResult struct {
 	ByNodes map[int]int
 }
 
-// PlacementCounts enumerates important placements for both machines.
+// PlacementCounts enumerates important placements for both machines. The
+// machines run concurrently; reports are emitted in machine order.
 func PlacementCounts(w io.Writer) ([]PlacementResult, error) {
-	var out []PlacementResult
-	for _, m := range []machines.Machine{machines.AMD(), machines.Intel()} {
+	ms := []machines.Machine{machines.AMD(), machines.Intel()}
+	type res struct {
+		r      PlacementResult
+		report bytes.Buffer
+	}
+	outs, err := xparallel.MapErr(len(ms), 0, func(i int) (*res, error) {
+		m := ms[i]
 		v := VCPUsFor(m)
 		spec := concern.FromMachine(m)
 		imps, err := placement.Enumerate(spec, v)
 		if err != nil {
 			return nil, err
 		}
-		r := PlacementResult{Machine: m.Topo.Name, VCPUs: v, Total: len(imps), ByNodes: map[int]int{}}
+		o := &res{r: PlacementResult{Machine: m.Topo.Name, VCPUs: v, Total: len(imps), ByNodes: map[int]int{}}}
 		for _, p := range imps {
-			r.ByNodes[p.Vec.Node]++
+			o.r.ByNodes[p.Vec.Node]++
 		}
-		out = append(out, r)
-		fmt.Fprintf(w, "%s, %d vCPUs: %d important placements\n", m.Topo.Name, v, len(imps))
+		fmt.Fprintf(&o.report, "%s, %d vCPUs: %d important placements\n", m.Topo.Name, v, len(imps))
 		for _, p := range imps {
-			fmt.Fprintf(w, "  %s\n", p)
+			fmt.Fprintf(&o.report, "  %s\n", p)
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []PlacementResult
+	for _, o := range outs {
+		out = append(out, o.r)
+		if _, err := w.Write(o.report.Bytes()); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

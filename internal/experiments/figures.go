@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workloads"
+	"repro/internal/xparallel"
 )
 
 // Figure1Result holds WiredTiger throughput by node count and SMT mode.
@@ -26,28 +28,33 @@ type Figure1Result struct {
 
 // Figure1 reproduces the motivating experiment: WiredTiger B-tree
 // throughput across node counts with and without SMT/CMT sharing on both
-// systems.
+// systems. The two machines run concurrently; panels are printed in the
+// paper's machine order.
 func Figure1(w io.Writer) ([]Figure1Result, error) {
 	wt, _ := workloads.ByName("WTbtree")
-	var out []Figure1Result
-	for _, m := range []machines.Machine{machines.Intel(), machines.AMD()} {
+	ms := []machines.Machine{machines.Intel(), machines.AMD()}
+	type panel struct {
+		res    Figure1Result
+		report bytes.Buffer
+	}
+	panels, err := xparallel.MapErr(len(ms), 0, func(mi int) (*panel, error) {
+		m := ms[mi]
 		v := VCPUsFor(m)
 		spec := concern.FromMachine(m)
 		imps, err := placement.Enumerate(spec, v)
 		if err != nil {
 			return nil, err
 		}
-		res := Figure1Result{Machine: m.Topo.Name, Series: map[string]float64{}}
-		var labels []string
-		var values []float64
-		for _, p := range imps {
+		p := &panel{res: Figure1Result{Machine: m.Topo.Name, Series: map[string]float64{}}}
+		res := &p.res
+		for _, imp := range imps {
 			// Label by node count and whether L2/SMT groups are shared.
-			smt := v/p.Vec.PerNode[0] > 1
-			key := fmt.Sprintf("%dn", p.Vec.Node)
+			smt := v/imp.Vec.PerNode[0] > 1
+			key := fmt.Sprintf("%dn", imp.Vec.Node)
 			if smt {
 				key += "-smt"
 			}
-			threads, err := placement.Pin(spec, p.Placement, v)
+			threads, err := placement.Pin(spec, imp.Placement, v)
 			if err != nil {
 				return nil, err
 			}
@@ -66,13 +73,25 @@ func Figure1(w io.Writer) ([]Figure1Result, error) {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
+		var labels []string
+		var values []float64
 		for _, k := range keys {
 			labels = append(labels, k)
 			values = append(values, res.Series[k]/1000)
 		}
-		fmt.Fprintf(w, "Figure 1: WiredTiger throughput on %s (x1000 ops/s)\n", m.Topo.Name)
-		stats.Bars(w, labels, values, 40)
-		out = append(out, res)
+		fmt.Fprintf(&p.report, "Figure 1: WiredTiger throughput on %s (x1000 ops/s)\n", m.Topo.Name)
+		stats.Bars(&p.report, labels, values, 40)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure1Result
+	for _, p := range panels {
+		out = append(out, p.res)
+		if _, err := w.Write(p.report.Bytes()); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -93,14 +112,19 @@ type Figure3Result struct {
 // the Intel-only vectors blur).
 func Figure3(w io.Writer, cfg Config) (*Figure3Result, error) {
 	cfg = cfg.withDefaults()
-	intel, err := core.Collect(machines.Intel(), workloads.Paper(), 24, core.CollectConfig{Trials: cfg.Trials})
+	// The two ground-truth collections are independent; run them together.
+	type collectJob struct {
+		m machines.Machine
+		v int
+	}
+	jobs := []collectJob{{machines.Intel(), 24}, {machines.AMD(), 16}}
+	dss, err := xparallel.MapErr(len(jobs), 0, func(i int) (*core.Dataset, error) {
+		return core.Collect(jobs[i].m, workloads.Paper(), jobs[i].v, core.CollectConfig{Trials: cfg.Trials})
+	})
 	if err != nil {
 		return nil, err
 	}
-	amd, err := core.Collect(machines.AMD(), workloads.Paper(), 16, core.CollectConfig{Trials: cfg.Trials})
-	if err != nil {
-		return nil, err
-	}
+	intel, amd := dss[0], dss[1]
 	ds := intel
 	// Vectors relative to the paper's baselines: Intel placement #2
 	// (index 1) and AMD placement #1 (index 0). The paper's categories are
@@ -180,38 +204,49 @@ func Figure4(w io.Writer, m machines.Machine, cfg Config) ([]Figure4Result, erro
 	if err != nil {
 		return nil, err
 	}
+	// Every (variant, held-out workload) cell is an independent training
+	// run; fan the whole grid out on the worker pool and fold the MAPEs
+	// back in paper order.
+	variants := []core.Variant{core.PerfFeatures, core.HPEFeatures}
+	paper := workloads.Paper()
+	mapes, err := xparallel.MapErr(len(variants)*len(paper), 0, func(cell int) (float64, error) {
+		variant := variants[cell/len(paper)]
+		pw := paper[cell%len(paper)]
+		group := core.GroupOf(pw.Name)
+		var trainRows []int
+		for i := range ds.Workloads {
+			if ds.Groups[i] != group {
+				trainRows = append(trainRows, i)
+			}
+		}
+		tc := trainCfg(cfg, variant)
+		if variant == core.PerfFeatures {
+			tc.FixedPair = &[2]int{full.Base, full.Probe}
+		}
+		pred, err := core.Train(ds.Subset(trainRows), tc)
+		if err != nil {
+			return 0, err
+		}
+		wi := ds.WorkloadIndex(pw.Name)
+		predicted := pred.PredictRow(ds, wi)
+		actual := ds.RelVector(wi, pred.Base)
+		return mlearn.MAPE([][]float64{predicted}, [][]float64{actual}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Figure4Result
-	for _, variant := range []core.Variant{core.PerfFeatures, core.HPEFeatures} {
+	for vi, variant := range variants {
 		res := Figure4Result{Machine: m.Topo.Name, Variant: variant, MAPEs: map[string]float64{}, Base: full.Base}
-		var count int
-		for _, pw := range workloads.Paper() {
-			group := core.GroupOf(pw.Name)
-			var trainRows []int
-			for i := range ds.Workloads {
-				if ds.Groups[i] != group {
-					trainRows = append(trainRows, i)
-				}
-			}
-			tc := trainCfg(cfg, variant)
-			if variant == core.PerfFeatures {
-				tc.FixedPair = &[2]int{full.Base, full.Probe}
-			}
-			pred, err := core.Train(ds.Subset(trainRows), tc)
-			if err != nil {
-				return nil, err
-			}
-			wi := ds.WorkloadIndex(pw.Name)
-			predicted := pred.PredictRow(ds, wi)
-			actual := ds.RelVector(wi, pred.Base)
-			mape := mlearn.MAPE([][]float64{predicted}, [][]float64{actual})
+		for wi, pw := range paper {
+			mape := mapes[vi*len(paper)+wi]
 			res.MAPEs[pw.Name] = mape
 			res.Mean += mape
 			if mape > res.Max {
 				res.Max = mape
 			}
-			count++
 		}
-		res.Mean /= float64(count)
+		res.Mean /= float64(len(paper))
 		out = append(out, res)
 	}
 	fmt.Fprintf(w, "Figure 4: prediction accuracy on %s (per-application cross-validated MAPE %%)\n", m.Topo.Name)

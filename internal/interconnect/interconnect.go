@@ -13,6 +13,8 @@ package interconnect
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/topology"
 )
@@ -21,6 +23,7 @@ import (
 type Graph struct {
 	n                    int
 	link                 [][]int64 // direct link bandwidth in MB/s; 0 = no direct link
+	once                 sync.Once // guards the lazy compute (queries may be concurrent)
 	pair                 [][]int64 // memoized effective pair bandwidth
 	hops                 [][]int   // memoized hop count of the widest path
 	routedNum, routedDen int64
@@ -179,9 +182,7 @@ func (g *Graph) PairBandwidth(a, b topology.NodeID) int64 {
 	if a == b {
 		return 0
 	}
-	if g.pair == nil {
-		g.compute()
-	}
+	g.once.Do(g.compute)
 	return g.pair[a][b]
 }
 
@@ -191,9 +192,7 @@ func (g *Graph) Hops(a, b topology.NodeID) int {
 	if a == b {
 		return 0
 	}
-	if g.pair == nil {
-		g.compute()
-	}
+	g.once.Do(g.compute)
 	return g.hops[a][b]
 }
 
@@ -202,11 +201,15 @@ func (g *Graph) Hops(a, b topology.NodeID) int {
 // This is the simulated analogue of the paper's per-node-combination stream
 // measurement. A single-node set scores 0 (no interconnect in use).
 func (g *Graph) Measure(s topology.NodeSet) int64 {
-	ids := s.IDs()
+	if uint64(s) == 0 {
+		return 0
+	}
+	g.once.Do(g.compute)
 	var total int64
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			total += g.PairBandwidth(ids[i], ids[j])
+	for m := uint64(s); m != 0; m &= m - 1 {
+		row := g.pair[bits.TrailingZeros64(m)]
+		for o := m & (m - 1); o != 0; o &= o - 1 {
+			total += row[bits.TrailingZeros64(o)]
 		}
 	}
 	return total

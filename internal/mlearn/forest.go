@@ -3,6 +3,7 @@ package mlearn
 import (
 	"fmt"
 
+	"repro/internal/xparallel"
 	"repro/internal/xrand"
 )
 
@@ -35,7 +36,10 @@ type Forest struct {
 	outDim int
 }
 
-// TrainForest fits a forest on (X, Y).
+// TrainForest fits a forest on (X, Y). Trees are grown concurrently on the
+// shared worker pool; every tree derives an independent random stream from
+// the root seed and its own index, so the ensemble is bit-identical at any
+// worker count (including the serial pool).
 func TrainForest(X, Y [][]float64, cfg ForestConfig) (*Forest, error) {
 	if len(X) == 0 || len(X) != len(Y) {
 		return nil, fmt.Errorf("mlearn: bad training set: %d inputs, %d outputs", len(X), len(Y))
@@ -49,9 +53,10 @@ func TrainForest(X, Y [][]float64, cfg ForestConfig) (*Forest, error) {
 		}
 	}
 	f := &Forest{inDim: inDim, outDim: len(Y[0])}
-	rng := xrand.New(xrand.Mix(cfg.Seed, 0xF07E57))
+	root := xrand.Mix(cfg.Seed, 0xF07E57)
 	n := len(X)
-	for i := 0; i < cfg.trees(); i++ {
+	trees, err := xparallel.MapErr(cfg.trees(), 0, func(i int) (*Tree, error) {
+		rng := xrand.New(xrand.Mix(root, uint64(i)))
 		// Bootstrap sample.
 		bx := make([][]float64, n)
 		by := make([][]float64, n)
@@ -59,12 +64,12 @@ func TrainForest(X, Y [][]float64, cfg ForestConfig) (*Forest, error) {
 			k := rng.Intn(n)
 			bx[j], by[j] = X[k], Y[k]
 		}
-		tr, err := BuildTree(bx, by, treeCfg, rng)
-		if err != nil {
-			return nil, err
-		}
-		f.trees = append(f.trees, tr)
+		return BuildTree(bx, by, treeCfg, rng)
+	})
+	if err != nil {
+		return nil, err
 	}
+	f.trees = trees
 	return f, nil
 }
 
@@ -72,7 +77,7 @@ func TrainForest(X, Y [][]float64, cfg ForestConfig) (*Forest, error) {
 func (f *Forest) Predict(x []float64) []float64 {
 	out := make([]float64, f.outDim)
 	for _, t := range f.trees {
-		p := t.Predict(x)
+		p := t.leaf(x)
 		for d := range out {
 			out[d] += p[d]
 		}

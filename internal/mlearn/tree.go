@@ -67,42 +67,97 @@ func BuildTree(X, Y [][]float64, cfg TreeConfig, rng *xrand.SplitMix64) (*Tree, 
 			return nil, fmt.Errorf("mlearn: row %d has %d outputs, want %d", i, len(Y[i]), t.outDim)
 		}
 	}
-	idx := make([]int, len(X))
-	for i := range idx {
-		idx[i] = i
+	n := len(X)
+	g := &grower{
+		X: X, Y: Y, cfg: cfg, rng: rng, t: t,
+		idx:      make([]int, n),
+		scratch:  make([]int, n),
+		features: make([]int, t.inDim),
+		sum:      make([]float64, t.outDim),
+		sumsq:    make([]float64, t.outDim),
+		total:    make([]float64, t.outDim),
+		totalSq:  make([]float64, t.outDim),
 	}
-	t.grow(X, Y, idx, 1, cfg, rng)
+	g.sorter.order = make([]int, n)
+	g.sorter.vals = make([]float64, n)
+	for i := range g.idx {
+		g.idx[i] = i
+	}
+	g.grow(g.idx, 1)
 	return t, nil
 }
 
-// grow recursively builds the subtree over the sample indices idx and
-// returns its node index.
-func (t *Tree) grow(X, Y [][]float64, idx []int, depth int, cfg TreeConfig, rng *xrand.SplitMix64) int32 {
-	mean := meanRows(Y, idx, t.outDim)
+// grower holds the scratch state for one tree induction. All buffers are
+// allocated once in BuildTree and reused across every node of the tree: the
+// sample indices are partitioned in place (children are subslices of the
+// parent's idx), and the split search reuses the sort and prefix-sum
+// buffers, so growing a node allocates nothing beyond its leaf mean.
+type grower struct {
+	X, Y [][]float64
+	cfg  TreeConfig
+	rng  *xrand.SplitMix64
+	t    *Tree
+
+	idx      []int   // sample indices, partitioned in place during growth
+	scratch  []int   // spill buffer for the right half of a partition
+	features []int   // candidate feature ids (reshuffled per split)
+	sorter   argsort // order+vals buffers for the per-feature value sort
+	sum      []float64
+	sumsq    []float64
+	total    []float64
+	totalSq  []float64
+}
+
+// argsort sorts an index slice by parallel float values. It implements
+// sort.Interface on a reused struct so the hot split loop performs no
+// closure or interface allocations.
+type argsort struct {
+	order []int
+	vals  []float64
+}
+
+func (a *argsort) Len() int           { return len(a.order) }
+func (a *argsort) Less(i, j int) bool { return a.vals[i] < a.vals[j] }
+func (a *argsort) Swap(i, j int) {
+	a.order[i], a.order[j] = a.order[j], a.order[i]
+	a.vals[i], a.vals[j] = a.vals[j], a.vals[i]
+}
+
+// grow recursively builds the subtree over the sample indices idx (a
+// subslice of g.idx) and returns its node index.
+func (g *grower) grow(idx []int, depth int) int32 {
+	t := g.t
+	mean := meanRows(g.Y, idx, t.outDim)
 	self := int32(len(t.nodes))
 	t.nodes = append(t.nodes, node{feature: -1, value: mean})
 
-	if len(idx) < 2*cfg.minLeaf() || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) || pure(Y, idx) {
+	if len(idx) < 2*g.cfg.minLeaf() || (g.cfg.MaxDepth > 0 && depth >= g.cfg.MaxDepth) || pure(g.Y, idx) {
 		return self
 	}
 
-	feat, thr, ok := t.bestSplit(X, Y, idx, cfg, rng)
+	feat, thr, ok := g.bestSplit(idx)
 	if !ok {
 		return self
 	}
-	var left, right []int
+	// Stable in-place partition: the left half compacts into the front of
+	// idx (reads stay ahead of writes), the right half spills to scratch
+	// and is copied back behind it.
+	nl, nr := 0, 0
 	for _, i := range idx {
-		if X[i][feat] <= thr {
-			left = append(left, i)
+		if g.X[i][feat] <= thr {
+			idx[nl] = i
+			nl++
 		} else {
-			right = append(right, i)
+			g.scratch[nr] = i
+			nr++
 		}
 	}
-	if len(left) < cfg.minLeaf() || len(right) < cfg.minLeaf() {
+	copy(idx[nl:], g.scratch[:nr])
+	if nl < g.cfg.minLeaf() || nr < g.cfg.minLeaf() {
 		return self
 	}
-	l := t.grow(X, Y, left, depth+1, cfg, rng)
-	r := t.grow(X, Y, right, depth+1, cfg, rng)
+	l := g.grow(idx[:nl], depth+1)
+	r := g.grow(idx[nl:], depth+1)
 	t.nodes[self].feature = feat
 	t.nodes[self].threshold = thr
 	t.nodes[self].left = l
@@ -112,46 +167,55 @@ func (t *Tree) grow(X, Y [][]float64, idx []int, depth int, cfg TreeConfig, rng 
 
 // bestSplit scans candidate features for the split minimizing the total
 // squared error of the two children, using prefix sums over sorted values.
-func (t *Tree) bestSplit(X, Y [][]float64, idx []int, cfg TreeConfig, rng *xrand.SplitMix64) (int, float64, bool) {
-	features := make([]int, t.inDim)
+func (g *grower) bestSplit(idx []int) (int, float64, bool) {
+	t := g.t
+	features := g.features[:t.inDim]
 	for i := range features {
 		features[i] = i
 	}
-	if cfg.FeatureSubset > 0 && cfg.FeatureSubset < t.inDim {
-		if rng == nil {
-			rng = xrand.New(0)
+	if g.cfg.FeatureSubset > 0 && g.cfg.FeatureSubset < t.inDim {
+		if g.rng == nil {
+			g.rng = xrand.New(0)
 		}
-		rng.Shuffle(len(features), func(i, j int) { features[i], features[j] = features[j], features[i] })
-		features = features[:cfg.FeatureSubset]
+		g.rng.Shuffle(len(features), func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:g.cfg.FeatureSubset]
 	}
 
 	n := len(idx)
-	order := make([]int, n)
-	sum := make([]float64, t.outDim)
-	sumsq := make([]float64, t.outDim)
+	X, Y := g.X, g.Y
+	order, vals := g.sorter.order[:n], g.sorter.vals[:n]
+	g.sorter.order, g.sorter.vals = order, vals
+	sum, sumsq := g.sum, g.sumsq
+	minLeaf := g.cfg.minLeaf()
 	bestGain := math.Inf(-1)
 	bestFeat, bestThr := -1, 0.0
 
-	// Total SSE before splitting (constant across features; gain compares
-	// children only, so we just minimize child SSE).
+	// Total (and total squared) output sums are constant across features.
+	total, totalSq := g.total, g.totalSq
+	for d := range total {
+		total[d], totalSq[d] = 0, 0
+	}
+	for _, i := range idx {
+		for d := 0; d < t.outDim; d++ {
+			total[d] += Y[i][d]
+			totalSq[d] += Y[i][d] * Y[i][d]
+		}
+	}
+
+	// Gain compares children only (the parent SSE is constant), so the scan
+	// just minimizes child SSE.
 	for _, f := range features {
 		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
-		if X[order[0]][f] == X[order[n-1]][f] {
+		for k, i := range order {
+			vals[k] = X[i][f]
+		}
+		sort.Sort(&g.sorter)
+		if vals[0] == vals[n-1] {
 			continue // constant feature
 		}
 		for d := range sum {
 			sum[d], sumsq[d] = 0, 0
 		}
-		total := make([]float64, t.outDim)
-		totalSq := make([]float64, t.outDim)
-		for _, i := range order {
-			for d := 0; d < t.outDim; d++ {
-				total[d] += Y[i][d]
-				totalSq[d] += Y[i][d] * Y[i][d]
-			}
-		}
-		minLeaf := cfg.minLeaf()
 		for k := 0; k < n-1; k++ {
 			i := order[k]
 			for d := 0; d < t.outDim; d++ {
@@ -161,7 +225,7 @@ func (t *Tree) bestSplit(X, Y [][]float64, idx []int, cfg TreeConfig, rng *xrand
 			if k+1 < minLeaf || n-k-1 < minLeaf {
 				continue
 			}
-			if X[order[k]][f] == X[order[k+1]][f] {
+			if vals[k] == vals[k+1] {
 				continue // cannot split between equal values
 			}
 			nl, nr := float64(k+1), float64(n-k-1)
@@ -174,7 +238,7 @@ func (t *Tree) bestSplit(X, Y [][]float64, idx []int, cfg TreeConfig, rng *xrand
 			if gain := -childSSE; gain > bestGain {
 				bestGain = gain
 				bestFeat = f
-				bestThr = (X[order[k]][f] + X[order[k+1]][f]) / 2
+				bestThr = (vals[k] + vals[k+1]) / 2
 			}
 		}
 	}
@@ -183,6 +247,15 @@ func (t *Tree) bestSplit(X, Y [][]float64, idx []int, cfg TreeConfig, rng *xrand
 
 // Predict returns the tree's output vector for input x.
 func (t *Tree) Predict(x []float64) []float64 {
+	v := t.leaf(x)
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// leaf returns the leaf value reached by x without copying; callers must
+// not mutate the result.
+func (t *Tree) leaf(x []float64) []float64 {
 	if len(x) != t.inDim {
 		panic(fmt.Sprintf("mlearn: input has %d features, tree expects %d", len(x), t.inDim))
 	}
@@ -190,9 +263,7 @@ func (t *Tree) Predict(x []float64) []float64 {
 	for {
 		nd := &t.nodes[i]
 		if nd.feature < 0 {
-			out := make([]float64, len(nd.value))
-			copy(out, nd.value)
-			return out
+			return nd.value
 		}
 		if x[nd.feature] <= nd.threshold {
 			i = nd.left

@@ -93,15 +93,20 @@ func SimulateShared(m machines.Machine, tenants []Tenant, trial int) ([]float64,
 		}
 
 		// Thread-proportional share of each node this tenant touches.
-		nodeMine := map[topology.NodeID]int{}
+		// Nodes are visited in ascending ID order so the float sum is
+		// deterministic (map iteration order would jitter the last ULP).
+		var nodeMine [64]int
+		var used topology.NodeSet
 		for _, id := range tn.Threads {
-			nodeMine[t.Threads[id].Node]++
+			n := t.Threads[id].Node
+			nodeMine[n]++
+			used = used.Add(n)
 		}
 		var shareSum float64
-		for n, mine := range nodeMine {
-			shareSum += float64(mine) / float64(nodeTotal[n])
-		}
-		share := shareSum / float64(len(nodeMine)) // mean share across used nodes
+		used.ForEach(func(n topology.NodeID) {
+			shareSum += float64(nodeMine[n]) / float64(nodeTotal[n])
+		})
+		share := shareSum / float64(used.Len()) // mean share across used nodes
 
 		// SMT occupancy including foreign threads: recompute the average
 		// threads per used L2 group counting everyone in the group.

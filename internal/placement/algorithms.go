@@ -2,10 +2,14 @@ package placement
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/concern"
 	"repro/internal/topology"
+	"repro/internal/xparallel"
+	"repro/internal/xrand"
 )
 
 // AllNodes returns the full node set of the spec's machine.
@@ -24,43 +28,45 @@ func (p Packing) String() string {
 	for i, part := range p {
 		s[i] = part.String()
 	}
-	return "[" + join(s, " ") + "]"
+	return "[" + strings.Join(s, " ") + "]"
 }
 
-func join(parts []string, sep string) string {
-	out := ""
-	for i, p := range parts {
-		if i > 0 {
-			out += sep
-		}
-		out += p
-	}
-	return out
-}
-
-// key returns a canonical comparable encoding of the packing.
-func (p Packing) key() string {
-	out := ""
+// sizeKey returns the canonical encoding of the packing's part-size multiset
+// (the paper's "L3 scores in a packing"). The encoding is exact, not a hash:
+// a partition of n <= 64 nodes fits in n bits (each part of size s
+// contributes s-1 zeros followed by a one).
+func (p Packing) sizeKey() uint64 {
+	var sizes [64]int
+	n := 0
 	for _, part := range p {
-		out += fmt.Sprintf("%x;", uint64(part))
+		// Insertion sort keeps sizes ascending.
+		s := part.Len()
+		i := n
+		for i > 0 && sizes[i-1] > s {
+			sizes[i] = sizes[i-1]
+			i--
+		}
+		sizes[i] = s
+		n++
 	}
-	return out
+	return shapeKey(sizes[:n])
 }
 
-// sizeKey returns the canonical encoding of the packing's part-size
-// multiset (the paper's "L3 scores in a packing").
-func (p Packing) sizeKey() string {
-	sizes := make([]int, len(p))
-	for i, part := range p {
-		sizes[i] = part.Len()
+// shapeKey encodes an ascending-sorted list of part sizes summing to <= 64
+// into a unique uint64.
+func shapeKey(sorted []int) uint64 {
+	var key uint64
+	shift := 0
+	for _, s := range sorted {
+		key |= 1 << uint(shift+s-1)
+		shift += s
 	}
-	sort.Ints(sizes)
-	return fmt.Sprint(sizes)
+	return key
 }
 
 func (p Packing) canonical() Packing {
 	q := append(Packing(nil), p...)
-	sort.Slice(q, func(i, j int) bool { return q[i] < q[j] })
+	slices.Sort(q)
 	return q
 }
 
@@ -70,15 +76,57 @@ func (p Packing) canonical() Packing {
 // duplicates afterwards, this version generates each unordered partition
 // exactly once by always placing the lowest unassigned node into the next
 // part; TestGenPackingsMatchesNaive cross-checks the two against each other.
+//
+// The search is sharded across goroutines by the first part (the one
+// containing the lowest node); shard results are concatenated in first-part
+// order, so the output is identical to the serial enumeration at every
+// worker count.
 func GenPackings(nodeScores []int, all topology.NodeSet) []Packing {
+	if all.Empty() {
+		return []Packing{nil}
+	}
+	low := all.Lowest()
+	rest := all.Remove(low)
+	var firsts []topology.NodeSet
+	for _, size := range nodeScores {
+		if size > all.Len() {
+			continue
+		}
+		rest.Subsets(size-1, func(sub topology.NodeSet) {
+			firsts = append(firsts, sub.Add(low))
+		})
+	}
+	shards := xparallel.Map(len(firsts), 0, func(i int) []Packing {
+		return genShard(nodeScores, firsts[i], all)
+	})
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	out := make([]Packing, 0, total)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// genShard enumerates every packing whose first part (the part containing
+// the machine's lowest node) is first. The recursion reuses a single part
+// buffer; each emitted packing allocates exactly once.
+func genShard(nodeScores []int, first, all topology.NodeSet) []Packing {
+	cur := make(Packing, 1, all.Len())
+	cur[0] = first
 	var out []Packing
-	var rec func(left topology.NodeSet, cur Packing)
-	rec = func(left topology.NodeSet, cur Packing) {
+	var rec func(left topology.NodeSet)
+	rec = func(left topology.NodeSet) {
 		if left.Empty() {
-			out = append(out, append(Packing(nil), cur...).canonical())
+			p := make(Packing, len(cur))
+			copy(p, cur)
+			slices.Sort(p)
+			out = append(out, p)
 			return
 		}
-		low := left.IDs()[0]
+		low := left.Lowest()
 		rest := left.Remove(low)
 		for _, size := range nodeScores {
 			if size > left.Len() {
@@ -86,88 +134,55 @@ func GenPackings(nodeScores []int, all topology.NodeSet) []Packing {
 			}
 			rest.Subsets(size-1, func(sub topology.NodeSet) {
 				part := sub.Add(low)
-				rec(left.Minus(part), append(cur, part))
+				cur = append(cur, part)
+				rec(left.Minus(part))
+				cur = cur[:len(cur)-1]
 			})
 		}
 	}
-	rec(all, nil)
+	rec(all.Minus(first))
 	return out
 }
 
-// genPackingsNaive is the paper's Algorithm 2 verbatim: for every allowed
-// size, for every combination of remaining nodes, recurse; duplicates (the
-// same partition reached in different part orders) are removed afterwards.
-// It exists as a test oracle for GenPackings.
-func genPackingsNaive(nodeScores []int, all topology.NodeSet) []Packing {
-	var out []Packing
-	var rec func(left topology.NodeSet, cur Packing)
-	rec = func(left topology.NodeSet, cur Packing) {
-		for _, size := range nodeScores {
-			if size > left.Len() {
-				continue
-			}
-			left.Subsets(size, func(part topology.NodeSet) {
-				remaining := left.Minus(part)
-				next := append(append(Packing(nil), cur...), part)
-				if remaining.Empty() {
-					out = append(out, next.canonical())
-				} else {
-					rec(remaining, next)
-				}
-			})
-		}
+// paretoScoresFlat returns the packing's Pareto score lists flattened into a
+// single slice: one block of len(p) scores per Pareto concern, each block
+// sorted ascending. A nil slice means the spec has no Pareto concerns.
+func paretoScoresFlat(spec *concern.Spec, p Packing) []int64 {
+	if len(spec.Pareto) == 0 {
+		return nil
 	}
-	rec(all, nil)
-	// Remove duplicates.
-	seen := make(map[string]bool)
-	dedup := out[:0]
-	for _, p := range out {
-		k := p.key()
-		if !seen[k] {
-			seen[k] = true
-			dedup = append(dedup, p)
+	scores := make([]int64, 0, len(spec.Pareto)*len(p))
+	for _, c := range spec.Pareto {
+		start := len(scores)
+		for _, part := range p {
+			scores = append(scores, c.Score(part))
 		}
+		slices.Sort(scores[start:])
 	}
-	return dedup
+	return scores
 }
 
-// paretoScores returns, for each Pareto concern, the ascending sorted list
-// of part scores of the packing.
-func paretoScores(spec *concern.Spec, p Packing) [][]int64 {
-	lists := make([][]int64, len(spec.Pareto))
-	for ci, c := range spec.Pareto {
-		scores := make([]int64, len(p))
-		for i, part := range p {
-			scores[i] = c.Score(part)
-		}
-		sort.Slice(scores, func(a, b int) bool { return scores[a] < scores[b] })
-		lists[ci] = scores
-	}
-	return lists
-}
-
-func listsEqual(a, b [][]int64) bool {
+// dominatesFlat reports whether flattened score list b supersedes a: at
+// least as good elementwise and not identical.
+func dominatesFlat(b, a []int64) bool {
+	equal := true
 	for i := range a {
-		for j := range a[i] {
-			if a[i][j] != b[i][j] {
-				return false
-			}
+		if b[i] < a[i] {
+			return false
+		}
+		if b[i] != a[i] {
+			equal = false
 		}
 	}
-	return true
+	return !equal
 }
 
-// dominates reports whether packing score-lists b supersede a: b is at
-// least as good elementwise on every Pareto concern and not identical.
-func dominates(b, a [][]int64) bool {
-	for i := range a {
-		for j := range a[i] {
-			if b[i][j] < a[i][j] {
-				return false
-			}
-		}
+func hashScores(scores []int64) uint64 {
+	h := uint64(len(scores))
+	for _, s := range scores {
+		h = xrand.Mix2(h, uint64(s))
 	}
-	return !listsEqual(a, b)
+	return h
 }
 
 // FilterPackings implements the first half of Algorithm 3: group packings
@@ -175,46 +190,84 @@ func dominates(b, a [][]int64) bool {
 // with identical Pareto score lists, and remove packings superseded by a
 // strictly better packing of the same shape. With no Pareto concerns
 // (symmetric interconnect) every shape collapses to one representative.
+//
+// Scoring and per-shape filtering run on the worker pool; the dominance
+// check is a sort-then-sweep skyline (dominators sort lexicographically
+// before the packings they dominate, so each entry is only tested against
+// the current frontier) instead of the naive all-pairs scan. Survivors keep
+// their enumeration order, so output is identical at every worker count.
 func FilterPackings(spec *concern.Spec, packings []Packing) []Packing {
-	type entry struct {
-		p      Packing
-		scores [][]int64
+	type scored struct {
+		shape  uint64
+		scores []int64
 	}
-	groups := make(map[string][]entry)
-	var order []string
-	for _, p := range packings {
-		k := p.sizeKey()
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
+	meta := xparallel.Map(len(packings), 0, func(i int) scored {
+		return scored{shape: packings[i].sizeKey(), scores: paretoScoresFlat(spec, packings[i])}
+	})
+
+	// Group packing indices by shape, preserving first-seen shape order.
+	groupIdx := make(map[uint64]int)
+	var groups [][]int
+	for i, m := range meta {
+		gi, ok := groupIdx[m.shape]
+		if !ok {
+			gi = len(groups)
+			groupIdx[m.shape] = gi
+			groups = append(groups, nil)
 		}
-		groups[k] = append(groups[k], entry{p, paretoScores(spec, p)})
+		groups[gi] = append(groups[gi], i)
 	}
 
-	var out []Packing
-	for _, k := range order {
-		g := groups[k]
-		// De-duplicate identical score lists, keeping the first
-		// representative (the paper's "remove duplicates").
-		seen := make(map[string]bool)
-		uniq := g[:0]
-		for _, e := range g {
-			key := fmt.Sprint(e.scores)
-			if !seen[key] {
-				seen[key] = true
-				uniq = append(uniq, e)
+	perGroup := xparallel.Map(len(groups), 0, func(gi int) []int {
+		g := groups[gi]
+		// De-duplicate identical score lists keeping the first
+		// representative (the paper's "remove duplicates"). Buckets are
+		// hashed but membership is verified exactly.
+		buckets := make(map[uint64][]int, len(g))
+		uniq := make([]int, 0, len(g))
+		for _, i := range g {
+			h := hashScores(meta[i].scores)
+			dup := false
+			for _, j := range buckets[h] {
+				if slices.Equal(meta[j].scores, meta[i].scores) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				buckets[h] = append(buckets[h], i)
+				uniq = append(uniq, i)
 			}
 		}
-		for i, a := range uniq {
+		// Skyline sweep: process in lexicographically descending score
+		// order; any dominator of an entry is itself non-dominated or led
+		// by a non-dominated dominator earlier in this order, so testing
+		// against the accepted frontier suffices.
+		ord := slices.Clone(uniq)
+		slices.SortFunc(ord, func(a, b int) int {
+			return slices.Compare(meta[b].scores, meta[a].scores)
+		})
+		sky := make([]int, 0, len(ord))
+		for _, i := range ord {
 			dominated := false
-			for j, b := range uniq {
-				if i != j && dominates(b.scores, a.scores) {
+			for _, j := range sky {
+				if dominatesFlat(meta[j].scores, meta[i].scores) {
 					dominated = true
 					break
 				}
 			}
 			if !dominated {
-				out = append(out, a.p)
+				sky = append(sky, i)
 			}
+		}
+		slices.Sort(sky) // restore enumeration order
+		return sky
+	})
+
+	var out []Packing
+	for _, sky := range perGroup {
+		for _, i := range sky {
+			out = append(out, packings[i])
 		}
 	}
 	return out
@@ -253,18 +306,38 @@ func Enumerate(spec *concern.Spec, v int) ([]Important, error) {
 	// concern scores that fit in the part (Algorithm 3's final loop:
 	// keep L2S iff perNode*L3S >= L2S, strengthened with divisibility so
 	// every node uses the same number of instances — the balance property).
-	seen := make(map[string]bool)
+	// Expansion runs per packing on the worker pool; the de-duplication
+	// sweep consumes the results in packing order, so the surviving
+	// placements and their ordering match the serial pipeline exactly.
+	type cand struct {
+		p   Placement
+		vec Vector
+	}
+	perPacking := xparallel.Map(len(packings), 0, func(i int) []cand {
+		var cands []cand
+		for _, part := range packings[i] {
+			for _, p := range expandPerNode(spec, perNodeScores, part) {
+				cands = append(cands, cand{p, VectorOf(spec, p)})
+			}
+		}
+		return cands
+	})
+
+	seen := make(map[uint64][]Vector)
 	var out []Important
-	for _, packing := range packings {
-		for _, part := range packing {
-			placements := expandPerNode(spec, perNodeScores, part)
-			for _, p := range placements {
-				vec := VectorOf(spec, p)
-				k := vec.Key()
-				if !seen[k] {
-					seen[k] = true
-					out = append(out, Important{Placement: p, Vec: vec})
+	for _, cands := range perPacking {
+		for _, c := range cands {
+			h := c.vec.hash()
+			dup := false
+			for _, v := range seen[h] {
+				if v.Equal(c.vec) {
+					dup = true
+					break
 				}
+			}
+			if !dup {
+				seen[h] = append(seen[h], c.vec)
+				out = append(out, Important{Placement: c.p, Vec: c.vec})
 			}
 		}
 	}
@@ -297,8 +370,9 @@ func Enumerate(spec *concern.Spec, v int) ([]Important, error) {
 func expandPerNode(spec *concern.Spec, feasible [][]int, part topology.NodeSet) []Placement {
 	n := part.Len()
 	var out []Placement
-	var rec func(i int, chosen []int)
-	rec = func(i int, chosen []int) {
+	chosen := make([]int, 0, len(spec.PerNode))
+	var rec func(i int)
+	rec = func(i int) {
 		if i == len(spec.PerNode) {
 			out = append(out, Placement{
 				Nodes:         part,
@@ -329,9 +403,11 @@ func expandPerNode(spec *concern.Spec, feasible [][]int, part topology.NodeSet) 
 			if s/prev > perPrev {
 				continue
 			}
-			rec(i+1, append(chosen, s))
+			chosen = append(chosen, s)
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
 		}
 	}
-	rec(0, nil)
+	rec(0)
 	return out
 }

@@ -2,6 +2,7 @@ package placement
 
 import (
 	"reflect"
+	"slices"
 	"sort"
 	"testing"
 
@@ -190,6 +191,36 @@ func TestEnumerateErrors(t *testing.T) {
 	}
 }
 
+// genPackingsNaive is the paper's Algorithm 2 verbatim: for every allowed
+// size, for every combination of remaining nodes, recurse; duplicates (the
+// same partition reached in different part orders) are removed afterwards.
+// It is the test oracle for GenPackings.
+func genPackingsNaive(nodeScores []int, all topology.NodeSet) []Packing {
+	var out []Packing
+	var rec func(left topology.NodeSet, cur Packing)
+	rec = func(left topology.NodeSet, cur Packing) {
+		for _, size := range nodeScores {
+			if size > left.Len() {
+				continue
+			}
+			left.Subsets(size, func(part topology.NodeSet) {
+				remaining := left.Minus(part)
+				next := append(append(Packing(nil), cur...), part)
+				if remaining.Empty() {
+					out = append(out, next.canonical())
+				} else {
+					rec(remaining, next)
+				}
+			})
+		}
+	}
+	rec(all, nil)
+	// Remove duplicates (exactly: sort canonically, then compact equal
+	// neighbors — the oracle must never rely on hashed identity).
+	slices.SortFunc(out, func(a, b Packing) int { return slices.Compare(a, b) })
+	return slices.CompactFunc(out, func(a, b Packing) bool { return slices.Equal(a, b) })
+}
+
 func TestGenPackingsMatchesNaive(t *testing.T) {
 	for _, tc := range []struct {
 		sizes []int
@@ -203,24 +234,21 @@ func TestGenPackingsMatchesNaive(t *testing.T) {
 		{[]int{2, 3}, 7},
 	} {
 		all := topology.FullNodeSet(tc.n)
-		fast := GenPackings(tc.sizes, all)
-		naive := genPackingsNaive(tc.sizes, all)
-		fk := packingKeys(fast)
-		nk := packingKeys(naive)
-		if !reflect.DeepEqual(fk, nk) {
+		fast := sortedPackings(GenPackings(tc.sizes, all))
+		naive := sortedPackings(genPackingsNaive(tc.sizes, all))
+		if !reflect.DeepEqual(fast, naive) {
 			t.Errorf("sizes %v n=%d: canonical %d packings, naive %d; mismatch",
 				tc.sizes, tc.n, len(fast), len(naive))
 		}
 	}
 }
 
-func packingKeys(ps []Packing) []string {
-	keys := make([]string, len(ps))
-	for i, p := range ps {
-		keys[i] = p.key()
-	}
-	sort.Strings(keys)
-	return keys
+// sortedPackings returns a canonically ordered copy for exact set
+// comparison.
+func sortedPackings(ps []Packing) []Packing {
+	out := slices.Clone(ps)
+	slices.SortFunc(out, func(a, b Packing) int { return slices.Compare(a, b) })
+	return out
 }
 
 func TestGenPackingsCountsAMD(t *testing.T) {
@@ -230,15 +258,15 @@ func TestGenPackingsCountsAMD(t *testing.T) {
 	if len(packs) != 351 {
 		t.Fatalf("got %d packings, want 351", len(packs))
 	}
-	byShape := map[string]int{}
+	byShape := map[uint64]int{}
 	for _, p := range packs {
 		byShape[p.sizeKey()]++
 	}
-	want := map[string]int{
-		"[8]":       1,
-		"[4 4]":     35,
-		"[2 2 4]":   210,
-		"[2 2 2 2]": 105,
+	want := map[uint64]int{
+		shapeKey([]int{8}):          1,
+		shapeKey([]int{4, 4}):       35,
+		shapeKey([]int{2, 2, 4}):    210,
+		shapeKey([]int{2, 2, 2, 2}): 105,
 	}
 	if !reflect.DeepEqual(byShape, want) {
 		t.Fatalf("shapes %v, want %v", byShape, want)
@@ -266,13 +294,13 @@ func TestFilterPackingsSymmetricCollapses(t *testing.T) {
 	spec := intelSpec()
 	packs := GenPackings(spec.Node.FeasibleScores(24), topology.FullNodeSet(4))
 	filtered := FilterPackings(spec, packs)
-	shapes := map[string]int{}
+	shapes := map[uint64]int{}
 	for _, p := range filtered {
 		shapes[p.sizeKey()]++
 	}
 	for shape, n := range shapes {
 		if n != 1 {
-			t.Errorf("shape %s has %d representatives, want 1", shape, n)
+			t.Errorf("shape %b has %d representatives, want 1", shape, n)
 		}
 	}
 }
@@ -287,7 +315,7 @@ func TestFilterPackingsKeepsParetoFrontier(t *testing.T) {
 			if i == j || a.sizeKey() != b.sizeKey() {
 				continue
 			}
-			if dominates(paretoScores(spec, b), paretoScores(spec, a)) {
+			if dominatesFlat(paretoScoresFlat(spec, b), paretoScoresFlat(spec, a)) {
 				t.Fatalf("surviving packing %s dominated by %s", a, b)
 			}
 		}
@@ -300,7 +328,7 @@ func TestFilterPackingsKeepsParetoFrontier(t *testing.T) {
 	}.canonical()
 	found := false
 	for _, p := range packs {
-		if p.key() == wantPairs.key() {
+		if slices.Equal(p, wantPairs) {
 			found = true
 		}
 	}

@@ -7,10 +7,12 @@ package placement
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"repro/internal/concern"
 	"repro/internal/topology"
+	"repro/internal/xrand"
 )
 
 // Placement is a class of vCPU-to-hardware mappings: the set of NUMA nodes
@@ -31,8 +33,9 @@ type Vector struct {
 	Pareto  []int64 // Pareto concern scores (e.g. interconnect MB/s)
 }
 
-// Key returns a canonical comparable encoding of the vector, used for
-// de-duplication. All scores are exact integers, so equality is exact.
+// Key returns a canonical comparable encoding of the vector for callers
+// that need a map key (the hot-path dedup in Enumerate uses hash+Equal
+// instead). All scores are exact integers, so equality is exact.
 func (v Vector) Key() string {
 	var b strings.Builder
 	for _, s := range v.PerNode {
@@ -46,7 +49,22 @@ func (v Vector) Key() string {
 }
 
 // Equal reports whether two vectors are identical.
-func (v Vector) Equal(o Vector) bool { return v.Key() == o.Key() }
+func (v Vector) Equal(o Vector) bool {
+	return v.Node == o.Node && slices.Equal(v.PerNode, o.PerNode) && slices.Equal(v.Pareto, o.Pareto)
+}
+
+// hash returns a 64-bit fingerprint of the vector for bucketed
+// de-duplication; colliding vectors are verified with Equal.
+func (v Vector) hash() uint64 {
+	h := uint64(v.Node)
+	for _, s := range v.PerNode {
+		h = xrand.Mix2(h, uint64(s))
+	}
+	for _, s := range v.Pareto {
+		h = xrand.Mix2(h, uint64(s))
+	}
+	return h
+}
 
 // String formats the vector the way the paper does, e.g. "[16, 8, 35000]"
 // for the AMD 8-node no-SMT placement (L2, L3, interconnect).

@@ -55,6 +55,10 @@ func (s NodeSet) Len() int { return bits.OnesCount64(uint64(s)) }
 // Empty reports whether the set has no nodes.
 func (s NodeSet) Empty() bool { return s == 0 }
 
+// Lowest returns the smallest member ID. It is only meaningful on a
+// non-empty set (an empty set returns 64).
+func (s NodeSet) Lowest() NodeID { return NodeID(bits.TrailingZeros64(uint64(s))) }
+
 // IDs returns the members in ascending order.
 func (s NodeSet) IDs() []NodeID {
 	ids := make([]NodeID, 0, s.Len())
@@ -71,25 +75,49 @@ func (s NodeSet) ForEach(fn func(NodeID)) {
 	}
 }
 
-// Subsets calls fn for every subset of s having exactly k members.
-// It enumerates combinations without allocation beyond the recursion.
+// Subsets calls fn for every subset of s having exactly k members, in
+// lexicographic order of the member-ID combinations. It allocates nothing:
+// the member IDs live in a fixed-size array and the k-combinations are
+// walked iteratively with an index stack.
 func (s NodeSet) Subsets(k int, fn func(NodeSet)) {
-	ids := s.IDs()
-	if k < 0 || k > len(ids) {
+	var ids [64]NodeID
+	n := 0
+	for m := uint64(s); m != 0; m &= m - 1 {
+		ids[n] = NodeID(bits.TrailingZeros64(m))
+		n++
+	}
+	if k < 0 || k > n {
 		return
 	}
-	var rec func(start int, cur NodeSet, left int)
-	rec = func(start int, cur NodeSet, left int) {
-		if left == 0 {
-			fn(cur)
-			return
-		}
-		// Not enough remaining elements to fill the subset: prune.
-		for i := start; i <= len(ids)-left; i++ {
-			rec(i+1, cur.Add(ids[i]), left-1)
-		}
+	if k == 0 {
+		fn(0)
+		return
 	}
-	rec(0, 0, k)
+	// pick[0..d] are the chosen positions in ids; masks[d] is the partial
+	// subset of the first d choices.
+	var pick [64]int
+	var masks [65]NodeSet
+	d := 0
+	pick[0] = 0
+	for d >= 0 {
+		i := pick[d]
+		if i > n-(k-d) { // not enough elements left: backtrack
+			d--
+			if d >= 0 {
+				pick[d]++
+			}
+			continue
+		}
+		cur := masks[d].Add(ids[i])
+		if d == k-1 {
+			fn(cur)
+			pick[d]++
+			continue
+		}
+		masks[d+1] = cur
+		d++
+		pick[d] = i + 1
+	}
 }
 
 // String formats the set as "{0,2,4,6}".

@@ -1,0 +1,152 @@
+// Package xparallel provides the small parallel-execution primitives shared
+// by the enumeration and learning hot paths: a bounded worker pool whose
+// results are collected in deterministic index order, so every caller
+// produces bit-identical output at any worker count (including 1, where all
+// work runs inline on the calling goroutine with zero scheduling overhead).
+package xparallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers overrides the default worker count when positive (see
+// SetMaxWorkers); zero selects GOMAXPROCS.
+var maxWorkers atomic.Int32
+
+// Workers resolves a requested worker count: n > 0 is honored verbatim,
+// anything else selects the package default (SetMaxWorkers override, or
+// GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if m := maxWorkers.Load(); m > 0 {
+		return int(m)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetMaxWorkers overrides the default worker count used when callers pass a
+// non-positive count; n <= 0 restores the GOMAXPROCS default. It returns the
+// previous override. The setting also sizes the process-wide extra-worker
+// budget, so total concurrency stays near n even when fan-outs nest. All
+// parallelized pipelines in this repository produce identical results for
+// every setting; determinism tests and benchmarks use it to pin the pool
+// size.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkers.Swap(int32(n)))
+}
+
+// inFlight counts extra worker goroutines alive across ALL ForEach calls.
+// Fan-outs nest (experiment grid → pair search → CV folds → forest trees);
+// a per-call bound would multiply through the levels, so extra workers are
+// reserved against one process-wide budget instead. Reservation never
+// blocks — when the budget is spent, work simply runs inline on the calling
+// goroutine — so nesting cannot deadlock and total CPU-bound concurrency
+// stays near the configured bound regardless of nesting depth.
+var inFlight atomic.Int32
+
+// reserveWorker claims one slot of the global worker budget (limit extra
+// goroutines process-wide), without blocking.
+func reserveWorker(limit int32) bool {
+	for {
+		cur := inFlight.Load()
+		if cur >= limit {
+			return false
+		}
+		if inFlight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n). The calling goroutine always
+// participates; up to Workers(workers)-1 extra goroutines join it, subject
+// to the process-wide budget above. Indices are handed out dynamically, so
+// callers must not rely on execution order — only on each index running
+// exactly once. A panic in any fn is re-raised on the calling goroutine
+// after all workers stop.
+func ForEach(n, workers int, fn func(i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[any]
+	)
+	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &r)
+				next.Store(int64(n)) // stop handing out work
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	// The caller is worker zero, so the budget covers the extras only. An
+	// explicit per-call count may raise the budget above the default.
+	limit := int32(Workers(0))
+	if int32(w) > limit {
+		limit = int32(w)
+	}
+	limit--
+	for g := 1; g < w; g++ {
+		if !reserveWorker(limit) {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer inFlight.Add(-1)
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+}
+
+// Map runs fn over [0, n) on the bounded pool and collects the results in
+// index order. The output slice is identical for every worker count.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map with error support. All indices run regardless of failures
+// elsewhere in the batch; if any fn returned an error, the one with the
+// lowest index wins (matching what a serial loop that aborts on first error
+// would report) and the results slice is nil.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

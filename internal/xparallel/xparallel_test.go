@@ -1,0 +1,95 @@
+package xparallel
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	old := SetMaxWorkers(2)
+	defer SetMaxWorkers(old)
+	if got := Workers(0); got != 2 {
+		t.Errorf("Workers(0) with override = %d, want 2", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("explicit count ignored: Workers(7) = %d", got)
+	}
+	SetMaxWorkers(0)
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) after reset = %d", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		const n = 100
+		var counts [n]int32
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	// Degenerate sizes.
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestMapOrderIsDeterministic(t *testing.T) {
+	want := Map(50, 1, func(i int) int { return i * i })
+	for _, workers := range []int{2, 3, 8} {
+		got := Map(50, workers, func(i int) int { return i * i })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Map order differs", workers)
+		}
+	}
+}
+
+func TestMapErrFirstErrorByIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := MapErr(20, workers, func(i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, fmt.Errorf("fail-%d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail-7" {
+			t.Fatalf("workers=%d: err = %v, want fail-7", workers, err)
+		}
+	}
+	out, err := MapErr(5, 2, func(i int) (int, error) { return i, nil })
+	if err != nil || !reflect.DeepEqual(out, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("clean MapErr = %v, %v", out, err)
+	}
+	var sentinel = errors.New("boom")
+	if _, err := MapErr(1, 1, func(int) (int, error) { return 0, sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("inline error not propagated: %v", err)
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "kaboom" {
+					t.Fatalf("workers=%d: recovered %v, want kaboom", workers, r)
+				}
+			}()
+			ForEach(16, workers, func(i int) {
+				if i == 5 {
+					panic("kaboom")
+				}
+			})
+		}()
+	}
+}

@@ -21,10 +21,16 @@ func New(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
 func Mix(parts ...uint64) uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
 	for _, p := range parts {
-		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-		h = mix64(h)
+		h = Mix2(h, p)
 	}
 	return h
+}
+
+// Mix2 folds x into the running hash h: the non-variadic, allocation-free
+// combining step underlying Mix, for hot paths that hash incrementally.
+func Mix2(h, x uint64) uint64 {
+	h ^= x + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	return mix64(h)
 }
 
 // HashString hashes a string into a seed component (FNV-1a).

@@ -27,6 +27,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/workloads"
+	"repro/internal/xparallel"
 )
 
 // Machine descriptions (paper §2 testbeds and §8 forward-looking systems).
@@ -39,6 +40,12 @@ var (
 
 // Machine bundles a topology and interconnect graph.
 type Machine = machines.Machine
+
+// SetParallelism bounds the worker pool shared by placement enumeration,
+// forest training and the experiment drivers; n <= 0 restores the default
+// (GOMAXPROCS). It returns the previous setting. Results are bit-identical
+// at every setting — parallelism only changes wall-clock time.
+func SetParallelism(n int) int { return xparallel.SetMaxWorkers(n) }
 
 // Spec is a machine's scheduling-concern specification (paper §4).
 type Spec = concern.Spec

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Runs the benchmark suite with a fixed -benchtime and converts the output
+# to BENCH_1.json: one record per benchmark with ns/op, B/op and allocs/op.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)
+set -eu
+
+out="${1:-BENCH_1.json}"
+benchtime="${BENCHTIME:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp"
+
+awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    rec = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "")  rec = rec sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") rec = rec sprintf(", \"allocs_per_op\": %s", allocs)
+    rec = rec "}"
+    recs[n++] = rec
+}
+END {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    for (i = 0; i < n; i++) printf "  %s%s\n", recs[i], (i < n-1 ? "," : "")
+    print "  ]\n}"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
