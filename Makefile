@@ -6,21 +6,31 @@ GO ?= go
 
 all: build
 
-build:
-	$(GO) build ./...
-
+# go vet's default analyzer suite already includes copylocks and
+# structtag module-wide; the second, targeted pass pins exactly those two
+# analyzers on the lock-bearing packages (the Engine and the serving
+# Scheduler must never be copied) so the guarantee survives even if the
+# default suite is ever narrowed via VETFLAGS or a toolchain change.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -structtag . ./internal/sched/
+
+build:
+	$(GO) build ./...
 
 test:
 	$(GO) test ./...
 
+# Race coverage for every concurrent pipeline, including the root package
+# (Engine singleflight caches, concurrent Place/Release) and the serving
+# scheduler in internal/sched.
 race:
-	$(GO) test -race ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/
+	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/
 
-# Runs the full benchmark suite with fixed -benchtime and emits BENCH_1.json.
-# Override the budget with BENCHTIME=200ms etc.
+# Runs the full benchmark suite with fixed -benchtime and emits
+# BENCH_2.json (includes the Engine warm/cold cache benchmarks and the
+# >= 50x warm-cache gate). Override the budget with BENCHTIME=200ms etc.
 bench:
-	sh scripts/bench.sh BENCH_1.json
+	sh scripts/bench.sh BENCH_2.json
 
 ci: vet build test

@@ -6,6 +6,7 @@ package numaplace
 // benches at the bottom probe the design choices called out in DESIGN.md.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -19,7 +20,7 @@ import (
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Table1(io.Discard); err != nil {
+		if err := experiments.Table1(context.Background(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -44,7 +45,7 @@ func BenchmarkImportantPlacements(b *testing.B) {
 
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure1(io.Discard); err != nil {
+		if _, err := experiments.Figure1(context.Background(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,7 +54,7 @@ func BenchmarkFigure1(b *testing.B) {
 func BenchmarkFigure3(b *testing.B) {
 	cfg := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure3(io.Discard, cfg); err != nil {
+		if _, err := experiments.Figure3(context.Background(), io.Discard, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,7 +63,7 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkFigure4AMD(b *testing.B) {
 	cfg := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure4(io.Discard, machines.AMD(), cfg); err != nil {
+		if _, err := experiments.Figure4(context.Background(), io.Discard, machines.AMD(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,7 +72,7 @@ func BenchmarkFigure4AMD(b *testing.B) {
 func BenchmarkFigure4Intel(b *testing.B) {
 	cfg := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure4(io.Discard, machines.Intel(), cfg); err != nil {
+		if _, err := experiments.Figure4(context.Background(), io.Discard, machines.Intel(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func BenchmarkFigure4Intel(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	cfg := experiments.Quick()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure5(io.Discard, machines.Intel(), cfg); err != nil {
+		if _, err := experiments.Figure5(context.Background(), io.Discard, machines.Intel(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +89,7 @@ func BenchmarkFigure5(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table2(io.Discard); err != nil {
+		if _, err := experiments.Table2(context.Background(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,6 +159,100 @@ func BenchmarkPredictLatency(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pred.Predict(1000, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Engine cache-hit paths ---
+
+// BenchmarkEnginePlacements measures the serving layer's memoization: a
+// cold call pays the full enumeration (engine construction included), a
+// warm call is a cache hit returning the caller's copy of the memoized
+// slice. The BENCH_2.json acceptance gate requires warm >= 50x faster
+// than cold.
+func BenchmarkEnginePlacements(b *testing.B) {
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := New(machines.AMD())
+			if _, err := eng.Placements(ctx, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := New(machines.AMD())
+		if _, err := eng.Placements(ctx, 16); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Placements(ctx, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEnginePin measures the pinning cache: cold materializes a
+// placement into a thread assignment, warm copies the memoized one.
+func BenchmarkEnginePin(b *testing.B) {
+	ctx := context.Background()
+	eng := New(machines.AMD())
+	imps, err := eng.Placements(ctx, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := imps[len(imps)-1].Placement
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh := New(machines.AMD())
+			if _, err := fresh.Pin(ctx, p, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := eng.Pin(ctx, p, 16); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Pin(ctx, p, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEnginePlace measures one online admission (observe twice,
+// predict, choose, pin) on a pre-trained engine, the serving hot path.
+func BenchmarkEnginePlace(b *testing.B) {
+	ctx := context.Background()
+	eng := New(machines.AMD(),
+		WithCollectConfig(CollectConfig{Trials: 2}),
+		WithTrainConfig(TrainConfig{
+			Seed: 1, Forest: mlearn.ForestConfig{Trees: 20},
+			SelectionTrees: 4, SelectionFolds: 3,
+		}),
+	)
+	ws := append(PaperWorkloads(), workloads.CorpusFrom(10, 3, []string{"flat", "bw", "lat"})...)
+	ds, err := eng.Collect(ctx, ws, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Train(ctx, ds); err != nil {
+		b.Fatal(err)
+	}
+	wt, _ := WorkloadByName("WTbtree")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := eng.Place(ctx, wt, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Release(ctx, a.ID); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,9 +16,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/concern"
 	"repro/internal/interconnect"
@@ -204,10 +207,16 @@ func main() {
 		report(p)
 		return
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	rng := rand.New(rand.NewSource(2))
 	grid := func(lo, hi int64) int64 { return lo + 50*rng.Int63n((hi-lo)/50+1) }
 	miss := map[string]int{}
 	for iter := 0; iter < 500_000; iter++ {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "cancelled after %d iters; failure histogram: %v\n", iter, miss)
+			os.Exit(130)
+		}
 		var p params
 		p.wa = 2400
 		p.wb = grid(1950, 2350)

@@ -8,13 +8,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"repro"
 	"repro/internal/experiments"
 	"repro/internal/migrate"
-	"repro/internal/workloads"
 )
 
 func main() {
@@ -23,23 +26,27 @@ func main() {
 	workers := flag.Int("workers", 0, "fast-migration worker threads (0 = default)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *all {
-		if _, err := experiments.Table2(os.Stdout); err != nil {
+		if _, err := experiments.Table2(ctx, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	w, ok := workloads.ByName(*workload)
+	w, ok := numaplace.WorkloadByName(*workload)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
-	p := migrate.ProfileFor(w, 16)
+	eng := numaplace.New(numaplace.AMD())
+	p := numaplace.MigrationProfileFor(w, 16)
 	cfg := migrate.Config{Workers: *workers}
 	fmt.Printf("%s: %.1f GB (%.1f GB page cache), %d tasks\n", w.Name, w.MemoryGB, p.PageCacheGB, p.Tasks)
 	for _, mech := range []migrate.Mechanism{migrate.Fast, migrate.DefaultLinux, migrate.Throttled} {
-		r, err := migrate.Run(p, mech, cfg)
+		r, err := eng.Migrate(ctx, p, mech, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -3,10 +3,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	"repro"
 	"repro/internal/migrate"
-	"repro/internal/workloads"
 )
 
 var paper = map[string][2]float64{ // fast, default linux (seconds)
@@ -19,14 +20,16 @@ var paper = map[string][2]float64{ // fast, default linux (seconds)
 }
 
 func main() {
+	ctx := context.Background()
+	eng := numaplace.New(numaplace.AMD())
 	fmt.Printf("%-14s %8s %8s | %8s %8s | %8s\n", "workload", "fast", "paper", "linux", "paper", "ratio")
-	for _, w := range workloads.Paper() {
-		p := migrate.ProfileFor(w, 16)
-		fast, err := migrate.Run(p, migrate.Fast, migrate.Config{})
+	for _, w := range numaplace.PaperWorkloads() {
+		p := numaplace.MigrationProfileFor(w, 16)
+		fast, err := eng.Migrate(ctx, p, numaplace.MigrateFast, migrate.Config{})
 		if err != nil {
 			panic(err)
 		}
-		linux, err := migrate.Run(p, migrate.DefaultLinux, migrate.Config{})
+		linux, err := eng.Migrate(ctx, p, numaplace.MigrateDefaultLinux, migrate.Config{})
 		if err != nil {
 			panic(err)
 		}
@@ -34,7 +37,7 @@ func main() {
 			w.Name, fast.Seconds, paper[w.Name][0], linux.Seconds, paper[w.Name][1],
 			linux.Seconds/fast.Seconds)
 	}
-	wt, _ := workloads.ByName("WTbtree")
-	th, _ := migrate.Run(migrate.ProfileFor(wt, 16), migrate.Throttled, migrate.Config{})
+	wt, _ := numaplace.WorkloadByName("WTbtree")
+	th, _ := eng.Migrate(ctx, numaplace.MigrationProfileFor(wt, 16), numaplace.MigrateThrottled, migrate.Config{})
 	fmt.Printf("throttled WTbtree: %.1fs overhead %.1f%% (paper: 60s, 3-6%%)\n", th.Seconds, th.OverheadPct)
 }

@@ -1,6 +1,6 @@
 // Command packsim runs the Figure 5 packing comparison for one workload on
-// one machine: instances per machine and performance-goal violations under
-// the four policies.
+// one machine through the numaplace Engine: instances per machine and
+// performance-goal violations under the four policies.
 //
 // Usage:
 //
@@ -8,13 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/experiments"
-	"repro/internal/machines"
 	"repro/internal/mlearn"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -26,36 +28,41 @@ func main() {
 	workload := flag.String("workload", "WTbtree", "paper workload name")
 	flag.Parse()
 
-	var m machines.Machine
-	switch *machine {
-	case "amd":
-		m = machines.AMD()
-	case "intel":
-		m = machines.Intel()
-	default:
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m, ok := numaplace.MachineByName(*machine)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
 		os.Exit(2)
 	}
-	w, ok := workloads.ByName(*workload)
+	w, ok := numaplace.WorkloadByName(*workload)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
 	v := experiments.VCPUsFor(m)
 
+	eng := numaplace.New(m,
+		numaplace.WithCollectConfig(numaplace.CollectConfig{Trials: 3}),
+		numaplace.WithTrainConfig(numaplace.TrainConfig{
+			Seed: 1, Forest: mlearn.ForestConfig{Trees: 100},
+		}),
+	)
+
 	ws := append(workloads.Paper(),
 		workloads.CorpusFrom(50, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
-	ds, err := core.Collect(m, ws, v, core.CollectConfig{Trials: 3})
+	ds, err := eng.Collect(ctx, ws, v)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	pred, err := core.Train(ds, core.TrainConfig{Seed: 1, Forest: mlearn.ForestConfig{Trees: 100}})
-	if err != nil {
+	if _, err := eng.Train(ctx, ds); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	exp, err := sched.NewExperiment(m, w, v, pred)
+	// nil predictor: the experiment picks up the one Train registered.
+	exp, err := eng.NewPackingExperiment(ctx, w, v, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -65,8 +72,11 @@ func main() {
 	tbl := stats.NewTable("goal", "ML", "Conservative", "Aggressive", "Aggressive(Smart)")
 	for _, goal := range []float64{0.9, 1.0, 1.1} {
 		row := []interface{}{fmt.Sprintf("%.0f%%", goal*100)}
-		for _, kind := range []sched.PolicyKind{sched.ML, sched.Conservative, sched.Aggressive, sched.SmartAggressive} {
-			r, err := exp.Run(kind, goal)
+		for _, kind := range []sched.PolicyKind{
+			numaplace.PolicyML, numaplace.PolicyConservative,
+			numaplace.PolicyAggressive, numaplace.PolicySmartAggressive,
+		} {
+			r, err := exp.RunCtx(ctx, kind, goal)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

@@ -1,5 +1,7 @@
 // Command paperrepro regenerates every table and figure of the paper's
-// evaluation on the simulated machines and prints them in order.
+// evaluation on the simulated machines and prints them in order. The run
+// is cancellable: SIGINT/SIGTERM aborts the in-flight experiment promptly
+// via context cancellation.
 //
 // Usage:
 //
@@ -10,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/machines"
@@ -22,6 +27,9 @@ func main() {
 	quick := flag.Bool("quick", false, "low-fidelity smoke run")
 	only := flag.String("only", "", "run a single experiment")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := experiments.Config{}
 	if *quick {
@@ -41,13 +49,13 @@ func main() {
 		fmt.Fprintln(w)
 	}
 
-	run("table1", func() error { return experiments.Table1(w) })
-	run("counts", func() error { _, err := experiments.PlacementCounts(w); return err })
-	run("fig1", func() error { _, err := experiments.Figure1(w); return err })
-	run("fig3", func() error { _, err := experiments.Figure3(w, cfg); return err })
+	run("table1", func() error { return experiments.Table1(ctx, w) })
+	run("counts", func() error { _, err := experiments.PlacementCounts(ctx, w); return err })
+	run("fig1", func() error { _, err := experiments.Figure1(ctx, w); return err })
+	run("fig3", func() error { _, err := experiments.Figure3(ctx, w, cfg); return err })
 	run("fig4", func() error {
 		for _, m := range []machines.Machine{machines.AMD(), machines.Intel()} {
-			if _, err := experiments.Figure4(w, m, cfg); err != nil {
+			if _, err := experiments.Figure4(ctx, w, m, cfg); err != nil {
 				return err
 			}
 		}
@@ -55,11 +63,11 @@ func main() {
 	})
 	run("fig5", func() error {
 		for _, m := range []machines.Machine{machines.AMD(), machines.Intel()} {
-			if _, err := experiments.Figure5(w, m, cfg); err != nil {
+			if _, err := experiments.Figure5(ctx, w, m, cfg); err != nil {
 				return err
 			}
 		}
 		return nil
 	})
-	run("table2", func() error { _, err := experiments.Table2(w); return err })
+	run("table2", func() error { _, err := experiments.Table2(ctx, w); return err })
 }

@@ -1,6 +1,7 @@
 // Command placements enumerates the important placements of a machine for
 // a given container size, printing the score vectors the way the paper
 // reports them (§4: 13 placements for AMD/16 vCPUs, 7 for Intel/24 vCPUs).
+// It drives the numaplace Engine, the serving-oriented public API.
 //
 // Usage:
 //
@@ -9,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/concern"
-	"repro/internal/machines"
+	"repro"
 	"repro/internal/placement"
 )
 
@@ -24,26 +27,21 @@ func main() {
 	showPackings := flag.Bool("packings", false, "also print surviving packings")
 	flag.Parse()
 
-	var m machines.Machine
-	switch *machine {
-	case "amd":
-		m = machines.AMD()
-	case "intel":
-		m = machines.Intel()
-	case "zen":
-		m = machines.Zen()
-	case "haswell-cod":
-		m = machines.HaswellCoD()
-	default:
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m, ok := numaplace.MachineByName(*machine)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
 		os.Exit(2)
 	}
 
-	spec := concern.FromMachine(m)
+	eng := numaplace.New(m)
+	spec := eng.Spec()
 	fmt.Printf("machine: %s\n", m.Topo)
 	fmt.Printf("concerns: %v\n", spec.ConcernNames())
 
-	imps, err := placement.Enumerate(spec, *vcpus)
+	imps, err := eng.Placements(ctx, *vcpus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

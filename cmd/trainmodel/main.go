@@ -1,6 +1,7 @@
 // Command trainmodel trains a performance predictor for a machine and
-// container size and writes it as JSON, printing its cross-validated
-// accuracy (a single-machine slice of the Figure 4 evaluation).
+// container size through the numaplace Engine and writes it as JSON,
+// printing its cross-validated accuracy (a single-machine slice of the
+// Figure 4 evaluation). SIGINT aborts collection/training promptly.
 //
 // Usage:
 //
@@ -8,13 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/experiments"
-	"repro/internal/machines"
 	"repro/internal/mlearn"
 	"repro/internal/workloads"
 )
@@ -26,17 +29,11 @@ func main() {
 	trees := flag.Int("trees", 100, "random forest size")
 	flag.Parse()
 
-	var m machines.Machine
-	switch *machine {
-	case "amd":
-		m = machines.AMD()
-	case "intel":
-		m = machines.Intel()
-	case "zen":
-		m = machines.Zen()
-	case "haswell-cod":
-		m = machines.HaswellCoD()
-	default:
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m, ok := numaplace.MachineByName(*machine)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
 		os.Exit(2)
 	}
@@ -45,16 +42,21 @@ func main() {
 		v = experiments.VCPUsFor(m)
 	}
 
+	eng := numaplace.New(m,
+		numaplace.WithCollectConfig(numaplace.CollectConfig{Trials: 3}),
+		numaplace.WithTrainConfig(numaplace.TrainConfig{
+			Seed: 1, Forest: mlearn.ForestConfig{Trees: *trees},
+		}),
+	)
+
 	ws := append(workloads.Paper(),
 		workloads.CorpusFrom(50, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
-	ds, err := core.Collect(m, ws, v, core.CollectConfig{Trials: 3})
+	ds, err := eng.Collect(ctx, ws, v)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "collect:", err)
 		os.Exit(1)
 	}
-	pred, err := core.Train(ds, core.TrainConfig{
-		Seed: 1, Forest: mlearn.ForestConfig{Trees: *trees},
-	})
+	pred, err := eng.Train(ctx, ds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)

@@ -1,0 +1,574 @@
+package numaplace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/concern"
+	"repro/internal/core"
+	"repro/internal/migrate"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/xparallel"
+	"repro/internal/xrand"
+)
+
+// Engine is the long-lived, concurrency-safe serving layer over the
+// paper's pipeline for one machine. It memoizes the expensive artifacts —
+// the concern spec, important-placement enumerations keyed by (machine
+// fingerprint, vCPU count), pinnings, and trained predictors — behind
+// singleflight caches, so concurrent callers share one computation instead
+// of repeating it, and every result is bit-identical to the corresponding
+// free-function pipeline. On top of the batch lifecycle (Placements, Pin,
+// Collect, Train, Predict) it serves an incremental admit/evict scheduler:
+// Place, Release and Rebalance.
+//
+// All methods are safe for concurrent use. Methods returning cached slices
+// hand each caller its own copy of the slice header; the Important values
+// inside are shared and must be treated as read-only.
+//
+// An Engine must not be copied after first use (it contains locks; go vet's
+// copylocks check enforces this).
+type Engine struct {
+	machine Machine
+	fp      uint64
+	spec    *Spec
+
+	seed       uint64
+	collectCfg CollectConfig
+	trainCfg   TrainConfig
+	serveCfg   ServeConfig
+
+	mu         sync.Mutex
+	flight     map[uint64]*flightCall
+	placements map[uint64][]Important
+	pinnings   map[pinKey][]topology.ThreadID
+	predictors map[int]*Predictor
+	scheduler  *sched.Scheduler
+
+	enumerations  atomic.Int64
+	placementHits atomic.Int64
+	pinRuns       atomic.Int64
+	pinHits       atomic.Int64
+}
+
+// flightCall is one in-flight enumeration shared by concurrent callers.
+type flightCall struct {
+	done chan struct{}
+	val  []Important
+	err  error
+}
+
+// pinKey identifies one memoized pinning. Placements carry at most a
+// couple of per-node concern scores on every supported machine; larger
+// (hand-built) score lists bypass the cache.
+type pinKey struct {
+	v      int
+	nodes  topology.NodeSet
+	nscore int
+	scores [4]int
+}
+
+// Serving-layer types, re-exported from internal/sched.
+type (
+	// ServeConfig tunes the online admit/evict scheduler.
+	ServeConfig = sched.ServeConfig
+	// Assignment describes one admitted container.
+	Assignment = sched.Assignment
+	// RebalanceReport summarizes one Rebalance pass.
+	RebalanceReport = sched.RebalanceReport
+	// RebalanceMove records one container migration during Rebalance.
+	RebalanceMove = sched.RebalanceMove
+)
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithParallelism bounds the worker pool used by enumeration, training and
+// the experiment drivers. The pool is shared process-wide (results are
+// bit-identical at every setting), so this is a convenience spelling of
+// SetParallelism, NOT per-Engine state: the last engine constructed with
+// the option wins, the setting affects every engine and free function,
+// and it outlives the engine. Programs tuning several engines should
+// call SetParallelism once instead. n <= 0 selects GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(*Engine) { xparallel.SetMaxWorkers(n) }
+}
+
+// WithSeed sets the default RNG seed used when a TrainConfig without a
+// seed is applied (default 1). All stochastic components derive their
+// streams deterministically from it.
+func WithSeed(seed uint64) Option {
+	return func(e *Engine) { e.seed = seed }
+}
+
+// WithPredictor registers a trained predictor for the given container
+// size, e.g. one loaded from disk with LoadPredictor. Place and Predict
+// consult the registry.
+func WithPredictor(vcpus int, p *Predictor) Option {
+	return func(e *Engine) { e.predictors[vcpus] = p }
+}
+
+// WithCollectConfig sets the ground-truth collection configuration used by
+// Engine.Collect.
+func WithCollectConfig(cfg CollectConfig) Option {
+	return func(e *Engine) { e.collectCfg = cfg }
+}
+
+// WithTrainConfig sets the training configuration used by Engine.Train.
+func WithTrainConfig(cfg TrainConfig) Option {
+	return func(e *Engine) { e.trainCfg = cfg }
+}
+
+// WithServeConfig tunes the online scheduler (performance goal fraction,
+// headroom, migration mechanism parameters).
+func WithServeConfig(cfg ServeConfig) Option {
+	return func(e *Engine) { e.serveCfg = cfg }
+}
+
+// New builds an Engine for the machine. The concern specification is
+// derived immediately (it is cheap); everything expensive is computed
+// lazily, once, on first use.
+func New(m Machine, opts ...Option) *Engine {
+	e := &Engine{
+		machine:    m,
+		fp:         m.Fingerprint(),
+		seed:       1,
+		flight:     map[uint64]*flightCall{},
+		placements: map[uint64][]Important{},
+		pinnings:   map[pinKey][]topology.ThreadID{},
+		predictors: map[int]*Predictor{},
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.spec = concern.FromMachine(m)
+	return e
+}
+
+// Machine returns the machine this Engine serves.
+func (e *Engine) Machine() Machine { return e.machine }
+
+// Fingerprint returns the machine's structural fingerprint (the cache key
+// prefix for this Engine's artifacts).
+func (e *Engine) Fingerprint() uint64 { return e.fp }
+
+// Spec returns the machine's concern specification (Step 1). The returned
+// value is shared and must be treated as read-only.
+func (e *Engine) Spec() *Spec { return e.spec }
+
+// Placements returns the machine's important placements for a container
+// size (Step 2). The first call per vCPU count enumerates; concurrent
+// callers of the same key join the in-flight computation (singleflight)
+// and later calls hit the cache. The returned slice is the caller's own;
+// its elements are shared and read-only.
+func (e *Engine) Placements(ctx context.Context, vcpus int) ([]Important, error) {
+	imps, err := e.placementsShared(ctx, e.spec, vcpus)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Important, len(imps))
+	copy(out, imps)
+	return out, nil
+}
+
+// placementsShared returns the cached enumeration without copying. spec
+// must be this machine's specification (or an equivalent one).
+func (e *Engine) placementsShared(ctx context.Context, spec *Spec, vcpus int) ([]Important, error) {
+	key := xrand.Mix2(e.fp, uint64(vcpus))
+
+	for {
+		e.mu.Lock()
+		if imps, ok := e.placements[key]; ok {
+			e.mu.Unlock()
+			e.placementHits.Add(1)
+			return imps, nil
+		}
+		if c, ok := e.flight[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err == nil {
+				e.placementHits.Add(1)
+				return c.val, nil
+			}
+			// The flight leader failed. If it failed because *its* context
+			// was cancelled while ours is still live, retry (and possibly
+			// become the new leader) instead of inheriting a stranger's
+			// cancellation; genuine errors propagate to every waiter.
+			if ctx.Err() == nil &&
+				(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				continue
+			}
+			return nil, c.err
+		}
+		c := &flightCall{done: make(chan struct{})}
+		e.flight[key] = c
+		e.mu.Unlock()
+
+		e.enumerations.Add(1)
+		c.val, c.err = placement.EnumerateCtx(ctx, spec, vcpus)
+
+		e.mu.Lock()
+		delete(e.flight, key)
+		if c.err == nil {
+			e.placements[key] = c.val
+		}
+		e.mu.Unlock()
+		close(c.done)
+		// Failures (including cancellation) are not cached: the next
+		// caller retries the enumeration.
+		return c.val, c.err
+	}
+}
+
+// Pin materializes a placement into a vCPU-to-hardware-thread assignment,
+// memoizing the result per (placement, vCPU count). The returned slice is
+// the caller's own copy.
+func (e *Engine) Pin(ctx context.Context, p Placement, vcpus int) ([]topology.ThreadID, error) {
+	return e.pinFor(ctx, e.spec, p, vcpus)
+}
+
+func (e *Engine) pinFor(ctx context.Context, spec *Spec, p Placement, vcpus int) ([]topology.ThreadID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key, ok := pinKeyOf(p, vcpus)
+	if ok {
+		e.mu.Lock()
+		cached, hit := e.pinnings[key]
+		e.mu.Unlock()
+		if hit {
+			e.pinHits.Add(1)
+			return append([]topology.ThreadID(nil), cached...), nil
+		}
+	}
+	e.pinRuns.Add(1)
+	threads, err := placement.Pin(spec, p, vcpus)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		e.mu.Lock()
+		e.pinnings[key] = threads
+		e.mu.Unlock()
+	}
+	return append([]topology.ThreadID(nil), threads...), nil
+}
+
+func pinKeyOf(p Placement, vcpus int) (pinKey, bool) {
+	if len(p.PerNodeScores) > len(pinKey{}.scores) {
+		return pinKey{}, false
+	}
+	k := pinKey{v: vcpus, nodes: p.Nodes, nscore: len(p.PerNodeScores)}
+	for i, s := range p.PerNodeScores {
+		k.scores[i] = s
+	}
+	return k, true
+}
+
+// Collect measures every workload in every important placement (Step 3's
+// training runs), reusing the Engine's memoized enumeration. The
+// collection honours ctx: cancellation between measurement cells returns
+// ctx.Err() promptly.
+func (e *Engine) Collect(ctx context.Context, ws []Workload, vcpus int) (*Dataset, error) {
+	return e.collectWith(ctx, ws, vcpus, e.collectCfg)
+}
+
+func (e *Engine) collectWith(ctx context.Context, ws []Workload, vcpus int, cfg CollectConfig) (*Dataset, error) {
+	imps, err := e.placementsShared(ctx, e.spec, vcpus)
+	if err != nil {
+		return nil, err
+	}
+	return core.CollectPrepared(ctx, e.spec, imps, ws, vcpus, cfg)
+}
+
+// Train fits a predictor on the dataset (Step 3) using the Engine's
+// training configuration and registers it for the dataset's container
+// size, making it available to Predict and Place. Datasets collected on a
+// different machine (or lacking one) fail with ErrMachineMismatch.
+// Training honours ctx throughout the placement-pair search and
+// cross-validation. A zero TrainConfig.Seed in the Engine's configuration
+// is replaced by the WithSeed default.
+func (e *Engine) Train(ctx context.Context, ds *Dataset) (*Predictor, error) {
+	cfg := e.trainCfg
+	if cfg.Seed == 0 {
+		cfg.Seed = e.seed
+	}
+	return e.trainWith(ctx, ds, cfg)
+}
+
+// trainWith trains with cfg exactly as given — no seed defaulting, so the
+// deprecated free-function wrapper reproduces the stateless Train
+// bit-for-bit (including its Seed 0).
+func (e *Engine) trainWith(ctx context.Context, ds *Dataset, cfg TrainConfig) (*Predictor, error) {
+	if ds.Machine.Topo == nil || ds.Machine.IC == nil || ds.Machine.Fingerprint() != e.fp {
+		return nil, fmt.Errorf("numaplace: dataset was not collected on %s: %w",
+			e.machine.Topo.Name, ErrMachineMismatch)
+	}
+	pred, err := core.TrainCtx(ctx, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.predictors[ds.V] = pred
+	e.mu.Unlock()
+	return pred, nil
+}
+
+// UsePredictor registers a trained predictor for a container size (e.g.
+// one loaded with LoadPredictor), replacing any previous registration.
+func (e *Engine) UsePredictor(vcpus int, p *Predictor) {
+	e.mu.Lock()
+	e.predictors[vcpus] = p
+	e.mu.Unlock()
+}
+
+// Predictor returns the registered predictor for a container size, or
+// false if none has been trained or registered.
+func (e *Engine) Predictor(vcpus int) (*Predictor, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.predictors[vcpus]
+	return p, ok
+}
+
+func (e *Engine) predictorOrNil(vcpus int) *core.Predictor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.predictors[vcpus]
+}
+
+// Predict returns the predicted performance vector for a container of the
+// given size from its observed throughput in the registered predictor's
+// Base and Probe placements (Step 4). It fails with ErrUntrained when no
+// predictor covers vcpus.
+func (e *Engine) Predict(vcpus int, perfBase, perfProbe float64) ([]float64, error) {
+	p, ok := e.Predictor(vcpus)
+	if !ok {
+		return nil, fmt.Errorf("numaplace: predicting for %d vCPUs: %w", vcpus, ErrUntrained)
+	}
+	return p.Predict(perfBase, perfProbe)
+}
+
+// serving returns the lazily built online scheduler.
+func (e *Engine) serving() *sched.Scheduler {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.scheduler == nil {
+		e.scheduler = sched.NewScheduler(e.spec,
+			func(ctx context.Context, v int) ([]Important, error) {
+				return e.placementsShared(ctx, e.spec, v)
+			},
+			e.predictorOrNil,
+			func(ctx context.Context, p Placement, v int) ([]topology.ThreadID, error) {
+				return e.pinFor(ctx, e.spec, p, v)
+			},
+			e.serveCfg)
+	}
+	return e.scheduler
+}
+
+// Place admits one container of workload w with the given vCPU count into
+// the machine: observe it in the predictor's two input placements, predict
+// its full performance vector, and pin it to the cheapest placement class
+// that meets the configured goal on the best free nodes. It fails with
+// ErrUntrained without a predictor for vcpus, and ErrMachineFull when the
+// free nodes cannot host the container.
+func (e *Engine) Place(ctx context.Context, w Workload, vcpus int) (*Assignment, error) {
+	return e.serving().Admit(ctx, w, vcpus)
+}
+
+// Release evicts a previously placed container and returns its nodes to
+// the free pool. Unknown IDs fail with ErrUnknownContainer.
+func (e *Engine) Release(ctx context.Context, id int) error {
+	return e.serving().Release(ctx, id)
+}
+
+// Rebalance re-plans every admitted container against the nodes freed by
+// departures, migrating (with the paper's fast mechanism, cost-accounted
+// in the report) those that can now run in a strictly better placement.
+func (e *Engine) Rebalance(ctx context.Context) (*RebalanceReport, error) {
+	return e.serving().Rebalance(ctx)
+}
+
+// Assignments returns a snapshot of all currently placed containers in
+// admission order.
+func (e *Engine) Assignments() []Assignment {
+	return e.serving().Assignments()
+}
+
+// FreeNodes returns the node set not allocated to any placed container.
+func (e *Engine) FreeNodes() topology.NodeSet {
+	return e.serving().Free()
+}
+
+// NewPackingExperiment builds a §7 packing experiment (Figure 5) for one
+// workload, reusing the Engine's memoized spec and enumeration. A nil pred
+// uses the predictor registered for vcpus, if any (non-ML policies run
+// without one).
+func (e *Engine) NewPackingExperiment(ctx context.Context, w Workload, vcpus int, pred *Predictor) (*PackingExperiment, error) {
+	if pred == nil {
+		pred, _ = e.Predictor(vcpus)
+	}
+	return e.newExperiment(ctx, w, vcpus, pred)
+}
+
+func (e *Engine) newExperiment(ctx context.Context, w Workload, vcpus int, pred *Predictor) (*PackingExperiment, error) {
+	imps, err := e.placementsShared(ctx, e.spec, vcpus)
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewExperimentPrepared(e.spec, imps, w, vcpus, pred)
+}
+
+// Migrate simulates one container migration (§7, Table 2), honouring ctx.
+func (e *Engine) Migrate(ctx context.Context, p MigrationProfile, mech migrate.Mechanism, cfg migrate.Config) (*migrate.Result, error) {
+	return migrate.RunCtx(ctx, p, mech, cfg)
+}
+
+// EngineStats reports the Engine's cache effectiveness.
+type EngineStats struct {
+	// Enumerations is the number of cold placement enumerations actually
+	// executed; PlacementHits the calls served from cache or by joining
+	// an in-flight enumeration.
+	Enumerations  int64
+	PlacementHits int64
+	// PinRuns / PinHits are the same split for pinning requests.
+	PinRuns int64
+	PinHits int64
+}
+
+// Stats returns a snapshot of the Engine's cache counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Enumerations:  e.enumerations.Load(),
+		PlacementHits: e.placementHits.Load(),
+		PinRuns:       e.pinRuns.Load(),
+		PinHits:       e.pinHits.Load(),
+	}
+}
+
+// placementsForSpec backs the deprecated free functions: it uses the
+// Engine's caches when the caller's spec is this machine's own derived
+// specification (the overwhelmingly common case) and falls back to a
+// direct, uncached enumeration for hand-modified specs.
+func (e *Engine) placementsForSpec(ctx context.Context, spec *Spec, vcpus int) ([]Important, error) {
+	if e.specUsable(spec) {
+		imps, err := e.placementsShared(ctx, spec, vcpus)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Important, len(imps))
+		copy(out, imps)
+		return out, nil
+	}
+	return placement.EnumerateCtx(ctx, spec, vcpus)
+}
+
+func (e *Engine) pinForSpec(ctx context.Context, spec *Spec, p Placement, vcpus int) ([]topology.ThreadID, error) {
+	if e.specUsable(spec) {
+		return e.pinFor(ctx, spec, p, vcpus)
+	}
+	return placement.Pin(spec, p, vcpus)
+}
+
+// specUsable reports whether spec is interchangeable with the Engine's own
+// derived specification. The verdict is deliberately NOT memoized by
+// pointer: SpecFor's result is documented as safe to modify, so a spec
+// that was equivalent on one call may be customized before the next —
+// every call re-verifies against the spec's current contents (a handful
+// of integer compares plus pairwise Score probes, trivial next to even a
+// cached enumeration's slice copy).
+func (e *Engine) specUsable(spec *Spec) bool {
+	if spec == e.spec {
+		return true
+	}
+	return specEquivalent(spec, e.spec)
+}
+
+// specEquivalent compares the enumeration-relevant content of two specs.
+// Pareto concerns carry score functions, which cannot be compared as
+// values; instead their Score functions are probed behaviorally on every
+// node pair and on the full node set. Pairwise scores fully determine any
+// additive measure (interconnect.Measure, the only kind FromMachine
+// installs), so for machine-derived specs the comparison is exact; an
+// exotic non-additive custom Score that agrees on all probes is treated
+// as equivalent.
+func specEquivalent(a, b *Spec) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Machine.Topo == nil || a.Machine.IC == nil {
+		return false // hand-built spec without a machine description
+	}
+	if a.Machine.Fingerprint() != b.Machine.Fingerprint() {
+		return false
+	}
+	if (a.Node == nil) != (b.Node == nil) || (a.Node != nil && *a.Node != *b.Node) {
+		return false
+	}
+	if len(a.PerNode) != len(b.PerNode) || len(a.Pareto) != len(b.Pareto) {
+		return false
+	}
+	for i := range a.PerNode {
+		if *a.PerNode[i] != *b.PerNode[i] {
+			return false
+		}
+	}
+	n := b.Machine.Topo.NumNodes
+	for i := range a.Pareto {
+		as, bs := a.Pareto[i].Score, b.Pareto[i].Score
+		if as == nil || bs == nil {
+			return false
+		}
+		if as(topology.FullNodeSet(n)) != bs(topology.FullNodeSet(n)) {
+			return false
+		}
+		for x := 0; x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				s := topology.NewNodeSet(topology.NodeID(x), topology.NodeID(y))
+				if as(s) != bs(s) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// defaultEngines registers one shared Engine per machine fingerprint for
+// the deprecated free functions, so legacy call sites transparently share
+// the same caches as first-party Engine users.
+var (
+	defaultEngines      sync.Map // uint64 -> *Engine
+	defaultEngineCount  atomic.Int64
+	defaultEngineBounds = int64(64)
+)
+
+// DefaultEngine returns the process-wide shared Engine for the machine,
+// creating it on first use. The deprecated free functions delegate to it.
+// Machines beyond a small registry bound (a safeguard against fingerprint
+// churn from synthetic machine sweeps) get a fresh, unregistered Engine.
+func DefaultEngine(m Machine) *Engine {
+	fp := m.Fingerprint()
+	if v, ok := defaultEngines.Load(fp); ok {
+		return v.(*Engine)
+	}
+	e := New(m)
+	if defaultEngineCount.Load() >= defaultEngineBounds {
+		return e
+	}
+	if v, loaded := defaultEngines.LoadOrStore(fp, e); loaded {
+		return v.(*Engine)
+	}
+	defaultEngineCount.Add(1)
+	return e
+}

@@ -1,0 +1,508 @@
+package numaplace
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/concern"
+	"repro/internal/mlearn"
+	"repro/internal/placement"
+	"repro/internal/workloads"
+)
+
+// quickEngine returns an Engine on machine m with a fast train/collect
+// configuration for tests.
+func quickEngine(m Machine) *Engine {
+	return New(m,
+		numaplaceTestCollect(),
+		WithTrainConfig(TrainConfig{
+			Seed: 1, Forest: mlearn.ForestConfig{Trees: 10},
+			SelectionTrees: 4, SelectionFolds: 3,
+		}),
+	)
+}
+
+func numaplaceTestCollect() Option {
+	return WithCollectConfig(CollectConfig{Trials: 2})
+}
+
+// TestEnginePlacementsParity asserts the Engine path returns bit-identical
+// enumerations to the direct pipeline, for every machine and both via the
+// Engine API and via the deprecated free functions.
+func TestEnginePlacementsParity(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		m Machine
+		v int
+	}{{AMD(), 16}, {Intel(), 24}, {Zen(), 16}, {HaswellCoD(), 12}} {
+		want, err := placement.Enumerate(concern.FromMachine(tc.m), tc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(tc.m)
+		got, err := eng.Placements(ctx, tc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Engine.Placements differs from placement.Enumerate", tc.m.Topo.Name)
+		}
+		// Deprecated wrapper path (shares the default engine's cache).
+		spec := SpecFor(tc.m)
+		got2, err := Placements(spec, tc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got2, want) {
+			t.Errorf("%s: free-function Placements differs from placement.Enumerate", tc.m.Topo.Name)
+		}
+		// Pin parity for every important placement.
+		for _, p := range want {
+			direct, err := placement.Pin(concern.FromMachine(tc.m), p.Placement, tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaEngine, err := eng.Pin(ctx, p.Placement, tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(viaEngine, direct) {
+				t.Errorf("%s %s: Engine.Pin differs", tc.m.Topo.Name, p)
+			}
+			// Second call must come from cache and stay identical.
+			cached, err := eng.Pin(ctx, p.Placement, tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cached, direct) {
+				t.Errorf("%s %s: cached Engine.Pin differs", tc.m.Topo.Name, p)
+			}
+		}
+		if s := eng.Stats(); s.PinHits == 0 {
+			t.Errorf("%s: no pin cache hits recorded", tc.m.Topo.Name)
+		}
+	}
+}
+
+// TestEngineConcurrentPlacements hammers one Engine from many goroutines
+// (run it under -race) and asserts single-flight behaviour: the expensive
+// enumeration runs exactly once per (machine, vcpus) key while every
+// caller receives the same bit-identical result.
+func TestEngineConcurrentPlacements(t *testing.T) {
+	ctx := context.Background()
+	eng := New(AMD())
+	want, err := placement.Enumerate(concern.FromMachine(AMD()), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want8, err := placement.Enumerate(concern.FromMachine(AMD()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([][]Important, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := 16
+			if g%4 == 3 {
+				v = 8
+			}
+			results[g], errs[g] = eng.Placements(ctx, v)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		ref := want
+		if g%4 == 3 {
+			ref = want8
+		}
+		if !reflect.DeepEqual(results[g], ref) {
+			t.Fatalf("goroutine %d: result differs from serial enumeration", g)
+		}
+	}
+	s := eng.Stats()
+	if s.Enumerations != 2 { // one per distinct vcpus key
+		t.Errorf("enumerations = %d, want 2 (single-flight per key)", s.Enumerations)
+	}
+	if s.PlacementHits != goroutines-2 {
+		t.Errorf("placement hits = %d, want %d", s.PlacementHits, goroutines-2)
+	}
+}
+
+// TestEngineCollectTrainParity asserts the Engine's cached-artifact
+// collection and training produce bit-identical results to the stateless
+// pipeline.
+func TestEngineCollectTrainParity(t *testing.T) {
+	ctx := context.Background()
+	m := Intel()
+	ws := append(PaperWorkloads(), workloads.CorpusFrom(10, 3, []string{"flat", "bw", "lat"})...)
+	cfg := TrainConfig{
+		Seed: 1, Forest: mlearn.ForestConfig{Trees: 10},
+		SelectionTrees: 4, SelectionFolds: 3,
+	}
+
+	eng := quickEngine(m)
+	ds, err := eng.Collect(ctx, ws, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDS, err := Collect(m, ws, 24, CollectConfig{Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Perf, wantDS.Perf) {
+		t.Fatal("Engine.Collect performance matrix differs from core.Collect")
+	}
+
+	pred, err := eng.Train(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPred, err := Train(wantDS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Base != wantPred.Base || pred.Probe != wantPred.Probe {
+		t.Fatalf("Engine.Train chose pair (%d,%d), want (%d,%d)",
+			pred.Base, pred.Probe, wantPred.Base, wantPred.Probe)
+	}
+	wi := ds.WorkloadIndex("WTbtree")
+	a, err := pred.Predict(ds.Perf[wi][pred.Base], ds.Perf[wi][pred.Probe])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wantPred.Predict(ds.Perf[wi][pred.Base], ds.Perf[wi][pred.Probe])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Engine-trained predictor disagrees with free-function path")
+	}
+
+	// Train must have registered the predictor for online use.
+	if _, ok := eng.Predictor(24); !ok {
+		t.Fatal("Train did not register the predictor")
+	}
+	vec, err := eng.Predict(24, ds.Perf[wi][pred.Base], ds.Perf[wi][pred.Probe])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vec, a) {
+		t.Fatal("Engine.Predict disagrees with Predictor.Predict")
+	}
+	if _, err := eng.Predict(24, -1, 1200); !errors.Is(err, ErrBadObservation) {
+		t.Errorf("Predict(-1) err = %v, want ErrBadObservation", err)
+	}
+}
+
+// TestEngineCancellation covers the cancellation satellite: a context
+// cancelled before or during Collect/Train/Placements returns ctx.Err()
+// promptly and leaves the Engine fully usable.
+func TestEngineCancellation(t *testing.T) {
+	m := AMD()
+
+	t.Run("pre-cancelled", func(t *testing.T) {
+		eng := quickEngine(m)
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := eng.Placements(cancelled, 16); !errors.Is(err, context.Canceled) {
+			t.Errorf("Placements err = %v, want context.Canceled", err)
+		}
+		if _, err := eng.Collect(cancelled, PaperWorkloads(), 16); !errors.Is(err, context.Canceled) {
+			t.Errorf("Collect err = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("mid-collect", func(t *testing.T) {
+		eng := quickEngine(m)
+		// A corpus big enough that collection takes well over the cancel
+		// delay (thousands of simulated runs).
+		ws := append(PaperWorkloads(), workloads.CorpusFrom(2000, 7,
+			[]string{"flat", "bw", "lat", "smt-averse", "cache"})...)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		start := time.Now()
+		go func() {
+			_, err := eng.Collect(ctx, ws, 16)
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Collect err = %v, want context.Canceled", err)
+			}
+			// "Promptly": well under the full collection time (seconds).
+			if dt := time.Since(start); dt > 5*time.Second {
+				t.Fatalf("cancelled Collect took %v", dt)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("cancelled Collect never returned")
+		}
+		assertEngineUsable(t, eng)
+	})
+
+	t.Run("mid-train", func(t *testing.T) {
+		eng := quickEngine(m)
+		ws := append(PaperWorkloads(), workloads.CorpusFrom(60, 7,
+			[]string{"flat", "bw", "lat", "smt-averse", "cache"})...)
+		ds, err := eng.Collect(context.Background(), ws, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		start := time.Now()
+		go func() {
+			_, err := eng.Train(ctx, ds)
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Train err = %v, want context.Canceled", err)
+			}
+			if dt := time.Since(start); dt > 10*time.Second {
+				t.Fatalf("cancelled Train took %v", dt)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("cancelled Train never returned")
+		}
+		// A cancelled Train must not have registered a predictor.
+		if _, ok := eng.Predictor(16); ok {
+			t.Fatal("cancelled Train registered a predictor")
+		}
+		assertEngineUsable(t, eng)
+	})
+}
+
+// assertEngineUsable verifies the Engine still serves correct results
+// after a cancelled operation.
+func assertEngineUsable(t *testing.T, eng *Engine) {
+	t.Helper()
+	ctx := context.Background()
+	imps, err := eng.Placements(ctx, 16)
+	if err != nil {
+		t.Fatalf("engine unusable after cancellation: %v", err)
+	}
+	if len(imps) != 13 {
+		t.Fatalf("placements after cancellation = %d, want 13", len(imps))
+	}
+	if _, err := eng.Collect(ctx, PaperWorkloads()[:6], 16); err != nil {
+		t.Fatalf("Collect after cancellation: %v", err)
+	}
+}
+
+// TestHandBuiltSpecWithoutMachine keeps the old stateless contract: the
+// deprecated wrappers must accept a hand-written Spec that carries no
+// machine description (it cannot be routed to a default Engine, whose
+// registry keys on machine fingerprints) and fall back to the direct
+// pipeline instead of panicking.
+func TestHandBuiltSpecWithoutMachine(t *testing.T) {
+	spec := &Spec{
+		Node: &concern.CountConcern{
+			Name: "L3", Count: 4, Capacity: 8, PerNode: 1,
+			AffectsCost: true, InversePossible: true,
+		},
+	}
+	imps, err := Placements(spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := placement.Enumerate(spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(imps, want) {
+		t.Fatal("machine-less spec path differs from direct enumeration")
+	}
+}
+
+// TestSpecMutatedAfterFirstUse keeps another old stateless contract: a
+// caller may reuse SpecFor's result across calls, customizing it in
+// between — every deprecated-wrapper call must honour the spec's current
+// contents, not a verdict cached on first sight of the pointer.
+func TestSpecMutatedAfterFirstUse(t *testing.T) {
+	m := AMD()
+	spec := SpecFor(m)
+	first, err := Placements(spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 13 {
+		t.Fatalf("canonical spec yields %d placements, want 13", len(first))
+	}
+	// Customize: drop the interconnect concern, as a user studying the
+	// symmetric-machine ablation would.
+	spec.Pareto = nil
+	second, err := Placements(spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := placement.Enumerate(spec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, want) {
+		t.Fatal("mutated spec served stale cached enumeration")
+	}
+	if reflect.DeepEqual(second, first) {
+		t.Fatal("dropping the Pareto concern changed nothing — stale cache")
+	}
+}
+
+// TestEngineTypedErrors asserts the documented sentinels surface through
+// errors.Is at the API boundary.
+func TestEngineTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	eng := New(AMD())
+
+	// 11 vCPUs: no balanced feasible node count on an 8x8 machine.
+	if _, err := eng.Placements(ctx, 11); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Placements(11) err = %v, want ErrInfeasible", err)
+	}
+	if _, err := eng.Predict(16, 1000, 1200); !errors.Is(err, ErrUntrained) {
+		t.Errorf("Predict without predictor err = %v, want ErrUntrained", err)
+	}
+	wt, _ := WorkloadByName("WTbtree")
+	if _, err := eng.Place(ctx, wt, 16); !errors.Is(err, ErrUntrained) {
+		t.Errorf("Place without predictor err = %v, want ErrUntrained", err)
+	}
+	if err := eng.Release(ctx, 42); !errors.Is(err, ErrUnknownContainer) {
+		t.Errorf("Release unknown err = %v, want ErrUnknownContainer", err)
+	}
+
+	// Cross-machine dataset: train on an Intel dataset with an AMD engine.
+	intel := quickEngine(Intel())
+	ds, err := intel.Collect(ctx, append(PaperWorkloads(),
+		workloads.CorpusFrom(5, 3, []string{"flat"})...), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd := quickEngine(AMD())
+	if _, err := amd.Train(ctx, ds); !errors.Is(err, ErrMachineMismatch) {
+		t.Errorf("cross-machine Train err = %v, want ErrMachineMismatch", err)
+	}
+}
+
+// TestEngineServing drives the online Place/Release/Rebalance lifecycle:
+// admissions pack the machine with disjoint pinned node sets, the machine
+// eventually fills (ErrMachineFull), releases free nodes, and rebalancing
+// keeps invariants while never making a container worse.
+func TestEngineServing(t *testing.T) {
+	ctx := context.Background()
+	m := AMD()
+	eng := quickEngine(m)
+	ws := append(PaperWorkloads(), workloads.CorpusFrom(10, 3, []string{"flat", "bw", "lat"})...)
+	ds, err := eng.Collect(ctx, ws, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	wt, _ := WorkloadByName("WTbtree")
+	var admitted []*Assignment
+	for {
+		a, err := eng.Place(ctx, wt, 16)
+		if err != nil {
+			if !errors.Is(err, ErrMachineFull) {
+				t.Fatalf("Place err = %v, want ErrMachineFull at capacity", err)
+			}
+			break
+		}
+		admitted = append(admitted, a)
+		if len(admitted) > 8 {
+			t.Fatal("admitted more containers than the machine has nodes")
+		}
+	}
+	if len(admitted) < 2 {
+		t.Fatalf("admitted %d containers, want at least 2", len(admitted))
+	}
+	// Node sets must be pairwise disjoint and consistent with FreeNodes.
+	var used, free = admitted[0].Nodes, eng.FreeNodes()
+	for _, a := range admitted[1:] {
+		if used.Intersect(a.Nodes) != 0 {
+			t.Fatalf("containers share nodes: %s overlaps %s", used, a.Nodes)
+		}
+		used = used.Union(a.Nodes)
+	}
+	if used.Intersect(free) != 0 {
+		t.Fatalf("free set %s overlaps used %s", free, used)
+	}
+	if got := eng.Assignments(); len(got) != len(admitted) {
+		t.Fatalf("Assignments() = %d entries, want %d", len(got), len(admitted))
+	}
+
+	// Release the first container and rebalance survivors.
+	if err := eng.Release(ctx, admitted[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	before := map[int]Assignment{}
+	for _, a := range eng.Assignments() {
+		before[a.ID] = a
+	}
+	rep, err := eng.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Examined != len(admitted)-1 {
+		t.Fatalf("rebalance examined %d, want %d", rep.Examined, len(admitted)-1)
+	}
+	// Moves must strictly improve interconnect bandwidth (same class) or
+	// predicted performance, and never shrink the per-container state.
+	for _, mv := range rep.Moves {
+		b := before[mv.ID]
+		if mv.FromNodes != b.Nodes {
+			t.Fatalf("move %d: FromNodes %s != prior %s", mv.ID, mv.FromNodes, b.Nodes)
+		}
+		if mv.ToClass == mv.FromClass &&
+			m.IC.Measure(mv.ToNodes) <= m.IC.Measure(mv.FromNodes) {
+			t.Fatalf("move %d did not improve bandwidth", mv.ID)
+		}
+		if mv.Seconds <= 0 {
+			t.Fatalf("move %d: non-positive migration time", mv.ID)
+		}
+	}
+	// Invariants hold after rebalance.
+	var used2 uint64
+	for _, a := range eng.Assignments() {
+		if uint64(a.Nodes)&used2 != 0 {
+			t.Fatal("rebalanced containers share nodes")
+		}
+		used2 |= uint64(a.Nodes)
+	}
+
+	// Concurrent serving smoke under -race: parallel Place/Release churn.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				a, err := eng.Place(ctx, wt, 16)
+				if err != nil {
+					continue // machine full is expected under churn
+				}
+				_ = eng.Release(ctx, a.ID)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,43 @@
+package numaplace
+
+import "repro/internal/nperr"
+
+// Sentinel errors returned (wrapped, with context) by the Engine and the
+// deprecated free functions. Match them with errors.Is:
+//
+//	if errors.Is(err, numaplace.ErrMachineFull) { backoffAndRetry() }
+//
+// Every failure class that callers can meaningfully branch on has a
+// sentinel; remaining errors are genuine programming or configuration
+// mistakes whose message is the interface.
+var (
+	// ErrInfeasible: the requested vCPU count has no balanced feasible
+	// placement on the machine (Placements, Pin, Place).
+	ErrInfeasible = nperr.ErrInfeasible
+
+	// ErrUntrained: a prediction or model-driven placement was requested
+	// before a predictor was trained or registered for that container
+	// size (Predict, Place, the ML packing policy).
+	ErrUntrained = nperr.ErrUntrained
+
+	// ErrMachineMismatch: a predictor or dataset does not belong to this
+	// Engine's machine or container size (Train, Place,
+	// NewPackingExperiment).
+	ErrMachineMismatch = nperr.ErrMachineMismatch
+
+	// ErrMachineFull: the free NUMA nodes cannot host another container
+	// (Place, the packing policies).
+	ErrMachineFull = nperr.ErrMachineFull
+
+	// ErrNotPlaced: an operation needing a placed container ran on an
+	// unplaced one.
+	ErrNotPlaced = nperr.ErrNotPlaced
+
+	// ErrUnknownContainer: Release was called with an ID the Engine is
+	// not serving.
+	ErrUnknownContainer = nperr.ErrUnknownContainer
+
+	// ErrBadObservation: a non-positive throughput observation was fed to
+	// a predictor.
+	ErrBadObservation = nperr.ErrBadObservation
+)

@@ -1,9 +1,11 @@
-// Migration: reproduce the Table 2 scenario — migrate each paper workload
-// between node sets with the fast mechanism and with default Linux, then
-// show the throttled option for the latency-sensitive WiredTiger container.
+// Migration: reproduce the Table 2 scenario through the Engine — migrate
+// each paper workload between node sets with the fast mechanism and with
+// default Linux, then show the throttled option for the latency-sensitive
+// WiredTiger container.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,14 +14,16 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	eng := numaplace.New(numaplace.AMD())
 	fmt.Printf("%-14s %10s %9s %9s %9s\n", "benchmark", "memory(GB)", "fast(s)", "linux(s)", "speedup")
 	for _, w := range numaplace.PaperWorkloads() {
 		p := numaplace.MigrationProfileFor(w, 16)
-		fast, err := numaplace.Migrate(p, numaplace.MigrateFast, migrate.Config{})
+		fast, err := eng.Migrate(ctx, p, numaplace.MigrateFast, migrate.Config{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		linux, err := numaplace.Migrate(p, numaplace.MigrateDefaultLinux, migrate.Config{})
+		linux, err := eng.Migrate(ctx, p, numaplace.MigrateDefaultLinux, migrate.Config{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -28,7 +32,7 @@ func main() {
 	}
 
 	wt, _ := numaplace.WorkloadByName("WTbtree")
-	th, err := numaplace.Migrate(numaplace.MigrationProfileFor(wt, 16), numaplace.MigrateThrottled, migrate.Config{})
+	th, err := eng.Migrate(ctx, numaplace.MigrationProfileFor(wt, 16), numaplace.MigrateThrottled, migrate.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,9 +3,11 @@
 // decouples from the memory controller, and an Intel Haswell-E
 // cluster-on-die system with an asymmetric on-die interconnect) and get
 // concern specifications and important placements with zero retooling.
+// One Engine per machine; each owns its own memoized artifacts.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	for _, tc := range []struct {
 		m     numaplace.Machine
 		vcpus int
@@ -20,10 +23,10 @@ func main() {
 		{numaplace.Zen(), 16},
 		{numaplace.HaswellCoD(), 12},
 	} {
+		eng := numaplace.New(tc.m)
 		fmt.Println("machine:", tc.m.Topo)
-		spec := numaplace.SpecFor(tc.m)
-		fmt.Println("derived concerns:", spec.ConcernNames())
-		placements, err := numaplace.Placements(spec, tc.vcpus)
+		fmt.Println("derived concerns:", eng.Spec().ConcernNames())
+		placements, err := eng.Placements(ctx, tc.vcpus)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,9 +1,11 @@
-// Quickstart: the full pipeline on the Intel machine — derive the concern
-// specification, enumerate important placements, train a predictor, and
-// predict a container's performance vector from two observations.
+// Quickstart: the full pipeline on the Intel machine through the Engine —
+// derive the concern specification, enumerate important placements, train
+// a predictor, and predict a container's performance vector from two
+// observations.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,15 +16,23 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	m := numaplace.Intel()
+	eng := numaplace.New(m,
+		numaplace.WithCollectConfig(numaplace.CollectConfig{Trials: 3}),
+		numaplace.WithTrainConfig(numaplace.TrainConfig{
+			Seed: 1, Forest: mlearn.ForestConfig{Trees: 100},
+		}),
+	)
 	fmt.Println("machine:", m.Topo)
 
 	// Step 1: the abstract machine model (scheduling concerns).
-	spec := numaplace.SpecFor(m)
+	spec := eng.Spec()
 	fmt.Println("concerns:", spec.ConcernNames())
 
-	// Step 2: important placements for a 24-vCPU container.
-	placements, err := numaplace.Placements(spec, 24)
+	// Step 2: important placements for a 24-vCPU container (memoized:
+	// every later call for 24 vCPUs is a cache hit).
+	placements, err := eng.Placements(ctx, 24)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,16 +41,15 @@ func main() {
 		fmt.Println(" ", p)
 	}
 
-	// Step 3: train the model on the workload corpus.
+	// Step 3: train the model on the workload corpus. Train registers the
+	// predictor with the engine for 24-vCPU containers.
 	ws := append(numaplace.PaperWorkloads(),
 		workloads.CorpusFrom(30, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
-	ds, err := numaplace.Collect(m, ws, 24, numaplace.CollectConfig{Trials: 3})
+	ds, err := eng.Collect(ctx, ws, 24)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pred, err := numaplace.Train(ds, numaplace.TrainConfig{
-		Seed: 1, Forest: mlearn.ForestConfig{Trees: 100},
-	})
+	pred, err := eng.Train(ctx, ds)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +59,7 @@ func main() {
 	// placements and predict its full vector.
 	wt, _ := numaplace.WorkloadByName("WTbtree")
 	obs := func(idx int) float64 {
-		threads, err := numaplace.Pin(spec, placements[idx].Placement, 24)
+		threads, err := eng.Pin(ctx, placements[idx].Placement, 24)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +70,7 @@ func main() {
 		return perf
 	}
 	basePerf, probePerf := obs(pred.Base), obs(pred.Probe)
-	vec, err := pred.Predict(basePerf, probePerf)
+	vec, err := eng.Predict(24, basePerf, probePerf)
 	if err != nil {
 		log.Fatal(err)
 	}

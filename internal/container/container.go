@@ -9,21 +9,25 @@ import (
 	"fmt"
 
 	"repro/internal/machines"
+	"repro/internal/nperr"
 	"repro/internal/perfsim"
 	"repro/internal/topology"
 )
 
-// Container is one virtual container instance.
+// Container is one virtual container instance. All state is private: the
+// identity fields are fixed at New, and the thread mapping only changes
+// through Place, so concurrent schedulers cannot corrupt a container by
+// mutating shared slices.
 type Container struct {
-	ID       int
-	Workload perfsim.Workload
-	VCPUs    int
+	id       int
+	workload perfsim.Workload
+	vcpus    int
 
-	// Threads is the current vCPU-to-hardware-thread mapping; nil while
-	// unplaced. Pinned records whether the mapping was chosen explicitly
+	// threads is the current vCPU-to-hardware-thread mapping; nil while
+	// unplaced. pinned records whether the mapping was chosen explicitly
 	// (pinned cpuset) or left to the OS.
-	Threads []topology.ThreadID
-	Pinned  bool
+	threads []topology.ThreadID
+	pinned  bool
 
 	// history of reported throughput samples (most recent last).
 	history []float64
@@ -31,21 +35,43 @@ type Container struct {
 
 // New creates an unplaced container.
 func New(id int, w perfsim.Workload, vcpus int) *Container {
-	return &Container{ID: id, Workload: w, VCPUs: vcpus}
+	return &Container{id: id, workload: w, vcpus: vcpus}
 }
+
+// ID returns the container's identity.
+func (c *Container) ID() int { return c.id }
+
+// Workload returns the container's performance-sensitivity descriptor.
+func (c *Container) Workload() perfsim.Workload { return c.workload }
+
+// VCPUs returns the container's fixed vCPU count.
+func (c *Container) VCPUs() int { return c.vcpus }
 
 // Place installs a thread mapping. The mapping length must equal VCPUs.
 func (c *Container) Place(threads []topology.ThreadID, pinned bool) error {
-	if len(threads) != c.VCPUs {
-		return fmt.Errorf("container %d: mapping has %d threads, want %d", c.ID, len(threads), c.VCPUs)
+	if len(threads) != c.vcpus {
+		return fmt.Errorf("container %d: mapping has %d threads, want %d", c.id, len(threads), c.vcpus)
 	}
-	c.Threads = append([]topology.ThreadID(nil), threads...)
-	c.Pinned = pinned
+	c.threads = append([]topology.ThreadID(nil), threads...)
+	c.pinned = pinned
 	return nil
 }
 
 // Placed reports whether the container currently has a mapping.
-func (c *Container) Placed() bool { return c.Threads != nil }
+func (c *Container) Placed() bool { return c.threads != nil }
+
+// Threads returns a copy of the current thread mapping (nil while
+// unplaced). Mutating the returned slice does not affect the container.
+func (c *Container) Threads() []topology.ThreadID {
+	if c.threads == nil {
+		return nil
+	}
+	return append([]topology.ThreadID(nil), c.threads...)
+}
+
+// Pinned reports whether the current mapping was chosen explicitly (pinned
+// cpuset) rather than left to the OS.
+func (c *Container) Pinned() bool { return c.pinned }
 
 // Observe runs the container alone on machine m in its current mapping and
 // records the throughput sample (the paper's "runs the workload in two
@@ -53,9 +79,9 @@ func (c *Container) Placed() bool { return c.Threads != nil }
 // workload"). trial selects the measurement-noise draw.
 func (c *Container) Observe(m machines.Machine, trial int) (float64, error) {
 	if !c.Placed() {
-		return 0, fmt.Errorf("container %d: not placed", c.ID)
+		return 0, fmt.Errorf("container %d: %w", c.id, nperr.ErrNotPlaced)
 	}
-	perf, err := perfsim.Run(m, c.Workload, c.Threads, trial)
+	perf, err := perfsim.Run(m, c.workload, c.threads, trial)
 	if err != nil {
 		return 0, err
 	}

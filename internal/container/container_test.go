@@ -23,7 +23,7 @@ func TestLifecycle(t *testing.T) {
 	if err := c.Place([]topology.ThreadID{0, 1, 2, 3}, true); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Placed() || !c.Pinned {
+	if !c.Placed() || !c.Pinned() {
 		t.Fatal("placement state wrong")
 	}
 }
@@ -79,10 +79,17 @@ func TestPlaceCopiesMapping(t *testing.T) {
 		t.Fatal(err)
 	}
 	threads[0] = 99
-	if c.Threads[0] == 99 {
+	if c.Threads()[0] == 99 {
 		t.Fatal("Place aliases caller slice")
 	}
-	if c.Pinned {
+	c.Threads()[0] = 77
+	if c.Threads()[0] == 77 {
+		t.Fatal("Threads aliases internal state")
+	}
+	if c.Pinned() {
 		t.Fatal("unpinned placement marked pinned")
+	}
+	if c.ID() != 4 || c.VCPUs() != 2 || c.Workload().Name != "gcc" {
+		t.Fatal("identity accessors wrong")
 	}
 }

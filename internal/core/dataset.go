@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -69,11 +70,27 @@ func (c CollectConfig) trials() int {
 // This is the reproduction's stand-in for the paper's training runs on the
 // physical testbeds.
 func Collect(m machines.Machine, ws []perfsim.Workload, v int, cfg CollectConfig) (*Dataset, error) {
+	return CollectCtx(context.Background(), m, ws, v, cfg)
+}
+
+// CollectCtx is Collect with cancellation: the context is checked before
+// every (workload, placement) measurement cell, so a cancelled collection
+// returns ctx.Err() promptly.
+func CollectCtx(ctx context.Context, m machines.Machine, ws []perfsim.Workload, v int, cfg CollectConfig) (*Dataset, error) {
 	spec := concern.FromMachine(m)
-	imps, err := placement.Enumerate(spec, v)
+	imps, err := placement.EnumerateCtx(ctx, spec, v)
 	if err != nil {
 		return nil, err
 	}
+	return CollectPrepared(ctx, spec, imps, ws, v, cfg)
+}
+
+// CollectPrepared is CollectCtx for callers that already hold the concern
+// spec and important placements (e.g. a serving engine with memoized
+// enumerations); it skips re-deriving them. spec and imps must belong
+// together and to the machine being measured.
+func CollectPrepared(ctx context.Context, spec *concern.Spec, imps []placement.Important, ws []perfsim.Workload, v int, cfg CollectConfig) (*Dataset, error) {
+	m := spec.Machine
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("core: no workloads")
 	}
@@ -88,6 +105,9 @@ func Collect(m machines.Machine, ws []perfsim.Workload, v int, cfg CollectConfig
 		perfRow := make([]float64, len(imps))
 		var hpeRow [][]float64
 		for pi, p := range imps {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			threads, err := placement.Pin(spec, p.Placement, v)
 			if err != nil {
 				return nil, fmt.Errorf("core: pinning %s: %w", p, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"testing"
@@ -78,7 +79,7 @@ func TestCvMAPEIdenticalAcrossWorkerCounts(t *testing.T) {
 	cfg := TrainConfig{SelectionTrees: 4, SelectionFolds: 3}
 
 	xparallel.SetMaxWorkers(1)
-	want, err := cvMAPE(ds, cand, cfg, 99)
+	want, err := cvMAPE(context.Background(), ds, cand, cfg, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestCvMAPEIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
 		xparallel.SetMaxWorkers(w)
-		got, err := cvMAPE(ds, cand, cfg, 99)
+		got, err := cvMAPE(context.Background(), ds, cand, cfg, 99)
 		if err != nil {
 			t.Fatal(err)
 		}

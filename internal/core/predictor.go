@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/mlearn"
+	"repro/internal/nperr"
 )
 
 // Predict returns the predicted performance vector of a container from its
@@ -18,7 +19,7 @@ func (p *Predictor) Predict(perfBase, perfProbe float64) ([]float64, error) {
 		return nil, fmt.Errorf("core: Predict requires the perf-measurements variant, have %s", p.Variant)
 	}
 	if perfBase <= 0 || perfProbe <= 0 {
-		return nil, fmt.Errorf("core: non-positive performance observation (%v, %v)", perfBase, perfProbe)
+		return nil, fmt.Errorf("core: non-positive performance observation (%v, %v): %w", perfBase, perfProbe, nperr.ErrBadObservation)
 	}
 	return p.forest.Predict([]float64{perfProbe / perfBase}), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -105,6 +106,13 @@ type Predictor struct {
 // finds the two of the important placements that give the highest
 // accuracy", §5).
 func Train(ds *Dataset, cfg TrainConfig) (*Predictor, error) {
+	return TrainCtx(context.Background(), ds, cfg)
+}
+
+// TrainCtx is Train with cancellation: the context is threaded through the
+// placement-pair search, SFS and cross-validation fan-outs, so a cancelled
+// training run returns ctx.Err() promptly without fitting the final model.
+func TrainCtx(ctx context.Context, ds *Dataset, cfg TrainConfig) (*Predictor, error) {
 	if len(ds.Workloads) < 4 {
 		return nil, fmt.Errorf("core: need at least 4 training workloads, have %d", len(ds.Workloads))
 	}
@@ -124,13 +132,13 @@ func Train(ds *Dataset, cfg TrainConfig) (*Predictor, error) {
 	case cfg.Variant == HPEFeatures:
 		// Single-placement variant: the baseline is the placement whose
 		// HPEs predict best; probe is unused but kept equal to base.
-		base, err := bestHPEBase(ds, cfg)
+		base, err := bestHPEBase(ctx, ds, cfg)
 		if err != nil {
 			return nil, err
 		}
 		p.Base, p.Probe = base, base
 	default:
-		base, probe, err := bestPair(ds, cfg)
+		base, probe, err := bestPair(ctx, ds, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -139,13 +147,16 @@ func Train(ds *Dataset, cfg TrainConfig) (*Predictor, error) {
 
 	// SFS for the HPE variants.
 	if cfg.Variant == HPEFeatures || cfg.Variant == Combined {
-		feats, err := selectHPEs(ds, p.Base, p.Probe, cfg)
+		feats, err := selectHPEs(ctx, ds, p.Base, p.Probe, cfg)
 		if err != nil {
 			return nil, err
 		}
 		p.HPEFeats = feats
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Final model on the full dataset.
 	X, Y := designMatrix(ds, p, nil)
 	forestCfg := cfg.Forest
@@ -202,7 +213,7 @@ func designMatrix(ds *Dataset, p *Predictor, rows []int) ([][]float64, [][]float
 // cross-validation, returning the mean absolute percentage error. Folds
 // train and predict concurrently; their predictions are concatenated in
 // fold order, so the error is bit-identical at any worker count.
-func cvMAPE(ds *Dataset, p *Predictor, cfg TrainConfig, seed uint64) (float64, error) {
+func cvMAPE(ctx context.Context, ds *Dataset, p *Predictor, cfg TrainConfig, seed uint64) (float64, error) {
 	folds, err := mlearn.GroupKFold(ds.Groups, cfg.selectionFolds())
 	if err != nil {
 		return 0, err
@@ -210,7 +221,7 @@ func cvMAPE(ds *Dataset, p *Predictor, cfg TrainConfig, seed uint64) (float64, e
 	type foldOut struct {
 		pred, actual [][]float64
 	}
-	outs, err := xparallel.MapErr(len(folds), 0, func(fi int) (foldOut, error) {
+	outs, err := xparallel.MapErrCtx(ctx, len(folds), 0, func(fi int) (foldOut, error) {
 		fold := folds[fi]
 		X, Y := designMatrix(ds, p, fold.Train)
 		f, err := mlearn.TrainForest(X, Y, mlearn.ForestConfig{
@@ -242,7 +253,7 @@ func cvMAPE(ds *Dataset, p *Predictor, cfg TrainConfig, seed uint64) (float64, e
 // cross-validated error; the lower-indexed placement acts as the baseline.
 // Candidate pairs are evaluated concurrently; the winner is selected by a
 // serial scan in pair order, so ties resolve exactly as in a serial search.
-func bestPair(ds *Dataset, cfg TrainConfig) (int, int, error) {
+func bestPair(ctx context.Context, ds *Dataset, cfg TrainConfig) (int, int, error) {
 	n := len(ds.Placements)
 	var pairs [][2]int
 	for i := 0; i < n; i++ {
@@ -250,10 +261,10 @@ func bestPair(ds *Dataset, cfg TrainConfig) (int, int, error) {
 			pairs = append(pairs, [2]int{i, j})
 		}
 	}
-	errs, err := xparallel.MapErr(len(pairs), 0, func(pi int) (float64, error) {
+	errs, err := xparallel.MapErrCtx(ctx, len(pairs), 0, func(pi int) (float64, error) {
 		i, j := pairs[pi][0], pairs[pi][1]
 		cand := &Predictor{Variant: PerfFeatures, Base: i, Probe: j}
-		return cvMAPE(ds, cand, cfg, xmix(cfg.Seed, uint64(i*n+j)))
+		return cvMAPE(ctx, ds, cand, cfg, xmix(cfg.Seed, uint64(i*n+j)))
 	})
 	if err != nil {
 		return 0, 0, err
@@ -273,15 +284,15 @@ func bestPair(ds *Dataset, cfg TrainConfig) (int, int, error) {
 
 // bestHPEBase picks the observation placement for the single-placement
 // HPE variant using a coarse screen with all counters as features.
-func bestHPEBase(ds *Dataset, cfg TrainConfig) (int, error) {
+func bestHPEBase(ctx context.Context, ds *Dataset, cfg TrainConfig) (int, error) {
 	nHPE := len(ds.HPE[0][0])
 	all := make([]int, nHPE)
 	for i := range all {
 		all[i] = i
 	}
-	errs, err := xparallel.MapErr(len(ds.Placements), 0, func(b int) (float64, error) {
+	errs, err := xparallel.MapErrCtx(ctx, len(ds.Placements), 0, func(b int) (float64, error) {
 		cand := &Predictor{Variant: HPEFeatures, Base: b, Probe: b, HPEFeats: all}
-		return cvMAPE(ds, cand, cfg, xmix(cfg.Seed, 0xBA5E+uint64(b)))
+		return cvMAPE(ctx, ds, cand, cfg, xmix(cfg.Seed, 0xBA5E+uint64(b)))
 	})
 	if err != nil {
 		return 0, err
@@ -296,12 +307,12 @@ func bestHPEBase(ds *Dataset, cfg TrainConfig) (int, error) {
 }
 
 // selectHPEs runs Sequential Forward Selection over the counters.
-func selectHPEs(ds *Dataset, base, probe int, cfg TrainConfig) ([]int, error) {
+func selectHPEs(ctx context.Context, ds *Dataset, base, probe int, cfg TrainConfig) ([]int, error) {
 	nHPE := len(ds.HPE[0][0])
 	var evalErr error
 	eval := func(subset []int) float64 {
 		cand := &Predictor{Variant: cfg.Variant, Base: base, Probe: probe, HPEFeats: subset}
-		e, err := cvMAPE(ds, cand, cfg, xmix(cfg.Seed, 0x5F5+uint64(len(subset))))
+		e, err := cvMAPE(ctx, ds, cand, cfg, xmix(cfg.Seed, 0x5F5+uint64(len(subset))))
 		if err != nil {
 			evalErr = err
 			return math.Inf(-1)

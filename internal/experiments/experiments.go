@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -65,8 +66,8 @@ func trainingSet(cfg Config) []perfsim.Workload {
 }
 
 // dataset collects the ground-truth matrix for one machine.
-func dataset(m machines.Machine, v int, cfg Config, withHPE bool) (*core.Dataset, error) {
-	return core.Collect(m, trainingSet(cfg), v, core.CollectConfig{
+func dataset(ctx context.Context, m machines.Machine, v int, cfg Config, withHPE bool) (*core.Dataset, error) {
+	return core.CollectCtx(ctx, m, trainingSet(cfg), v, core.CollectConfig{
 		Trials: cfg.Trials, WithHPEs: withHPE,
 	})
 }
@@ -92,7 +93,10 @@ func VCPUsFor(m machines.Machine) int {
 
 // Table1 prints the AMD scheduling-concern table (paper Table 1) derived
 // automatically from the machine description.
-func Table1(w io.Writer) error {
+func Table1(ctx context.Context, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	spec := concern.FromMachine(machines.AMD())
 	fmt.Fprintln(w, "Table 1: scheduling concerns for the AMD system")
 	tbl := stats.NewTable("Concern", "Count", "Capacity", "Cost?", "Inverse Perf Possible?")
@@ -129,17 +133,17 @@ type PlacementResult struct {
 
 // PlacementCounts enumerates important placements for both machines. The
 // machines run concurrently; reports are emitted in machine order.
-func PlacementCounts(w io.Writer) ([]PlacementResult, error) {
+func PlacementCounts(ctx context.Context, w io.Writer) ([]PlacementResult, error) {
 	ms := []machines.Machine{machines.AMD(), machines.Intel()}
 	type res struct {
 		r      PlacementResult
 		report bytes.Buffer
 	}
-	outs, err := xparallel.MapErr(len(ms), 0, func(i int) (*res, error) {
+	outs, err := xparallel.MapErrCtx(ctx, len(ms), 0, func(i int) (*res, error) {
 		m := ms[i]
 		v := VCPUsFor(m)
 		spec := concern.FromMachine(m)
-		imps, err := placement.Enumerate(spec, v)
+		imps, err := placement.EnumerateCtx(ctx, spec, v)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 
 func TestTable1Output(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table1(&buf); err != nil {
+	if err := Table1(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -24,7 +25,7 @@ func TestTable1Output(t *testing.T) {
 
 func TestPlacementCounts(t *testing.T) {
 	var buf bytes.Buffer
-	res, err := PlacementCounts(&buf)
+	res, err := PlacementCounts(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestPlacementCounts(t *testing.T) {
 
 func TestFigure1Shapes(t *testing.T) {
 	var buf bytes.Buffer
-	res, err := Figure1(&buf)
+	res, err := Figure1(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFigure1Shapes(t *testing.T) {
 
 func TestFigure3Categories(t *testing.T) {
 	var buf bytes.Buffer
-	res, err := Figure3(&buf, Quick())
+	res, err := Figure3(context.Background(), &buf, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFigure4QuickAccuracy(t *testing.T) {
 		t.Skip("slow")
 	}
 	var buf bytes.Buffer
-	res, err := Figure4(&buf, machines.Intel(), Quick())
+	res, err := Figure4(context.Background(), &buf, machines.Intel(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFigure4QuickAccuracy(t *testing.T) {
 
 func TestTable2Claims(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Table2(&buf)
+	rows, err := Table2(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

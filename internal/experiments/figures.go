@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -30,18 +31,18 @@ type Figure1Result struct {
 // throughput across node counts with and without SMT/CMT sharing on both
 // systems. The two machines run concurrently; panels are printed in the
 // paper's machine order.
-func Figure1(w io.Writer) ([]Figure1Result, error) {
+func Figure1(ctx context.Context, w io.Writer) ([]Figure1Result, error) {
 	wt, _ := workloads.ByName("WTbtree")
 	ms := []machines.Machine{machines.Intel(), machines.AMD()}
 	type panel struct {
 		res    Figure1Result
 		report bytes.Buffer
 	}
-	panels, err := xparallel.MapErr(len(ms), 0, func(mi int) (*panel, error) {
+	panels, err := xparallel.MapErrCtx(ctx, len(ms), 0, func(mi int) (*panel, error) {
 		m := ms[mi]
 		v := VCPUsFor(m)
 		spec := concern.FromMachine(m)
-		imps, err := placement.Enumerate(spec, v)
+		imps, err := placement.EnumerateCtx(ctx, spec, v)
 		if err != nil {
 			return nil, err
 		}
@@ -110,7 +111,7 @@ type Figure3Result struct {
 // that phrasing, each workload is represented by its vectors on both
 // systems concatenated (AMD's 13 entries expose the SMT dimension that
 // the Intel-only vectors blur).
-func Figure3(w io.Writer, cfg Config) (*Figure3Result, error) {
+func Figure3(ctx context.Context, w io.Writer, cfg Config) (*Figure3Result, error) {
 	cfg = cfg.withDefaults()
 	// The two ground-truth collections are independent; run them together.
 	type collectJob struct {
@@ -118,8 +119,8 @@ func Figure3(w io.Writer, cfg Config) (*Figure3Result, error) {
 		v int
 	}
 	jobs := []collectJob{{machines.Intel(), 24}, {machines.AMD(), 16}}
-	dss, err := xparallel.MapErr(len(jobs), 0, func(i int) (*core.Dataset, error) {
-		return core.Collect(jobs[i].m, workloads.Paper(), jobs[i].v, core.CollectConfig{Trials: cfg.Trials})
+	dss, err := xparallel.MapErrCtx(ctx, len(jobs), 0, func(i int) (*core.Dataset, error) {
+		return core.CollectCtx(ctx, jobs[i].m, workloads.Paper(), jobs[i].v, core.CollectConfig{Trials: cfg.Trials})
 	})
 	if err != nil {
 		return nil, err
@@ -191,16 +192,16 @@ type Figure4Result struct {
 
 // Figure4 runs the §6 accuracy evaluation: per-application leave-one-group-
 // out cross-validation of both model variants on one machine.
-func Figure4(w io.Writer, m machines.Machine, cfg Config) ([]Figure4Result, error) {
+func Figure4(ctx context.Context, w io.Writer, m machines.Machine, cfg Config) ([]Figure4Result, error) {
 	cfg = cfg.withDefaults()
 	v := VCPUsFor(m)
-	ds, err := dataset(m, v, cfg, true)
+	ds, err := dataset(ctx, m, v, cfg, true)
 	if err != nil {
 		return nil, err
 	}
 	// Choose the input pair once on the full set (the deployment-time
 	// choice), then cross-validate with it fixed.
-	full, err := core.Train(ds, trainCfg(cfg, core.PerfFeatures))
+	full, err := core.TrainCtx(ctx, ds, trainCfg(cfg, core.PerfFeatures))
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +210,7 @@ func Figure4(w io.Writer, m machines.Machine, cfg Config) ([]Figure4Result, erro
 	// back in paper order.
 	variants := []core.Variant{core.PerfFeatures, core.HPEFeatures}
 	paper := workloads.Paper()
-	mapes, err := xparallel.MapErr(len(variants)*len(paper), 0, func(cell int) (float64, error) {
+	mapes, err := xparallel.MapErrCtx(ctx, len(variants)*len(paper), 0, func(cell int) (float64, error) {
 		variant := variants[cell/len(paper)]
 		pw := paper[cell%len(paper)]
 		group := core.GroupOf(pw.Name)
@@ -223,7 +224,7 @@ func Figure4(w io.Writer, m machines.Machine, cfg Config) ([]Figure4Result, erro
 		if variant == core.PerfFeatures {
 			tc.FixedPair = &[2]int{full.Base, full.Probe}
 		}
-		pred, err := core.Train(ds.Subset(trainRows), tc)
+		pred, err := core.TrainCtx(ctx, ds.Subset(trainRows), tc)
 		if err != nil {
 			return 0, err
 		}
@@ -277,14 +278,14 @@ type Figure5Result struct {
 
 // Figure5 runs the §7 packing comparison for the paper's three container
 // types on one machine.
-func Figure5(w io.Writer, m machines.Machine, cfg Config) ([]Figure5Result, error) {
+func Figure5(ctx context.Context, w io.Writer, m machines.Machine, cfg Config) ([]Figure5Result, error) {
 	cfg = cfg.withDefaults()
 	v := VCPUsFor(m)
-	ds, err := dataset(m, v, cfg, false)
+	ds, err := dataset(ctx, m, v, cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	pred, err := core.Train(ds, trainCfg(cfg, core.PerfFeatures))
+	pred, err := core.TrainCtx(ctx, ds, trainCfg(cfg, core.PerfFeatures))
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +303,7 @@ func Figure5(w io.Writer, m machines.Machine, cfg Config) ([]Figure5Result, erro
 		for _, goal := range []float64{0.9, 1.0, 1.1} {
 			row := []interface{}{fmt.Sprintf("%.0f%%", goal*100)}
 			for _, kind := range []sched.PolicyKind{sched.ML, sched.Conservative, sched.Aggressive, sched.SmartAggressive} {
-				r, err := exp.Run(kind, goal)
+				r, err := exp.RunCtx(ctx, kind, goal)
 				if err != nil {
 					return nil, err
 				}
@@ -330,17 +331,17 @@ type Table2Row struct {
 }
 
 // Table2 reproduces the migration study on the AMD system.
-func Table2(w io.Writer) ([]Table2Row, error) {
+func Table2(ctx context.Context, w io.Writer) ([]Table2Row, error) {
 	var out []Table2Row
 	fmt.Fprintln(w, "Table 2: migration time, fast mechanism vs default Linux (AMD)")
 	tbl := stats.NewTable("Benchmark", "Memory(GB)", "Fast(s)", "Linux(s)", "Speedup")
 	for _, wl := range workloads.Paper() {
 		p := migrate.ProfileFor(wl, 16)
-		fast, err := migrate.Run(p, migrate.Fast, migrate.Config{})
+		fast, err := migrate.RunCtx(ctx, p, migrate.Fast, migrate.Config{})
 		if err != nil {
 			return nil, err
 		}
-		linux, err := migrate.Run(p, migrate.DefaultLinux, migrate.Config{})
+		linux, err := migrate.RunCtx(ctx, p, migrate.DefaultLinux, migrate.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +355,7 @@ func Table2(w io.Writer) ([]Table2Row, error) {
 	}
 	tbl.Render(w)
 	wt, _ := workloads.ByName("WTbtree")
-	th, err := migrate.Run(migrate.ProfileFor(wt, 16), migrate.Throttled, migrate.Config{})
+	th, err := migrate.RunCtx(ctx, migrate.ProfileFor(wt, 16), migrate.Throttled, migrate.Config{})
 	if err != nil {
 		return nil, err
 	}

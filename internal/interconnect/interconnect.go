@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/topology"
+	"repro/internal/xrand"
 )
 
 // Graph is the interconnect of a machine with N nodes.
@@ -220,4 +221,20 @@ func min64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// Fingerprint returns a 64-bit value hash of the link structure: node
+// count, every direct link bandwidth, and the routed-discount fraction.
+// Graphs with identical links fingerprint identically regardless of
+// pointer identity.
+func (g *Graph) Fingerprint() uint64 {
+	h := uint64(g.n)
+	h = xrand.Mix2(h, uint64(g.routedNum))
+	h = xrand.Mix2(h, uint64(g.routedDen))
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			h = xrand.Mix2(h, uint64(g.link[i][j]))
+		}
+	}
+	return h
 }

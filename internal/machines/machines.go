@@ -12,6 +12,7 @@ package machines
 import (
 	"repro/internal/interconnect"
 	"repro/internal/topology"
+	"repro/internal/xrand"
 )
 
 // Machine bundles a topology with its interconnect.
@@ -161,4 +162,13 @@ func HaswellCoD() Machine {
 	g.AddLink(0, 3, 9000)
 	g.AddLink(1, 2, 9000)
 	return Machine{Topo: topo, IC: g}
+}
+
+// Fingerprint returns a 64-bit value hash identifying the machine by its
+// structural content (topology parameters plus interconnect links), not by
+// pointer identity: two calls to AMD() yield distinct pointers but equal
+// fingerprints. The serving layer keys engines and memoized enumerations
+// on it.
+func (m Machine) Fingerprint() uint64 {
+	return xrand.Mix2(m.Topo.Fingerprint(), m.IC.Fingerprint())
 }

@@ -19,6 +19,7 @@
 package migrate
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -193,6 +194,16 @@ type Result struct {
 // Run simulates migrating the container described by p with the given
 // mechanism. The simulation is deterministic.
 func Run(p Profile, mech Mechanism, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), p, mech, cfg)
+}
+
+// RunCtx is Run with cancellation. One simulated migration is fast, but
+// schedulers run many back to back (e.g. a rebalance pass over every
+// admitted container), so the context is honoured before simulating.
+func RunCtx(ctx context.Context, p Profile, mech Mechanism, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.AnonGB < 0 || p.PageCacheGB < 0 {
 		return nil, fmt.Errorf("migrate: negative memory in profile %q", p.Name)
 	}

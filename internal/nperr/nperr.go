@@ -1,0 +1,43 @@
+// Package nperr defines the sentinel errors shared by the numaplace
+// pipeline. Internal packages wrap them with context via fmt.Errorf("…: %w",
+// …) and the public facade re-exports them, so callers can branch on failure
+// classes with errors.Is/errors.As instead of matching message strings.
+//
+// The package is a leaf (no repro imports) so every layer — placement
+// enumeration, training, the packing policies, the serving engine — can
+// depend on it without cycles.
+package nperr
+
+import "errors"
+
+var (
+	// ErrInfeasible marks placement requests no balanced feasible
+	// placement can satisfy (vCPU count incompatible with the machine's
+	// concern capacities, or non-positive).
+	ErrInfeasible = errors.New("infeasible placement request")
+
+	// ErrUntrained marks prediction or model-driven scheduling attempted
+	// without a trained predictor for the requested container size.
+	ErrUntrained = errors.New("no trained predictor")
+
+	// ErrMachineMismatch marks artifacts combined across machines or
+	// container sizes they were not built for (e.g. a predictor whose
+	// placement count differs from the machine's enumeration).
+	ErrMachineMismatch = errors.New("machine/artifact mismatch")
+
+	// ErrMachineFull marks admission attempts the machine's free nodes
+	// cannot host.
+	ErrMachineFull = errors.New("machine full")
+
+	// ErrNotPlaced marks operations that need a placed container (e.g.
+	// observing throughput) invoked on an unplaced one.
+	ErrNotPlaced = errors.New("container not placed")
+
+	// ErrUnknownContainer marks lifecycle operations on container IDs the
+	// scheduler is not tracking.
+	ErrUnknownContainer = errors.New("unknown container")
+
+	// ErrBadObservation marks non-positive or otherwise unusable
+	// performance observations fed to a predictor.
+	ErrBadObservation = errors.New("invalid performance observation")
+)

@@ -1,12 +1,14 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
 	"strings"
 
 	"repro/internal/concern"
+	"repro/internal/nperr"
 	"repro/internal/topology"
 	"repro/internal/xparallel"
 	"repro/internal/xrand"
@@ -280,27 +282,43 @@ func FilterPackings(spec *concern.Spec, packings []Packing) []Packing {
 // ascending node count, then per-node scores, then descending Pareto
 // scores, and numbered from 1 (the numbering used on figure x-axes).
 func Enumerate(spec *concern.Spec, v int) ([]Important, error) {
+	return EnumerateCtx(context.Background(), spec, v)
+}
+
+// EnumerateCtx is Enumerate with cancellation: the pipeline checks ctx
+// between stages and while expanding packings, and returns ctx.Err() if the
+// context is done. Infeasible requests return errors wrapping
+// nperr.ErrInfeasible.
+func EnumerateCtx(ctx context.Context, spec *concern.Spec, v int) ([]Important, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if v <= 0 {
-		return nil, fmt.Errorf("placement: vCPU count %d must be positive", v)
+		return nil, fmt.Errorf("placement: vCPU count %d must be positive: %w", v, nperr.ErrInfeasible)
 	}
 	nodeScores := spec.Node.FeasibleScores(v)
 	if len(nodeScores) == 0 {
-		return nil, fmt.Errorf("placement: no balanced feasible node counts for %d vCPUs (node capacity %d, %d nodes)",
-			v, spec.Node.Capacity, spec.Node.Count)
+		return nil, fmt.Errorf("placement: no balanced feasible node counts for %d vCPUs (node capacity %d, %d nodes): %w",
+			v, spec.Node.Capacity, spec.Node.Count, nperr.ErrInfeasible)
 	}
 	perNodeScores := make([][]int, len(spec.PerNode))
 	for i, c := range spec.PerNode {
 		perNodeScores[i] = c.FeasibleScores(v)
 		if len(perNodeScores[i]) == 0 {
-			return nil, fmt.Errorf("placement: no balanced feasible scores for concern %q with %d vCPUs", c.Name, v)
+			return nil, fmt.Errorf("placement: no balanced feasible scores for concern %q with %d vCPUs: %w",
+				c.Name, v, nperr.ErrInfeasible)
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	all := topology.FullNodeSet(spec.Node.Count)
-	packings := FilterPackings(spec, GenPackings(nodeScores, all))
+	packings := GenPackings(nodeScores, all)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	packings = FilterPackings(spec, packings)
 
 	// Collect placements from surviving packings, enumerating per-node
 	// concern scores that fit in the part (Algorithm 3's final loop:
@@ -313,7 +331,7 @@ func Enumerate(spec *concern.Spec, v int) ([]Important, error) {
 		p   Placement
 		vec Vector
 	}
-	perPacking := xparallel.Map(len(packings), 0, func(i int) []cand {
+	perPacking, err := xparallel.MapCtx(ctx, len(packings), 0, func(i int) []cand {
 		var cands []cand
 		for _, part := range packings[i] {
 			for _, p := range expandPerNode(spec, perNodeScores, part) {
@@ -322,6 +340,9 @@ func Enumerate(spec *concern.Spec, v int) ([]Important, error) {
 		}
 		return cands
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	seen := make(map[uint64][]Vector)
 	var out []Important

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/concern"
+	"repro/internal/nperr"
 	"repro/internal/topology"
 )
 
@@ -20,13 +21,13 @@ func Pin(spec *concern.Spec, p Placement, v int) ([]topology.ThreadID, error) {
 	nodes := p.Nodes.IDs()
 	n := len(nodes)
 	if n == 0 {
-		return nil, fmt.Errorf("placement: empty node set")
+		return nil, fmt.Errorf("placement: empty node set: %w", nperr.ErrInfeasible)
 	}
 	if v%n != 0 {
-		return nil, fmt.Errorf("placement: %d vCPUs not divisible by %d nodes", v, n)
+		return nil, fmt.Errorf("placement: %d vCPUs not divisible by %d nodes: %w", v, n, nperr.ErrInfeasible)
 	}
 	if v/n > t.ThreadsPerNode() {
-		return nil, fmt.Errorf("placement: %d vCPUs per node exceeds capacity %d", v/n, t.ThreadsPerNode())
+		return nil, fmt.Errorf("placement: %d vCPUs per node exceeds capacity %d: %w", v/n, t.ThreadsPerNode(), nperr.ErrInfeasible)
 	}
 	if len(p.PerNodeScores) != len(spec.PerNode) {
 		return nil, fmt.Errorf("placement: %d per-node scores for %d concerns", len(p.PerNodeScores), len(spec.PerNode))

@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/machines"
+	"repro/internal/nperr"
 	"repro/internal/perfsim"
 	"repro/internal/placement"
 	"repro/internal/topology"
@@ -94,11 +96,19 @@ func NewExperiment(m machines.Machine, w perfsim.Workload, v int, pred *core.Pre
 	if err != nil {
 		return nil, err
 	}
+	return NewExperimentPrepared(spec, imps, w, v, pred)
+}
+
+// NewExperimentPrepared builds an experiment from an already-derived
+// concern spec and important-placement enumeration (e.g. a serving engine's
+// memoized artifacts); spec and imps must belong together.
+func NewExperimentPrepared(spec *concern.Spec, imps []placement.Important, w perfsim.Workload, v int, pred *core.Predictor) (*Experiment, error) {
 	if pred != nil && pred.NumPlacements != len(imps) {
-		return nil, fmt.Errorf("sched: predictor has %d placements, machine yields %d", pred.NumPlacements, len(imps))
+		return nil, fmt.Errorf("sched: predictor has %d placements, machine yields %d: %w",
+			pred.NumPlacements, len(imps), nperr.ErrMachineMismatch)
 	}
 	return &Experiment{
-		Machine: m, Spec: spec, V: v, Workload: w,
+		Machine: spec.Machine, Spec: spec, V: v, Workload: w,
 		Placements: imps, Predictor: pred,
 		Trials: 5, Seed: 1, Headroom: 0.12,
 	}, nil
@@ -138,12 +148,21 @@ func (e *Experiment) trials() int {
 // Run packs the machine under the given policy with the goal expressed as
 // a fraction of baseline performance and returns the Figure 5 metrics.
 func (e *Experiment) Run(kind PolicyKind, goalFrac float64) (*Result, error) {
+	return e.RunCtx(context.Background(), kind, goalFrac)
+}
+
+// RunCtx is Run with cancellation: the context is checked before the
+// packing phase and before every noisy trial.
+func (e *Experiment) RunCtx(ctx context.Context, kind PolicyKind, goalFrac float64) (*Result, error) {
 	basePerf, err := e.BaselinePerf()
 	if err != nil {
 		return nil, err
 	}
 	goal := goalFrac * basePerf
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var tenantsFn func(trial int) ([]perfsim.Tenant, error)
 	switch kind {
 	case ML:
@@ -157,7 +176,7 @@ func (e *Experiment) Run(kind PolicyKind, goalFrac float64) (*Result, error) {
 			rng := xrand.New(xrand.Mix(e.Seed, uint64(trial), 0xC095))
 			threads := perfsim.LinuxMap(e.Machine, e.V, nil, rng)
 			if threads == nil {
-				return nil, fmt.Errorf("sched: machine cannot host one instance")
+				return nil, fmt.Errorf("sched: machine cannot host one instance: %w", nperr.ErrMachineFull)
 			}
 			return []perfsim.Tenant{{W: e.Workload, Threads: threads}}, nil
 		}
@@ -182,6 +201,9 @@ func (e *Experiment) Run(kind PolicyKind, goalFrac float64) (*Result, error) {
 	var violationSum float64
 	violations := 0
 	for trial := 0; trial < e.trials(); trial++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tenants, err := tenantsFn(trial)
 		if err != nil {
 			return nil, err
@@ -216,7 +238,7 @@ func (e *Experiment) Run(kind PolicyKind, goalFrac float64) (*Result, error) {
 // nodes cannot host another instance in its chosen class.
 func (e *Experiment) placeML(goal float64) ([]perfsim.Tenant, error) {
 	if e.Predictor == nil {
-		return nil, fmt.Errorf("sched: ML policy requires a predictor")
+		return nil, fmt.Errorf("sched: ML policy requires a predictor: %w", nperr.ErrUntrained)
 	}
 	free := topology.FullNodeSet(e.Machine.Topo.NumNodes)
 	var tenants []perfsim.Tenant
@@ -248,7 +270,7 @@ func (e *Experiment) placeML(goal float64) ([]perfsim.Tenant, error) {
 		tenants = append(tenants, perfsim.Tenant{W: e.Workload, Threads: threads})
 	}
 	if len(tenants) == 0 {
-		return nil, fmt.Errorf("sched: ML placed no instances")
+		return nil, fmt.Errorf("sched: ML placed no instances: %w", nperr.ErrMachineFull)
 	}
 	return tenants, nil
 }
@@ -277,6 +299,25 @@ func (e *Experiment) observePair(c *container.Container, trial int) (float64, fl
 // choosePlacement returns the index of the cheapest placement predicted to
 // meet the goal; if none does, the fastest predicted placement.
 func (e *Experiment) choosePlacement(vec []float64, basePerf, goal float64) int {
+	return ChooseByVector(e.Placements, vec, basePerf, goal)
+}
+
+// ChooseByVector implements the paper's Step 4 decision rule over a
+// predicted performance vector: the cheapest (fewest-node) placement class
+// predicted to meet the goal, or the fastest predicted class when the goal
+// is unreachable. It is the head of rankClasses' preference order, shared
+// by the batch packing experiment and the incremental serving scheduler.
+func ChooseByVector(imps []placement.Important, vec []float64, basePerf, goal float64) int {
+	return rankClasses(imps, vec, basePerf, goal)[0]
+}
+
+// rankClasses returns placement-class indices in the Step 4 preference
+// order: classes predicted to meet the goal first (fewest nodes, then
+// fastest predicted, then lowest index), followed by the goal-missing
+// classes by descending predicted performance. The serving scheduler
+// walks the whole ranking to find a class that fits the free nodes; the
+// batch policy takes the head.
+func rankClasses(imps []placement.Important, vec []float64, basePerf, goal float64) []int {
 	type cand struct {
 		idx   int
 		nodes int
@@ -288,27 +329,32 @@ func (e *Experiment) choosePlacement(vec []float64, basePerf, goal float64) int 
 			continue
 		}
 		// Vector entries are base/perf: predicted perf = base / entry.
-		cands = append(cands, cand{i, e.Placements[i].Nodes.Len(), basePerf / rel})
+		cands = append(cands, cand{i, imps[i].Nodes.Len(), basePerf / rel})
 	}
+	meets := func(c cand) bool { return c.perf >= goal }
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].nodes != cands[b].nodes {
-			return cands[a].nodes < cands[b].nodes
+		ca, cb := cands[a], cands[b]
+		if meets(ca) != meets(cb) {
+			return meets(ca)
 		}
-		return cands[a].perf > cands[b].perf
+		if meets(ca) {
+			// Goal-meeting classes: cheapest first, fastest within a
+			// node count.
+			if ca.nodes != cb.nodes {
+				return ca.nodes < cb.nodes
+			}
+		}
+		// Best-effort classes: fastest first regardless of cost.
+		if ca.perf != cb.perf {
+			return ca.perf > cb.perf
+		}
+		return ca.idx < cb.idx
 	})
-	for _, c := range cands {
-		if c.perf >= goal {
-			return c.idx
-		}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
 	}
-	// Goal unreachable: best effort.
-	best := cands[0]
-	for _, c := range cands[1:] {
-		if c.perf > best.perf {
-			best = c
-		}
-	}
-	return best.idx
+	return out
 }
 
 // placeAggressive fills the machine with unpinned instances.
@@ -328,7 +374,7 @@ func (e *Experiment) placeAggressive(trial int) ([]perfsim.Tenant, error) {
 		tenants = append(tenants, perfsim.Tenant{W: e.Workload, Threads: threads})
 	}
 	if len(tenants) == 0 {
-		return nil, fmt.Errorf("sched: aggressive placed no instances")
+		return nil, fmt.Errorf("sched: aggressive placed no instances: %w", nperr.ErrMachineFull)
 	}
 	return tenants, nil
 }
@@ -349,7 +395,7 @@ func (e *Experiment) placeSmartAggressive() ([]perfsim.Tenant, error) {
 		}
 	}
 	if l2Score == -1 {
-		return nil, fmt.Errorf("sched: no %d-node placement class exists", minNodes)
+		return nil, fmt.Errorf("sched: no %d-node placement class exists: %w", minNodes, nperr.ErrInfeasible)
 	}
 	free := topology.FullNodeSet(topo.NumNodes)
 	var tenants []perfsim.Tenant
@@ -369,7 +415,7 @@ func (e *Experiment) placeSmartAggressive() ([]perfsim.Tenant, error) {
 		tenants = append(tenants, perfsim.Tenant{W: e.Workload, Threads: threads})
 	}
 	if len(tenants) == 0 {
-		return nil, fmt.Errorf("sched: smart-aggressive placed no instances")
+		return nil, fmt.Errorf("sched: smart-aggressive placed no instances: %w", nperr.ErrMachineFull)
 	}
 	return tenants, nil
 }

@@ -1,0 +1,396 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/concern"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/migrate"
+	"repro/internal/nperr"
+	"repro/internal/perfsim"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// ServeConfig tunes the incremental scheduler.
+type ServeConfig struct {
+	// GoalFrac is the performance goal for each admitted container as a
+	// fraction of its own observed baseline throughput (default 1.0).
+	GoalFrac float64
+	// Headroom is the safety margin demanded above the goal when choosing
+	// a placement class: 0 selects the default 0.12 (as in the batch ML
+	// policy), a negative value selects no margin at all.
+	Headroom float64
+	// Migration configures the migration mechanism used when Rebalance
+	// moves a container (zero value = calibrated defaults).
+	Migration migrate.Config
+}
+
+func (c ServeConfig) goalFrac() float64 {
+	if c.GoalFrac <= 0 {
+		return 1.0
+	}
+	return c.GoalFrac
+}
+
+func (c ServeConfig) headroom() float64 {
+	switch {
+	case c.Headroom < 0:
+		return 0
+	case c.Headroom == 0:
+		return 0.12
+	default:
+		return c.Headroom
+	}
+}
+
+// Assignment describes one admitted container: where it runs and what the
+// model predicted for it.
+type Assignment struct {
+	ID       int
+	Workload string
+	VCPUs    int
+	// Class is the 1-based important-placement ID of the chosen class.
+	Class int
+	// Nodes is the concrete node set the container is pinned to.
+	Nodes topology.NodeSet
+	// Threads is the vCPU-to-hardware-thread pinning.
+	Threads []topology.ThreadID
+	// BasePerf is the container's observed baseline throughput and
+	// PredictedPerf the model's prediction for the chosen class.
+	BasePerf      float64
+	PredictedPerf float64
+}
+
+// RebalanceMove records one container migration performed by Rebalance.
+type RebalanceMove struct {
+	ID        int
+	FromClass int
+	ToClass   int
+	FromNodes topology.NodeSet
+	ToNodes   topology.NodeSet
+	// Seconds is the simulated migration time (fast mechanism).
+	Seconds float64
+}
+
+// RebalanceReport summarizes one Rebalance pass.
+type RebalanceReport struct {
+	Examined int
+	Moves    []RebalanceMove
+	// TotalSeconds is the summed simulated migration time of all moves.
+	TotalSeconds float64
+}
+
+// Scheduler is a long-lived incremental packing scheduler: the online
+// counterpart of the batch ML policy in Experiment. Containers are admitted
+// one at a time (observe in the predictor's two input placements, predict
+// the full vector, pin to the cheapest class meeting the goal on the best
+// free nodes), released individually, and periodically rebalanced onto
+// better node sets freed by departures. All methods are safe for concurrent
+// use.
+type Scheduler struct {
+	machine machines.Machine
+	spec    *concern.Spec
+	// imps resolves the important placements for a container size
+	// (typically a serving engine's memoized enumeration).
+	imps func(ctx context.Context, v int) ([]placement.Important, error)
+	// pred resolves the trained predictor for a container size, nil if
+	// none is available.
+	pred func(v int) *core.Predictor
+	// pin materializes a placement into a thread assignment (typically a
+	// serving engine's memoized pinner — Admit re-pins the same base and
+	// probe placements on every admission).
+	pin func(ctx context.Context, p placement.Placement, v int) ([]topology.ThreadID, error)
+	cfg ServeConfig
+
+	mu      sync.Mutex
+	free    topology.NodeSet
+	nextID  int
+	tenants map[int]*tenant
+}
+
+type tenant struct {
+	c        *container.Container
+	class    int // index into the enumeration for its vCPU count
+	classID  int // 1-based important-placement ID
+	nodes    topology.NodeSet
+	basePerf float64
+	vec      []float64
+	goal     float64
+}
+
+// NewScheduler builds an empty scheduler over the machine described by
+// spec. imps, pred and pin supply the model artifacts per container size;
+// pred may return nil (admissions then fail with nperr.ErrUntrained), and
+// a nil pin falls back to the uncached placement.Pin.
+func NewScheduler(spec *concern.Spec,
+	imps func(ctx context.Context, v int) ([]placement.Important, error),
+	pred func(v int) *core.Predictor,
+	pin func(ctx context.Context, p placement.Placement, v int) ([]topology.ThreadID, error),
+	cfg ServeConfig) *Scheduler {
+	if pin == nil {
+		pin = func(_ context.Context, p placement.Placement, v int) ([]topology.ThreadID, error) {
+			return placement.Pin(spec, p, v)
+		}
+	}
+	return &Scheduler{
+		machine: spec.Machine,
+		spec:    spec,
+		imps:    imps,
+		pred:    pred,
+		pin:     pin,
+		cfg:     cfg,
+		free:    topology.FullNodeSet(spec.Machine.Topo.NumNodes),
+		tenants: map[int]*tenant{},
+	}
+}
+
+// Free returns the currently unallocated node set.
+func (s *Scheduler) Free() topology.NodeSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.free
+}
+
+// Len returns the number of admitted containers.
+func (s *Scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tenants)
+}
+
+// Assignments returns a snapshot of all admitted containers in ascending
+// ID order.
+func (s *Scheduler) Assignments() []Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Assignment, 0, len(s.tenants))
+	for _, id := range s.liveIDs() {
+		out = append(out, s.assignment(s.tenants[id]))
+	}
+	return out
+}
+
+// liveIDs returns the admitted container IDs in ascending (admission)
+// order. Callers hold s.mu. Iterating the live map rather than the whole
+// issued-ID range keeps long-lived engines O(live tenants) regardless of
+// how many admissions have come and gone.
+func (s *Scheduler) liveIDs() []int {
+	ids := make([]int, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+func (s *Scheduler) assignment(t *tenant) Assignment {
+	return Assignment{
+		ID:            t.c.ID(),
+		Workload:      t.c.Workload().Name,
+		VCPUs:         t.c.VCPUs(),
+		Class:         t.classID,
+		Nodes:         t.nodes,
+		Threads:       t.c.Threads(),
+		BasePerf:      t.basePerf,
+		PredictedPerf: predictedPerf(t.basePerf, t.vec, t.class),
+	}
+}
+
+func predictedPerf(basePerf float64, vec []float64, class int) float64 {
+	if class < 0 || class >= len(vec) || vec[class] <= 0 {
+		return 0
+	}
+	return basePerf / vec[class]
+}
+
+// Admit observes, predicts and places one new container of workload w with
+// v vCPUs, returning its assignment. It fails with nperr.ErrUntrained when
+// no predictor covers v, nperr.ErrMachineMismatch when the predictor does
+// not match the machine's enumeration, and nperr.ErrMachineFull when no
+// feasible class fits the free nodes.
+func (s *Scheduler) Admit(ctx context.Context, w perfsim.Workload, v int) (*Assignment, error) {
+	imps, err := s.imps(ctx, v)
+	if err != nil {
+		return nil, err
+	}
+	p := s.pred(v)
+	if p == nil {
+		return nil, fmt.Errorf("sched: admitting %d-vCPU container: %w", v, nperr.ErrUntrained)
+	}
+	if p.NumPlacements != len(imps) {
+		return nil, fmt.Errorf("sched: predictor has %d placements, machine yields %d for %d vCPUs: %w",
+			p.NumPlacements, len(imps), v, nperr.ErrMachineMismatch)
+	}
+
+	// Phase 1 (unlocked): reserve an identity, then observe the container
+	// in the predictor's two input placements (measured alone, like the
+	// paper's in-place observation during the first seconds of execution)
+	// and predict its vector. Observation reads no scheduler state, so
+	// concurrent admissions observe in parallel; only node reservation
+	// below needs the lock. A failed admission leaves a gap in the ID
+	// space, which every iterator tolerates.
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	c := container.New(id, w, v)
+	var obs [2]float64
+	for i, pi := range []int{p.Base, p.Probe} {
+		threads, err := s.pin(ctx, imps[pi].Placement, v)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Place(threads, true); err != nil {
+			return nil, err
+		}
+		perf, err := c.Observe(s.machine, c.ID()*2+i)
+		if err != nil {
+			return nil, err
+		}
+		obs[i] = perf
+	}
+	vec, err := p.Predict(obs[0], obs[1])
+	if err != nil {
+		return nil, err
+	}
+	goal := s.cfg.goalFrac() * obs[0] * (1 + s.cfg.headroom())
+
+	// Phase 2 (locked): choose a class that fits the free nodes, pin,
+	// and commit the reservation.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	choice, nodes, ok := s.chooseFitting(imps, vec, obs[0], goal, s.free)
+	if !ok {
+		return nil, fmt.Errorf("sched: %d free nodes cannot host a %d-vCPU container: %w",
+			s.free.Len(), v, nperr.ErrMachineFull)
+	}
+	threads, err := s.pin(ctx, placement.Placement{
+		Nodes:         nodes,
+		PerNodeScores: imps[choice].PerNodeScores,
+	}, v)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Place(threads, true); err != nil {
+		return nil, err
+	}
+
+	s.free = s.free.Minus(nodes)
+	t := &tenant{
+		c: c, class: choice, classID: imps[choice].ID, nodes: nodes,
+		basePerf: obs[0], vec: vec, goal: goal,
+	}
+	s.tenants[c.ID()] = t
+	a := s.assignment(t)
+	return &a, nil
+}
+
+// chooseFitting walks placement classes in the batch policy's preference
+// order (fewest nodes first, fastest predicted within a node count; classes
+// meeting the goal before best-effort) and returns the first class whose
+// node count fits the free set, together with the best concrete node set.
+func (s *Scheduler) chooseFitting(imps []placement.Important, vec []float64, basePerf, goal float64, free topology.NodeSet) (int, topology.NodeSet, bool) {
+	for _, idx := range rankClasses(imps, vec, basePerf, goal) {
+		if imps[idx].Nodes.Len() > free.Len() {
+			continue
+		}
+		if nodes, ok := bestFreeSet(s.machine, free, imps[idx].Nodes.Len()); ok {
+			return idx, nodes, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Release evicts the container with the given ID and returns its nodes to
+// the free pool. Unknown IDs fail with nperr.ErrUnknownContainer.
+func (s *Scheduler) Release(ctx context.Context, id int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return fmt.Errorf("sched: releasing container %d: %w", id, nperr.ErrUnknownContainer)
+	}
+	s.free = s.free.Union(t.nodes)
+	delete(s.tenants, id)
+	return nil
+}
+
+// Rebalance re-evaluates every admitted container in admission order
+// against the current free nodes: a container moves when its preferred
+// class (or a better concrete node set of its current class) became
+// available after departures. Each move's migration is simulated with the
+// paper's fast mechanism and its cost accumulated in the report.
+//
+// The pass is deliberately atomic: it holds the scheduler lock end to
+// end so admissions never interleave with a half-applied re-packing.
+// That is cheap in practice — every tenant's enumeration was already
+// resolved at admission (the imps source is cache-warm), and pinning and
+// migration simulation are microsecond-scale — but a Place or Release
+// issued mid-pass waits for the pass to finish.
+func (s *Scheduler) Rebalance(ctx context.Context) (*RebalanceReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := &RebalanceReport{}
+	for _, id := range s.liveIDs() {
+		t := s.tenants[id]
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep.Examined++
+		imps, err := s.imps(ctx, t.c.VCPUs())
+		if err != nil {
+			return nil, err
+		}
+		// Re-plan with the container's own nodes returned to the pool.
+		avail := s.free.Union(t.nodes)
+		choice, nodes, ok := s.chooseFitting(imps, t.vec, t.basePerf, t.goal, avail)
+		if !ok || nodes == t.nodes {
+			continue
+		}
+		better := false
+		switch {
+		case predictedPerf(t.basePerf, t.vec, choice) > predictedPerf(t.basePerf, t.vec, t.class):
+			better = true // strictly faster class became available
+		case choice == t.class && s.machine.IC.Measure(nodes) > s.machine.IC.Measure(t.nodes):
+			better = true // same class, higher-bandwidth node set
+		}
+		if !better {
+			continue
+		}
+		threads, err := s.pin(ctx, placement.Placement{
+			Nodes:         nodes,
+			PerNodeScores: imps[choice].PerNodeScores,
+		}, t.c.VCPUs())
+		if err != nil {
+			return nil, err
+		}
+		res, err := migrate.RunCtx(ctx, migrate.ProfileFor(t.c.Workload(), t.c.VCPUs()), migrate.Fast, s.cfg.Migration)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.c.Place(threads, true); err != nil {
+			return nil, err
+		}
+		rep.Moves = append(rep.Moves, RebalanceMove{
+			ID: id, FromClass: t.classID, ToClass: imps[choice].ID,
+			FromNodes: t.nodes, ToNodes: nodes, Seconds: res.Seconds,
+		})
+		rep.TotalSeconds += res.Seconds
+		s.free = avail.Minus(nodes)
+		t.class, t.classID, t.nodes = choice, imps[choice].ID, nodes
+	}
+	return rep, nil
+}

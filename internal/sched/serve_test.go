@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/concern"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/mlearn"
+	"repro/internal/nperr"
+	"repro/internal/placement"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// newTestScheduler trains a quick predictor on machine m and wraps it in a
+// Scheduler whose artifact sources mimic a serving engine (memoized spec
+// and enumeration).
+func newTestScheduler(t *testing.T, m machines.Machine, v int, cfg ServeConfig) (*Scheduler, *concern.Spec) {
+	t.Helper()
+	spec := concern.FromMachine(m)
+	imps, err := placement.Enumerate(spec, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := append(workloads.Paper(), workloads.CorpusFrom(8, 3, []string{"flat", "bw", "lat"})...)
+	ds, err := core.CollectPrepared(context.Background(), spec, imps, ws, v, core.CollectConfig{Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.Train(ds, core.TrainConfig{
+		Seed: 1, Forest: mlearn.ForestConfig{Trees: 10},
+		SelectionTrees: 4, SelectionFolds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(spec,
+		func(ctx context.Context, vv int) ([]placement.Important, error) {
+			if vv != v {
+				return placement.EnumerateCtx(ctx, spec, vv)
+			}
+			return imps, nil
+		},
+		func(vv int) *core.Predictor {
+			if vv != v {
+				return nil
+			}
+			return pred
+		},
+		nil, // default uncached pinner
+		cfg)
+	return s, spec
+}
+
+func TestSchedulerAdmitReleaseLifecycle(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	s, _ := newTestScheduler(t, m, 16, ServeConfig{})
+	wt, _ := workloads.ByName("WTbtree")
+
+	full := topology.FullNodeSet(m.Topo.NumNodes)
+	var admitted []*Assignment
+	for {
+		a, err := s.Admit(ctx, wt, 16)
+		if err != nil {
+			if !errors.Is(err, nperr.ErrMachineFull) {
+				t.Fatalf("Admit err = %v, want ErrMachineFull", err)
+			}
+			break
+		}
+		if len(a.Threads) != 16 {
+			t.Fatalf("assignment has %d threads, want 16", len(a.Threads))
+		}
+		admitted = append(admitted, a)
+		if len(admitted) > m.Topo.NumNodes {
+			t.Fatal("runaway admission")
+		}
+	}
+	if len(admitted) < 2 {
+		t.Fatalf("admitted %d, want >= 2", len(admitted))
+	}
+	// Disjoint node sets, consistent free set.
+	var used topology.NodeSet
+	for _, a := range admitted {
+		if used.Intersect(a.Nodes) != 0 {
+			t.Fatal("overlapping assignments")
+		}
+		used = used.Union(a.Nodes)
+	}
+	if s.Free() != full.Minus(used) {
+		t.Fatalf("free = %s, want %s", s.Free(), full.Minus(used))
+	}
+	if s.Len() != len(admitted) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(admitted))
+	}
+
+	// Unknown container size has no predictor.
+	if _, err := s.Admit(ctx, wt, 8); !errors.Is(err, nperr.ErrUntrained) {
+		t.Errorf("Admit(8 vCPUs) err = %v, want ErrUntrained", err)
+	}
+
+	// Release returns nodes; double release fails typed.
+	if err := s.Release(ctx, admitted[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(ctx, admitted[0].ID); !errors.Is(err, nperr.ErrUnknownContainer) {
+		t.Errorf("double Release err = %v, want ErrUnknownContainer", err)
+	}
+	if s.Free() != full.Minus(used).Union(admitted[0].Nodes) {
+		t.Fatal("release did not return nodes")
+	}
+
+	// Admission works again after release.
+	if _, err := s.Admit(ctx, wt, 16); err != nil {
+		t.Fatalf("Admit after release: %v", err)
+	}
+}
+
+func TestSchedulerRebalanceImproves(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	// A relaxed goal admits in the smallest (2-node) classes, so the
+	// 8-node machine packs four containers and departures leave holes
+	// worth rebalancing into.
+	s, _ := newTestScheduler(t, m, 16, ServeConfig{GoalFrac: 0.5})
+	wt, _ := workloads.ByName("WTbtree")
+
+	// Fill the machine, then release the first container: the freed nodes
+	// include the machine's best sets (bestFreeSet picks greedily), so a
+	// survivor may profit from moving.
+	var admitted []*Assignment
+	for {
+		a, err := s.Admit(ctx, wt, 16)
+		if err != nil {
+			break
+		}
+		admitted = append(admitted, a)
+	}
+	if len(admitted) < 3 {
+		t.Skipf("only %d admissions; need 3 for a meaningful rebalance", len(admitted))
+	}
+	if err := s.Release(ctx, admitted[0].ID); err != nil {
+		t.Fatal(err)
+	}
+
+	icBefore := map[int]int64{}
+	for _, a := range s.Assignments() {
+		icBefore[a.ID] = m.IC.Measure(a.Nodes)
+	}
+	rep, err := s.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Examined != len(admitted)-1 {
+		t.Fatalf("examined %d, want %d", rep.Examined, len(admitted)-1)
+	}
+	// No container got a worse interconnect score, and every move that
+	// kept its class strictly improved it.
+	for _, a := range s.Assignments() {
+		if m.IC.Measure(a.Nodes) < icBefore[a.ID] {
+			t.Fatalf("container %d degraded by rebalance", a.ID)
+		}
+	}
+	for _, mv := range rep.Moves {
+		if mv.Seconds <= 0 {
+			t.Fatal("move without migration cost")
+		}
+	}
+	// Rebalance is idempotent at a fixed point: a second pass moves
+	// nothing.
+	rep2, err := s.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Moves) != 0 {
+		t.Fatalf("second rebalance moved %d containers, want 0", len(rep2.Moves))
+	}
+
+	// Cancellation: a cancelled context aborts the pass.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.Rebalance(cancelled); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Rebalance err = %v, want context.Canceled", err)
+	}
+}

@@ -10,7 +10,10 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"strings"
+
+	"repro/internal/xrand"
 )
 
 // NodeID identifies a NUMA node.
@@ -173,4 +176,25 @@ func (t *Topology) String() string {
 		t.Name, t.NumNodes, t.CoresPerNode, t.ThreadsPerCore,
 		t.TotalThreads(), t.NumL2, t.NumL3)
 	return b.String()
+}
+
+// Fingerprint returns a 64-bit value hash of the machine's structural
+// parameters. Two topologies built from identical Params fingerprint
+// identically regardless of pointer identity; serving-layer caches key
+// their memoized artifacts on it.
+func (t *Topology) Fingerprint() uint64 {
+	h := xrand.HashString(t.Name)
+	for _, x := range []int{
+		t.NumNodes, t.CoresPerNode, t.ThreadsPerCore, t.CoresPerL2,
+		t.L3PerNode, t.L2SizeKB, t.L3SizeKB,
+	} {
+		h = xrand.Mix2(h, uint64(x))
+	}
+	h = xrand.Mix2(h, uint64(t.NodeDRAMBandwidthMBs))
+	for _, f := range []float64{
+		t.CoreSpeed, t.LatSameL2NS, t.LatSameL3NS, t.LatOneHopNS, t.LatTwoHopNS,
+	} {
+		h = xrand.Mix2(h, math.Float64bits(f))
+	}
+	return h
 }

@@ -6,6 +6,7 @@
 package xparallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -72,12 +73,33 @@ func reserveWorker(limit int32) bool {
 // exactly once. A panic in any fn is re-raised on the calling goroutine
 // after all workers stop.
 func ForEach(n, workers int, fn func(i int)) {
+	forEach(nil, n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: workers stop pulling new indices
+// once ctx is done and the call returns ctx.Err(). Indices already handed
+// out still complete (fn is never interrupted mid-item), so on a nil error
+// every index ran exactly once, and on cancellation a prefix-closed subset
+// ran — callers must discard partial results when an error is returned.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	forEach(ctx.Done(), n, workers, fn)
+	return ctx.Err()
+}
+
+func forEach(done <-chan struct{}, n, workers int, fn func(i int)) {
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			fn(i)
 		}
 		return
@@ -95,6 +117,14 @@ func ForEach(n, workers int, fn func(i int)) {
 			}
 		}()
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					next.Store(int64(n))
+					return
+				default:
+				}
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
@@ -143,6 +173,34 @@ func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	ForEach(n, workers, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MapCtx is Map with cancellation: it returns (nil, ctx.Err()) if ctx was
+// done before every index completed, and the full ordered result slice
+// otherwise.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	if err := ForEachCtx(ctx, n, workers, func(i int) { out[i] = fn(i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapErrCtx is MapErr with cancellation. Cancellation takes precedence over
+// item errors: once ctx is done the call returns ctx.Err() even if some
+// completed items also failed, because the batch is known incomplete.
+func MapErrCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if err := ForEachCtx(ctx, n, workers, func(i int) { out[i], errs[i] = fn(i) }); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,10 +1,12 @@
 package xparallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
+	"slices"
 	"sync/atomic"
 	"testing"
 )
@@ -91,5 +93,91 @@ func TestForEachPropagatesPanic(t *testing.T) {
 				}
 			})
 		}()
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int32{}
+	err := ForEachCtx(ctx, 100, 4, func(i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// No new work may start after cancellation (a few in-flight items are
+	// permitted by contract, but a pre-cancelled ctx admits none on the
+	// serial path and at most the initial grabs on the parallel path).
+	if n := ran.Load(); n > 4 {
+		t.Fatalf("%d items ran after pre-cancellation", n)
+	}
+}
+
+func TestForEachCtxCompletes(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var ran atomic.Int32
+		if err := ForEachCtx(context.Background(), 50, workers, func(i int) { ran.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if ran.Load() != 50 {
+			t.Fatalf("workers=%d: ran %d of 50", workers, ran.Load())
+		}
+	}
+}
+
+func TestMapCtxMatchesMap(t *testing.T) {
+	want := Map(40, 3, func(i int) int { return i * i })
+	got, err := MapCtx(context.Background(), 40, 3, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("MapCtx = %v, want %v", got, want)
+	}
+}
+
+func TestMapErrCtxCancellationWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	_, err := MapErrCtx(ctx, 100, 4, func(i int) (int, error) {
+		if i == 0 {
+			cancel() // cancel from inside the batch
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to take precedence", err)
+	}
+}
+
+func TestMapErrCtxLowestErrorWins(t *testing.T) {
+	boom0, boom7 := errors.New("b0"), errors.New("b7")
+	_, err := MapErrCtx(context.Background(), 10, 4, func(i int) (int, error) {
+		switch i {
+		case 0:
+			return 0, boom0
+		case 7:
+			return 0, boom7
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom0) {
+		t.Fatalf("err = %v, want lowest-index error", err)
+	}
+}
+
+func TestForEachCtxMidFlightCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 1_000_000, 4, func(i int) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 1000 {
+		t.Fatalf("%d items ran after mid-flight cancel (want prompt stop)", n)
 	}
 }

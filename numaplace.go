@@ -2,20 +2,31 @@
 // "Placement of Virtual Containers on NUMA systems: A Practical and
 // Comprehensive Model" (Funston et al., USENIX ATC 2018).
 //
-// It re-exports the pipeline end to end:
+// The primary API is the long-lived, concurrency-safe Engine, which owns
+// memoized caches for the expensive pipeline artifacts and serves both the
+// batch lifecycle and an online placement scheduler:
 //
-//	m := numaplace.AMD()                         // machine description
-//	spec := numaplace.SpecFor(m)                 // Step 1: concerns
-//	placements, _ := numaplace.Placements(spec, 16) // Step 2: important placements
-//	ds, _ := numaplace.Collect(m, ws, 16, ...)   // Step 3: training runs
-//	pred, _ := numaplace.Train(ds, ...)          //         model
-//	vec, _ := pred.Predict(perfA, perfB)         // Step 4: predict & place
+//	eng := numaplace.New(numaplace.AMD())
+//	placements, _ := eng.Placements(ctx, 16)     // Step 2: memoized
+//	ds, _ := eng.Collect(ctx, ws, 16)            // Step 3: training runs
+//	pred, _ := eng.Train(ctx, ds)                //         model (registered)
+//	vec, _ := eng.Predict(16, perfA, perfB)      // Step 4: predict
+//	a, _ := eng.Place(ctx, workload, 16)         // online: admit & pin
+//	eng.Release(ctx, a.ID)                       //         evict
+//	eng.Rebalance(ctx)                           //         re-pack
 //
-// See the examples/ directory for runnable programs and internal/… for the
-// full implementation.
+// Every Engine method takes a context.Context and is cancellable; failures
+// callers can branch on wrap the sentinel errors in errors.go.
+//
+// The original stateless free functions (Placements, Collect, Train, …)
+// remain as deprecated wrappers delegating to a process-wide default
+// Engine per machine, so existing programs keep working — and silently
+// gain the shared caches. See the examples/ directory for runnable
+// programs and internal/… for the full implementation.
 package numaplace
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/concern"
@@ -41,6 +52,23 @@ var (
 // Machine bundles a topology and interconnect graph.
 type Machine = machines.Machine
 
+// MachineByName resolves the CLI-style machine names ("amd", "intel",
+// "zen", "haswell-cod") to a machine description.
+func MachineByName(name string) (Machine, bool) {
+	switch name {
+	case "amd":
+		return AMD(), true
+	case "intel":
+		return Intel(), true
+	case "zen":
+		return Zen(), true
+	case "haswell-cod":
+		return HaswellCoD(), true
+	default:
+		return Machine{}, false
+	}
+}
+
 // SetParallelism bounds the worker pool shared by placement enumeration,
 // forest training and the experiment drivers; n <= 0 restores the default
 // (GOMAXPROCS). It returns the previous setting. Results are bit-identical
@@ -51,20 +79,52 @@ func SetParallelism(n int) int { return xparallel.SetMaxWorkers(n) }
 type Spec = concern.Spec
 
 // SpecFor derives the concern specification from a machine description.
+// The returned spec is the caller's own fresh derivation (safe to modify);
+// passing it unmodified to the deprecated wrappers below still hits the
+// default Engine's caches, because they recognize specs equivalent to the
+// machine's canonical one.
+//
+// Deprecated: use New(m).Spec(); the Engine derives and retains the spec.
 func SpecFor(m Machine) *Spec { return concern.FromMachine(m) }
 
 // Important is one important placement with its score vector.
 type Important = placement.Important
 
+// Placement is a class of vCPU-to-hardware mappings: a node set plus the
+// sharing degree chosen for each enumerated per-node concern.
+type Placement = placement.Placement
+
 // Placements enumerates the important placements for a container size
 // (paper Algorithms 1-3).
+//
+// Deprecated: use Engine.Placements, which memoizes the enumeration and
+// lets concurrent callers share one computation. This wrapper delegates to
+// the machine's default Engine (results are bit-identical); hand-built
+// specs without a full machine description keep the direct, uncached path.
 func Placements(spec *Spec, vcpus int) ([]Important, error) {
-	return placement.Enumerate(spec, vcpus)
+	if !specHasMachine(spec) {
+		return placement.Enumerate(spec, vcpus)
+	}
+	return DefaultEngine(spec.Machine).placementsForSpec(context.Background(), spec, vcpus)
 }
 
 // Pin materializes a placement into a vCPU-to-hardware-thread assignment.
-func Pin(spec *Spec, p placement.Placement, vcpus int) ([]topology.ThreadID, error) {
-	return placement.Pin(spec, p, vcpus)
+//
+// Deprecated: use Engine.Pin, which memoizes pinnings. This wrapper
+// delegates to the machine's default Engine; hand-built specs without a
+// full machine description keep the direct, uncached path.
+func Pin(spec *Spec, p Placement, vcpus int) ([]topology.ThreadID, error) {
+	if !specHasMachine(spec) {
+		return placement.Pin(spec, p, vcpus)
+	}
+	return DefaultEngine(spec.Machine).pinForSpec(context.Background(), spec, p, vcpus)
+}
+
+// specHasMachine reports whether the spec carries a complete machine
+// description (hand-built specs may omit it; the old stateless API
+// accepted them, so the deprecated wrappers must keep working).
+func specHasMachine(spec *Spec) bool {
+	return spec != nil && spec.Machine.Topo != nil && spec.Machine.IC != nil
 }
 
 // Workload is a container's performance-sensitivity descriptor.
@@ -84,8 +144,12 @@ type CollectConfig = core.CollectConfig
 
 // Collect measures every workload in every important placement (Step 3's
 // training runs, on the simulated machine).
+//
+// Deprecated: use Engine.Collect, which is cancellable and reuses the
+// Engine's memoized enumeration. This wrapper delegates to the machine's
+// default Engine.
 func Collect(m Machine, ws []Workload, vcpus int, cfg CollectConfig) (*Dataset, error) {
-	return core.Collect(m, ws, vcpus, cfg)
+	return DefaultEngine(m).collectWith(context.Background(), ws, vcpus, cfg)
 }
 
 // TrainConfig configures predictor training.
@@ -96,7 +160,17 @@ type TrainConfig = core.TrainConfig
 type Predictor = core.Predictor
 
 // Train fits a predictor, automatically selecting the two input placements.
-func Train(ds *Dataset, cfg TrainConfig) (*Predictor, error) { return core.Train(ds, cfg) }
+//
+// Deprecated: use Engine.Train, which is cancellable and registers the
+// predictor for online placement. This wrapper delegates to the dataset's
+// machine's default Engine (and registers the predictor there too);
+// hand-assembled datasets without a machine description train directly.
+func Train(ds *Dataset, cfg TrainConfig) (*Predictor, error) {
+	if ds.Machine.Topo == nil || ds.Machine.IC == nil {
+		return core.Train(ds, cfg)
+	}
+	return DefaultEngine(ds.Machine).trainWith(context.Background(), ds, cfg)
+}
 
 // LoadPredictor reads a predictor saved with Predictor.Save.
 func LoadPredictor(r io.Reader) (*Predictor, error) { return core.LoadPredictor(r) }
@@ -108,8 +182,12 @@ func BestPlacement(vec []float64) int { return core.BestPlacement(vec) }
 type PackingExperiment = sched.Experiment
 
 // NewPackingExperiment builds a packing experiment (Figure 5).
+//
+// Deprecated: use Engine.NewPackingExperiment, which reuses the Engine's
+// memoized spec and enumeration and honours a context. This wrapper
+// delegates to the machine's default Engine.
 func NewPackingExperiment(m Machine, w Workload, vcpus int, pred *Predictor) (*PackingExperiment, error) {
-	return sched.NewExperiment(m, w, vcpus, pred)
+	return DefaultEngine(m).newExperiment(context.Background(), w, vcpus, pred)
 }
 
 // Packing policies (Figure 5).
@@ -136,6 +214,8 @@ const (
 )
 
 // Migrate simulates one container migration.
+//
+// Deprecated: use Engine.Migrate, which honours a context.
 func Migrate(p MigrationProfile, mech migrate.Mechanism, cfg migrate.Config) (*migrate.Result, error) {
-	return migrate.Run(p, mech, cfg)
+	return migrate.RunCtx(context.Background(), p, mech, cfg)
 }

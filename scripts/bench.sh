@@ -1,11 +1,15 @@
 #!/bin/sh
 # Runs the benchmark suite with a fixed -benchtime and converts the output
-# to BENCH_1.json: one record per benchmark with ns/op, B/op and allocs/op.
+# to a JSON report: one record per benchmark with ns/op, B/op and
+# allocs/op. The suite includes the Engine cache-hit-path benchmarks
+# (BenchmarkEnginePlacements/{cold,warm}, BenchmarkEnginePin,
+# BenchmarkEnginePlace); the warm/cold ratio is the serving layer's
+# memoization win and is gated at >= 50x by check_engine_speedup below.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_1.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_2.json)
 set -eu
 
-out="${1:-BENCH_1.json}"
+out="${1:-BENCH_2.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -36,3 +40,15 @@ END {
 }' "$tmp" > "$out"
 
 echo "wrote $out"
+
+# Gate: warm Engine.Placements must be at least 50x faster than the cold
+# enumeration path.
+awk '
+/^BenchmarkEnginePlacements\/cold/ { for (i=3;i<NF;i++) if ($(i+1)=="ns/op") cold=$i }
+/^BenchmarkEnginePlacements\/warm/ { for (i=3;i<NF;i++) if ($(i+1)=="ns/op") warm=$i }
+END {
+    if (cold == "" || warm == "") { print "engine speedup: benchmarks missing"; exit 1 }
+    ratio = cold / warm
+    printf "engine warm-cache speedup: %.0fx (cold %.0f ns/op, warm %.0f ns/op)\n", ratio, cold, warm
+    if (ratio < 50) { print "FAIL: warm Engine.Placements is < 50x faster than cold enumeration"; exit 1 }
+}' "$tmp"
