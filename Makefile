@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench profile ci
 
 all: build
 
@@ -28,9 +28,18 @@ race:
 	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/
 
 # Runs the full benchmark suite with fixed -benchtime and emits
-# BENCH_2.json (includes the Engine warm/cold cache benchmarks and the
-# >= 50x warm-cache gate). Override the budget with BENCHTIME=200ms etc.
+# BENCH_3.json, then applies the gates: Engine warm-cache >= 50x, the
+# compiled-forest serving path at 0 allocs/op, the PR 3 speedup floors and
+# a > 20% regression check against the previous BENCH_*.json. Override the
+# budget with BENCHTIME=200ms etc.
 bench:
-	sh scripts/bench.sh BENCH_2.json
+	sh scripts/bench.sh BENCH_3.json
+
+# Emits a CPU profile of the heaviest training pipeline (the Figure 4
+# cross-validation grid) for `go tool pprof repro.test cpu.prof`.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure4AMD' -benchtime 1x -count 1 \
+		-cpuprofile cpu.prof -o repro.test .
+	@echo "wrote cpu.prof (inspect with: go tool pprof repro.test cpu.prof)"
 
 ci: vet build test

@@ -142,8 +142,38 @@ func BenchmarkAblationForestSize(b *testing.B) {
 }
 
 // BenchmarkPredictLatency measures the paper's "inference time is
-// negligible (milliseconds)" claim for a trained predictor.
+// negligible (milliseconds)" claim for a trained predictor on the serving
+// hot path: PredictInto through the compiled forest, which must run
+// allocation-free (gated at 0 allocs/op in scripts/bench.sh).
 func BenchmarkPredictLatency(b *testing.B) {
+	m := machines.Intel()
+	ws := append(workloads.Paper(), workloads.CorpusFrom(20, 7, []string{"flat", "bw", "lat"})...)
+	ds, err := core.Collect(m, ws, 24, core.CollectConfig{Trials: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := core.Train(ds, core.TrainConfig{
+		Forest: mlearn.ForestConfig{Trees: 100}, FixedPair: &[2]int{1, 6}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := make([]float64, pred.NumPlacements)
+	if err := pred.PredictInto(vec, 1000, 1200); err != nil { // warm (builds the interval table)
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pred.PredictInto(vec, 1000, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures whole-dataset scoring through the
+// compiled forest's tree-outer batch traversal (the cross-validation and
+// evaluation path), reported per dataset pass.
+func BenchmarkPredictBatch(b *testing.B) {
 	m := machines.Intel()
 	ws := append(workloads.Paper(), workloads.CorpusFrom(20, 7, []string{"flat", "bw", "lat"})...)
 	ds, err := core.Collect(m, ws, 24, core.CollectConfig{Trials: 2})
@@ -158,7 +188,7 @@ func BenchmarkPredictLatency(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pred.Predict(1000, 1200); err != nil {
+		if _, err := pred.PredictDataset(ds, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -63,10 +63,14 @@ func main() {
 	}
 	fmt.Printf("%s, %d vCPUs: observe placements #%d and #%d\n", m.Topo.Name, v, pred.Base+1, pred.Probe+1)
 
-	// Training-set accuracy summary.
-	var predAll, actAll [][]float64
+	// Training-set accuracy summary, scored in one batch.
+	predAll, err := pred.PredictDataset(ds, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+	var actAll [][]float64
 	for w := range ds.Workloads {
-		predAll = append(predAll, pred.PredictRow(ds, w))
 		actAll = append(actAll, ds.RelVector(w, pred.Base))
 	}
 	fmt.Printf("training-set MAPE: %.2f%%\n", mlearn.MAPE(predAll, actAll))

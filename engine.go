@@ -358,6 +358,18 @@ func (e *Engine) Predict(vcpus int, perfBase, perfProbe float64) ([]float64, err
 	return p.Predict(perfBase, perfProbe)
 }
 
+// PredictInto is the allocation-free Predict for serving loops: it writes
+// the predicted vector into dst, which must have one entry per important
+// placement (len = Predictor.NumPlacements). Inference runs on the
+// predictor's compiled forest and performs no allocations per call.
+func (e *Engine) PredictInto(dst []float64, vcpus int, perfBase, perfProbe float64) error {
+	p, ok := e.Predictor(vcpus)
+	if !ok {
+		return fmt.Errorf("numaplace: predicting for %d vCPUs: %w", vcpus, ErrUntrained)
+	}
+	return p.PredictInto(dst, perfBase, perfProbe)
+}
+
 // serving returns the lazily built online scheduler.
 func (e *Engine) serving() *sched.Scheduler {
 	e.mu.Lock()

@@ -205,6 +205,18 @@ func TestEngineCollectTrainParity(t *testing.T) {
 	if _, err := eng.Predict(24, -1, 1200); !errors.Is(err, ErrBadObservation) {
 		t.Errorf("Predict(-1) err = %v, want ErrBadObservation", err)
 	}
+
+	// The zero-alloc serving variant must agree bit-for-bit.
+	into := make([]float64, pred.NumPlacements)
+	if err := eng.PredictInto(into, 24, ds.Perf[wi][pred.Base], ds.Perf[wi][pred.Probe]); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(into, vec) {
+		t.Fatal("Engine.PredictInto disagrees with Engine.Predict")
+	}
+	if err := eng.PredictInto(into, 99, 1000, 1200); !errors.Is(err, ErrUntrained) {
+		t.Errorf("PredictInto(untrained size) err = %v, want ErrUntrained", err)
+	}
 }
 
 // TestEngineCancellation covers the cancellation satellite: a context

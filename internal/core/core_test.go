@@ -277,6 +277,69 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveLoadCompiledParity round-trips a trained predictor through its
+// JSON form and asserts the reloaded compiled forest predicts bit-
+// identically to the original across the serving APIs: single, zero-alloc
+// and whole-dataset batch.
+func TestSaveLoadCompiledParity(t *testing.T) {
+	ds := smallDataset(t, false)
+	p, err := Train(ds, fastTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.forest.Compiled() == nil {
+		t.Fatal("loaded predictor has no compiled forest")
+	}
+	dp := make([]float64, p.NumPlacements)
+	dq := make([]float64, q.NumPlacements)
+	for probe := 800.0; probe <= 1600; probe += 7.3 {
+		vp, err := p.Predict(1000, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vq, err := q.Predict(1000, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vp, vq) {
+			t.Fatalf("probe %v: predictions differ after round trip", probe)
+		}
+		if err := q.PredictInto(dq, 1000, probe); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.PredictInto(dp, 1000, probe); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dp, dq) || !reflect.DeepEqual(vp, dq) {
+			t.Fatalf("probe %v: PredictInto diverged after round trip", probe)
+		}
+	}
+	bp, err := p.PredictDataset(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq, err := q.PredictDataset(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bp, bq) {
+		t.Fatal("batch dataset predictions differ after round trip")
+	}
+	for w := range ds.Workloads {
+		if !reflect.DeepEqual(bp[w], p.PredictRow(ds, w)) {
+			t.Fatalf("row %d: batch and per-row predictions differ", w)
+		}
+	}
+}
+
 func TestLoadPredictorErrors(t *testing.T) {
 	if _, err := LoadPredictor(bytes.NewBufferString("{")); err == nil {
 		t.Error("truncated JSON accepted")

@@ -15,13 +15,29 @@ import (
 // perf(Base)/perf(p), the paper's vector convention; lower means placement
 // p is faster than the baseline.
 func (p *Predictor) Predict(perfBase, perfProbe float64) ([]float64, error) {
+	out := make([]float64, p.forest.OutDim())
+	if err := p.PredictInto(out, perfBase, perfProbe); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictInto is the allocation-free Predict for serving hot paths: it
+// writes the predicted vector into dst (len NumPlacements). An untrained
+// or dimension-mismatched predictor yields a typed error (mlearn.
+// ErrEmptyForest / mlearn.ErrDimMismatch) instead of a panic.
+func (p *Predictor) PredictInto(dst []float64, perfBase, perfProbe float64) error {
 	if p.Variant != PerfFeatures {
-		return nil, fmt.Errorf("core: Predict requires the perf-measurements variant, have %s", p.Variant)
+		return fmt.Errorf("core: Predict requires the perf-measurements variant, have %s", p.Variant)
 	}
 	if perfBase <= 0 || perfProbe <= 0 {
-		return nil, fmt.Errorf("core: non-positive performance observation (%v, %v): %w", perfBase, perfProbe, nperr.ErrBadObservation)
+		return fmt.Errorf("core: non-positive performance observation (%v, %v): %w", perfBase, perfProbe, nperr.ErrBadObservation)
 	}
-	return p.forest.Predict([]float64{perfProbe / perfBase}), nil
+	x := [1]float64{perfProbe / perfBase}
+	if err := p.forest.PredictInto(dst, x[:]); err != nil {
+		return fmt.Errorf("core: predicting: %w", err)
+	}
+	return nil
 }
 
 // PredictHPE returns the performance vector from counters observed in the
@@ -42,12 +58,24 @@ func (p *Predictor) PredictHPE(hpes []float64, perfRatio float64) ([]float64, er
 		}
 		x = append(x, hpes[f])
 	}
-	return p.forest.Predict(x), nil
+	out := make([]float64, p.forest.OutDim())
+	if err := p.forest.PredictInto(out, x); err != nil {
+		return nil, fmt.Errorf("core: predicting: %w", err)
+	}
+	return out, nil
 }
 
 // PredictRow runs the predictor on a dataset row (testing/evaluation).
 func (p *Predictor) PredictRow(ds *Dataset, w int) []float64 {
 	return p.forest.Predict(features(ds, p, w))
+}
+
+// PredictDataset scores the given dataset rows (nil = all) in one batch
+// through the compiled forest's tree-outer traversal; row r of the result
+// is bit-identical to PredictRow(ds, rows[r]).
+func (p *Predictor) PredictDataset(ds *Dataset, rows []int) ([][]float64, error) {
+	X := featureMatrix(ds, p, rows)
+	return p.forest.PredictRows(X)
 }
 
 // BestPlacement returns the index of the fastest predicted placement

@@ -192,21 +192,36 @@ func features(ds *Dataset, p *Predictor, w int) []float64 {
 	return x
 }
 
-// designMatrix builds (X, Y) over the given rows (nil = all rows).
-func designMatrix(ds *Dataset, p *Predictor, rows []int) ([][]float64, [][]float64) {
-	if rows == nil {
-		rows = make([]int, len(ds.Workloads))
-		for i := range rows {
-			rows[i] = i
-		}
+// expandRows resolves a row selection (nil = every dataset row).
+func expandRows(ds *Dataset, rows []int) []int {
+	if rows != nil {
+		return rows
 	}
+	rows = make([]int, len(ds.Workloads))
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// featureMatrix builds the model inputs X over the given rows (nil = all).
+func featureMatrix(ds *Dataset, p *Predictor, rows []int) [][]float64 {
+	rows = expandRows(ds, rows)
 	X := make([][]float64, 0, len(rows))
-	Y := make([][]float64, 0, len(rows))
 	for _, w := range rows {
 		X = append(X, features(ds, p, w))
+	}
+	return X
+}
+
+// designMatrix builds (X, Y) over the given rows (nil = all rows).
+func designMatrix(ds *Dataset, p *Predictor, rows []int) ([][]float64, [][]float64) {
+	rows = expandRows(ds, rows)
+	Y := make([][]float64, 0, len(rows))
+	for _, w := range rows {
 		Y = append(Y, ds.RelVector(w, p.Base))
 	}
-	return X, Y
+	return featureMatrix(ds, p, rows), Y
 }
 
 // cvMAPE evaluates a candidate predictor configuration by group k-fold
@@ -231,12 +246,16 @@ func cvMAPE(ctx context.Context, ds *Dataset, p *Predictor, cfg TrainConfig, see
 		if err != nil {
 			return foldOut{}, err
 		}
-		var o foldOut
-		for _, w := range fold.Test {
-			o.pred = append(o.pred, f.Predict(features(ds, p, w)))
-			o.actual = append(o.actual, ds.RelVector(w, p.Base))
+		// Score the whole held-out fold in one batch: the compiled forest
+		// walks tree-outer/row-inner, keeping each tree's nodes cache-hot
+		// across the fold's rows. Row r is bit-identical to a per-row
+		// Predict.
+		Xt, Yt := designMatrix(ds, p, fold.Test)
+		pred, err := f.PredictRows(Xt)
+		if err != nil {
+			return foldOut{}, err
 		}
-		return o, nil
+		return foldOut{pred: pred, actual: Yt}, nil
 	})
 	if err != nil {
 		return 0, err

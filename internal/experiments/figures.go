@@ -229,9 +229,12 @@ func Figure4(ctx context.Context, w io.Writer, m machines.Machine, cfg Config) (
 			return 0, err
 		}
 		wi := ds.WorkloadIndex(pw.Name)
-		predicted := pred.PredictRow(ds, wi)
+		predicted, err := pred.PredictDataset(ds, []int{wi})
+		if err != nil {
+			return 0, err
+		}
 		actual := ds.RelVector(wi, pred.Base)
-		return mlearn.MAPE([][]float64{predicted}, [][]float64{actual}), nil
+		return mlearn.MAPE(predicted, [][]float64{actual}), nil
 	})
 	if err != nil {
 		return nil, err

@@ -34,6 +34,10 @@ type Forest struct {
 	trees  []*Tree
 	inDim  int
 	outDim int
+	// compiled is the flat SoA inference representation, built once at
+	// TrainForest/LoadForest exit; the pointer trees above remain the
+	// construction- and serialization-time form only.
+	compiled *CompiledForest
 }
 
 // TrainForest fits a forest on (X, Y). Trees are grown concurrently on the
@@ -45,6 +49,16 @@ func TrainForest(X, Y [][]float64, cfg ForestConfig) (*Forest, error) {
 		return nil, fmt.Errorf("mlearn: bad training set: %d inputs, %d outputs", len(X), len(Y))
 	}
 	inDim := len(X[0])
+	// Validate row shapes before the presort below touches X[i][fi], so
+	// malformed sets fail with the same typed errors as tree induction.
+	for i := range X {
+		if len(X[i]) != inDim {
+			return nil, fmt.Errorf("mlearn: row %d has %d features, want %d", i, len(X[i]), inDim)
+		}
+		if len(Y[i]) != len(Y[0]) {
+			return nil, fmt.Errorf("mlearn: row %d has %d outputs, want %d", i, len(Y[i]), len(Y[0]))
+		}
+	}
 	treeCfg := cfg.Tree
 	if treeCfg.FeatureSubset <= 0 {
 		treeCfg.FeatureSubset = inDim / 3
@@ -55,26 +69,92 @@ func TrainForest(X, Y [][]float64, cfg ForestConfig) (*Forest, error) {
 	f := &Forest{inDim: inDim, outDim: len(Y[0])}
 	root := xrand.Mix(cfg.Seed, 0xF07E57)
 	n := len(X)
+	// Presort the base set once per forest: every bootstrap tree derives
+	// its per-feature sample orders from these in O(n) instead of sorting
+	// its own sample (see buildTreeBootstrap).
+	baseOrd := make([][]int, inDim)
+	pairs := make([]sortPair, n)
+	for fi := 0; fi < inDim; fi++ {
+		for i := range pairs {
+			pairs[i] = sortPair{v: X[i][fi], i: int32(i)}
+		}
+		sortPairs(pairs)
+		baseOrd[fi] = make([]int, n)
+		for k, p := range pairs {
+			baseOrd[fi][k] = int(p.i)
+		}
+	}
 	trees, err := xparallel.MapErr(cfg.trees(), 0, func(i int) (*Tree, error) {
 		rng := xrand.New(xrand.Mix(root, uint64(i)))
 		// Bootstrap sample.
 		bx := make([][]float64, n)
 		by := make([][]float64, n)
+		ks := make([]int, n)
 		for j := 0; j < n; j++ {
 			k := rng.Intn(n)
+			ks[j] = k
 			bx[j], by[j] = X[k], Y[k]
 		}
-		return BuildTree(bx, by, treeCfg, rng)
+		return buildTreeBootstrap(bx, by, ks, baseOrd, treeCfg, rng)
 	})
 	if err != nil {
 		return nil, err
 	}
 	f.trees = trees
+	f.compiled = compile(f.trees, f.inDim, f.outDim)
 	return f, nil
 }
 
-// Predict averages the trees' output vectors for input x.
+// Predict averages the trees' output vectors for input x. An empty forest
+// (the zero value) yields the zero vector instead of dividing by zero; a
+// dimension mismatch panics — use PredictInto for a typed error.
 func (f *Forest) Predict(x []float64) []float64 {
+	out := make([]float64, f.outDim)
+	if len(f.trees) == 0 {
+		return out
+	}
+	if err := f.PredictInto(out, x); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// PredictInto is the allocation-free Predict: it writes the averaged
+// output vector for x into dst (len OutDim) via the compiled flat
+// representation, returning ErrEmptyForest / ErrDimMismatch instead of
+// panicking. The result is bit-identical to Predict.
+func (f *Forest) PredictInto(dst, x []float64) error {
+	if f == nil || f.compiled == nil {
+		return ErrEmptyForest
+	}
+	return f.compiled.PredictInto(dst, x)
+}
+
+// PredictBatch scores many inputs at once (tree-outer/row-inner traversal;
+// see CompiledForest.PredictBatch). Each dst[r] must have length OutDim.
+func (f *Forest) PredictBatch(dst [][]float64, xs [][]float64) error {
+	if f == nil || f.compiled == nil {
+		return ErrEmptyForest
+	}
+	return f.compiled.PredictBatch(dst, xs)
+}
+
+// PredictRows scores every input row in one batch, allocating the output
+// vectors in a single contiguous block.
+func (f *Forest) PredictRows(xs [][]float64) ([][]float64, error) {
+	if f == nil || f.compiled == nil {
+		return nil, ErrEmptyForest
+	}
+	return f.compiled.PredictRows(xs)
+}
+
+// Compiled returns the forest's flat inference representation (never nil
+// for a trained or loaded forest).
+func (f *Forest) Compiled() *CompiledForest { return f.compiled }
+
+// predictPointer is the original pointer-chasing tree walk, kept as the
+// reference implementation for the compiled-parity tests.
+func (f *Forest) predictPointer(x []float64) []float64 {
 	out := make([]float64, f.outDim)
 	for _, t := range f.trees {
 		p := t.leaf(x)

@@ -2,13 +2,16 @@ package mlearn
 
 import "fmt"
 
-// NodeDump is the serializable form of a tree node.
+// NodeDump is the serializable form of a tree node. Value is the leaf
+// prediction vector; interior nodes carry none (the grower materializes
+// means only for leaves — older dumps that include interior means still
+// load, the values are simply never read).
 type NodeDump struct {
 	Feature   int       `json:"f"`
 	Threshold float64   `json:"t,omitempty"`
 	Left      int32     `json:"l,omitempty"`
 	Right     int32     `json:"r,omitempty"`
-	Value     []float64 `json:"v"`
+	Value     []float64 `json:"v,omitempty"`
 }
 
 // TreeDump is the serializable form of a Tree.
@@ -53,6 +56,10 @@ func LoadForest(d *ForestDump) (*Forest, error) {
 		if len(td.Nodes) == 0 {
 			return nil, fmt.Errorf("mlearn: tree %d has no nodes", ti)
 		}
+		if td.InDim != d.InDim || td.OutDim != d.OutDim {
+			return nil, fmt.Errorf("mlearn: tree %d is %dx%d, forest is %dx%d",
+				ti, td.InDim, td.OutDim, d.InDim, d.OutDim)
+		}
 		t := &Tree{inDim: td.InDim, outDim: td.OutDim}
 		for ni, n := range td.Nodes {
 			if n.Feature >= td.InDim {
@@ -74,6 +81,7 @@ func LoadForest(d *ForestDump) (*Forest, error) {
 		}
 		f.trees = append(f.trees, t)
 	}
+	f.compiled = compile(f.trees, f.inDim, f.outDim)
 	return f, nil
 }
 

@@ -10,6 +10,7 @@ package mlearn
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/xrand"
@@ -55,6 +56,78 @@ type Tree struct {
 // must all rows of Y. rng drives feature subsampling; pass nil when
 // FeatureSubset is 0.
 func BuildTree(X, Y [][]float64, cfg TreeConfig, rng *xrand.SplitMix64) (*Tree, error) {
+	g, err := newGrower(X, Y, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Presort: one sorted sample order per feature, computed once and then
+	// maintained through every partition, so bestSplit never sorts again.
+	// Ties break by sample index, making each order fully deterministic.
+	// Sorting runs over a contiguous (value, index) pair buffer: the
+	// comparator then touches no scattered X rows.
+	n := len(X)
+	pairs := make([]sortPair, n)
+	for f := 0; f < g.t.inDim; f++ {
+		for i := range pairs {
+			pairs[i] = sortPair{v: X[i][f], i: int32(i)}
+		}
+		sortPairs(pairs)
+		ord := g.ford[f]
+		for k, p := range pairs {
+			ord[k] = int(p.i)
+		}
+	}
+	g.grow(0, n, 1)
+	return g.t, nil
+}
+
+// buildTreeBootstrap grows a tree on the bootstrap sample described by ks
+// (bX[j] must alias baseX[ks[j]], likewise bY), deriving every feature's
+// presorted order in O(n) from baseOrd — the base set's per-feature sorted
+// index orders — instead of re-sorting per tree: the bootstrap positions of
+// each base row are emitted, ascending, while walking the base order.
+// Relative to BuildTree's per-tree sort this arranges equal-valued samples
+// differently, which is harmless: tied samples sharing a base row are
+// bit-for-bit interchangeable in every prefix sum, and genuinely tied
+// distinct rows take bestSplit's fallback sort either way.
+func buildTreeBootstrap(bX, bY [][]float64, ks []int, baseOrd [][]int, cfg TreeConfig, rng *xrand.SplitMix64) (*Tree, error) {
+	g, err := newGrower(bX, bY, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	n := len(ks)
+	nBase := len(bX) // TrainForest draws bootstraps the size of the base set
+	// Bucket the bootstrap positions by base row (positions stay ascending
+	// because j ascends).
+	starts := make([]int32, nBase+1)
+	for _, k := range ks {
+		starts[k+1]++
+	}
+	for i := 0; i < nBase; i++ {
+		starts[i+1] += starts[i]
+	}
+	pos := make([]int32, n)
+	cursor := make([]int32, nBase)
+	for j, k := range ks {
+		pos[starts[k]+cursor[k]] = int32(j)
+		cursor[k]++
+	}
+	for f := range g.ford {
+		ord := g.ford[f]
+		w := 0
+		for _, k := range baseOrd[f] {
+			for _, p := range pos[starts[k]:starts[k+1]] {
+				ord[w] = int(p)
+				w++
+			}
+		}
+	}
+	g.grow(0, n, 1)
+	return g.t, nil
+}
+
+// newGrower validates the training set and allocates all induction state.
+func newGrower(X, Y [][]float64, cfg TreeConfig, rng *xrand.SplitMix64) (*grower, error) {
 	if len(X) == 0 || len(X) != len(Y) {
 		return nil, fmt.Errorf("mlearn: bad training set: %d inputs, %d outputs", len(X), len(Y))
 	}
@@ -72,45 +145,90 @@ func BuildTree(X, Y [][]float64, cfg TreeConfig, rng *xrand.SplitMix64) (*Tree, 
 		X: X, Y: Y, cfg: cfg, rng: rng, t: t,
 		idx:      make([]int, n),
 		scratch:  make([]int, n),
+		side:     make([]bool, n),
 		features: make([]int, t.inDim),
+		vals:     make([]float64, n),
 		sum:      make([]float64, t.outDim),
 		sumsq:    make([]float64, t.outDim),
 		total:    make([]float64, t.outDim),
 		totalSq:  make([]float64, t.outDim),
 	}
+	// A binary tree over n samples with >= 1 sample per leaf has at most
+	// 2n-1 nodes and n leaves; pre-sizing the node slice and carving every
+	// leaf mean from one arena removes all per-node allocations.
+	t.nodes = make([]node, 0, 2*n-1)
+	g.arena = make([]float64, n*t.outDim)
 	g.sorter.order = make([]int, n)
-	g.sorter.vals = make([]float64, n)
 	for i := range g.idx {
 		g.idx[i] = i
 	}
-	g.grow(g.idx, 1)
-	return t, nil
+	g.ford = make([][]int, t.inDim)
+	backing := make([]int, n*t.inDim)
+	for f := 0; f < t.inDim; f++ {
+		g.ford[f] = backing[f*n : (f+1)*n]
+	}
+	return g, nil
+}
+
+// sortPair is one (feature value, sample index) element of the presort.
+type sortPair struct {
+	v float64
+	i int32
+}
+
+// sortPairs orders pairs by value, ties by index (fully deterministic).
+func sortPairs(pairs []sortPair) {
+	slices.SortFunc(pairs, func(a, b sortPair) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return int(a.i - b.i)
+		}
+	})
 }
 
 // grower holds the scratch state for one tree induction. All buffers are
 // allocated once in BuildTree and reused across every node of the tree: the
 // sample indices are partitioned in place (children are subslices of the
-// parent's idx), and the split search reuses the sort and prefix-sum
-// buffers, so growing a node allocates nothing beyond its leaf mean.
+// parent's idx and ford segments), and the split search reuses the value
+// and prefix-sum buffers, so growing a node allocates nothing beyond its
+// leaf mean.
+//
+// Induction is presort-based (classic presort CART): every feature's
+// sample order is sorted once per tree, then maintained through each
+// node's partition by a stable split of the order segments. bestSplit
+// therefore costs O(features·n) per node instead of the O(features·
+// n log n) a per-node re-sort would.
 type grower struct {
 	X, Y [][]float64
 	cfg  TreeConfig
 	rng  *xrand.SplitMix64
 	t    *Tree
 
-	idx      []int   // sample indices, partitioned in place during growth
-	scratch  []int   // spill buffer for the right half of a partition
-	features []int   // candidate feature ids (reshuffled per split)
-	sorter   argsort // order+vals buffers for the per-feature value sort
+	idx      []int     // sample indices, partitioned in place during growth
+	scratch  []int     // spill buffer for the right half of a partition
+	side     []bool    // per-sample split side of the current node (true = left)
+	features []int     // candidate feature ids (reshuffled per split)
+	ford     [][]int   // per-feature presorted sample orders, partitioned in lockstep with idx
+	vals     []float64 // reused buffer for the node's sorted feature values
+	arena    []float64 // backing store for the node mean vectors
+	sorter   argsort   // order+vals buffers for the tie fallback sort
 	sum      []float64
 	sumsq    []float64
 	total    []float64
 	totalSq  []float64
 }
 
-// argsort sorts an index slice by parallel float values. It implements
-// sort.Interface on a reused struct so the hot split loop performs no
-// closure or interface allocations.
+// argsort sorts an index slice by parallel float values, implementing
+// sort.Interface on a reused struct. It backs the tie fallback in
+// bestSplit: when a feature's values are not all distinct within a node,
+// the maintained presorted order is replaced by the same per-node unstable
+// sort the original induction used, so the floating-point accumulation
+// sequence over tie groups — and therefore the grown tree — stays
+// bit-identical to the pre-presort implementation.
 type argsort struct {
 	order []int
 	vals  []float64
@@ -123,41 +241,59 @@ func (a *argsort) Swap(i, j int) {
 	a.vals[i], a.vals[j] = a.vals[j], a.vals[i]
 }
 
-// grow recursively builds the subtree over the sample indices idx (a
-// subslice of g.idx) and returns its node index.
-func (g *grower) grow(idx []int, depth int) int32 {
+// newVec carves one outDim-sized vector from the tree's arena.
+func (g *grower) newVec() []float64 {
+	d := g.t.outDim
+	v := g.arena[:d:d]
+	g.arena = g.arena[d:]
+	return v
+}
+
+// grow recursively builds the subtree over the sample segment [lo, hi) of
+// g.idx (and of every g.ford order) and returns its node index.
+func (g *grower) grow(lo, hi, depth int) int32 {
 	t := g.t
-	mean := meanRows(g.Y, idx, t.outDim)
+	idx := g.idx[lo:hi]
 	self := int32(len(t.nodes))
-	t.nodes = append(t.nodes, node{feature: -1, value: mean})
+	t.nodes = append(t.nodes, node{feature: -1})
 
+	// The mean vector is only materialized when the node actually becomes
+	// a leaf: internal nodes never serve predictions, and their (large)
+	// segments dominate the summation cost.
 	if len(idx) < 2*g.cfg.minLeaf() || (g.cfg.MaxDepth > 0 && depth >= g.cfg.MaxDepth) || pure(g.Y, idx) {
-		return self
+		return g.leaf(self, idx)
 	}
 
-	feat, thr, ok := g.bestSplit(idx)
+	feat, thr, ok := g.bestSplit(lo, hi)
 	if !ok {
-		return self
+		return g.leaf(self, idx)
 	}
-	// Stable in-place partition: the left half compacts into the front of
-	// idx (reads stay ahead of writes), the right half spills to scratch
-	// and is copied back behind it.
+	// Partition the sample indices, recording each sample's side so the
+	// per-feature order partitions below do one boolean lookup instead of
+	// re-evaluating the float predicate.
 	nl, nr := 0, 0
 	for _, i := range idx {
 		if g.X[i][feat] <= thr {
+			g.side[i] = true
 			idx[nl] = i
 			nl++
 		} else {
+			g.side[i] = false
 			g.scratch[nr] = i
 			nr++
 		}
 	}
 	copy(idx[nl:], g.scratch[:nr])
 	if nl < g.cfg.minLeaf() || nr < g.cfg.minLeaf() {
-		return self
+		return g.leaf(self, idx)
 	}
-	l := g.grow(idx[:nl], depth+1)
-	r := g.grow(idx[nl:], depth+1)
+	// Maintain every feature's presorted order through the partition: a
+	// stable split by the same predicate keeps each child segment sorted.
+	for f := range g.ford {
+		partitionBySide(g.side, g.ford[f][lo:hi], g.scratch)
+	}
+	l := g.grow(lo, lo+nl, depth+1)
+	r := g.grow(lo+nl, hi, depth+1)
 	t.nodes[self].feature = feat
 	t.nodes[self].threshold = thr
 	t.nodes[self].left = l
@@ -165,9 +301,33 @@ func (g *grower) grow(idx []int, depth int) int32 {
 	return self
 }
 
+// leaf fills node self's prediction vector with the mean of its samples.
+func (g *grower) leaf(self int32, idx []int) int32 {
+	g.t.nodes[self].value = meanRowsInto(g.newVec(), g.Y, idx)
+	return self
+}
+
+// partitionBySide stably splits seg in place by the recorded split sides:
+// left-side samples compact into the front (reads stay ahead of writes),
+// right-side samples spill to scratch and are copied back behind them.
+func partitionBySide(side []bool, seg, scratch []int) {
+	nl, nr := 0, 0
+	for _, i := range seg {
+		if side[i] {
+			seg[nl] = i
+			nl++
+		} else {
+			scratch[nr] = i
+			nr++
+		}
+	}
+	copy(seg[nl:], scratch[:nr])
+}
+
 // bestSplit scans candidate features for the split minimizing the total
-// squared error of the two children, using prefix sums over sorted values.
-func (g *grower) bestSplit(idx []int) (int, float64, bool) {
+// squared error of the two children, using prefix sums over the maintained
+// presorted orders — no sorting happens here.
+func (g *grower) bestSplit(lo, hi int) (int, float64, bool) {
 	t := g.t
 	features := g.features[:t.inDim]
 	for i := range features {
@@ -181,10 +341,10 @@ func (g *grower) bestSplit(idx []int) (int, float64, bool) {
 		features = features[:g.cfg.FeatureSubset]
 	}
 
-	n := len(idx)
+	n := hi - lo
 	X, Y := g.X, g.Y
-	order, vals := g.sorter.order[:n], g.sorter.vals[:n]
-	g.sorter.order, g.sorter.vals = order, vals
+	idx := g.idx[lo:hi]
+	vals := g.vals[:n]
 	sum, sumsq := g.sum, g.sumsq
 	minLeaf := g.cfg.minLeaf()
 	bestGain := math.Inf(-1)
@@ -196,31 +356,60 @@ func (g *grower) bestSplit(idx []int) (int, float64, bool) {
 		total[d], totalSq[d] = 0, 0
 	}
 	for _, i := range idx {
-		for d := 0; d < t.outDim; d++ {
-			total[d] += Y[i][d]
-			totalSq[d] += Y[i][d] * Y[i][d]
+		yi := Y[i]
+		for d := range total {
+			v := yi[d]
+			total[d] += v
+			totalSq[d] += v * v
 		}
 	}
 
 	// Gain compares children only (the parent SSE is constant), so the scan
 	// just minimizes child SSE.
 	for _, f := range features {
-		copy(order, idx)
+		order := g.ford[f][lo:hi]
 		for k, i := range order {
 			vals[k] = X[i][f]
 		}
-		sort.Sort(&g.sorter)
 		if vals[0] == vals[n-1] {
 			continue // constant feature
+		}
+		// The presorted order is usable directly when every tie group is
+		// harmless: equal feature values admit many valid sort orders, and
+		// the floating-point prefix sums differ between them unless the
+		// tied samples also share identical output rows. Bootstrap
+		// duplicates — by far the dominant source of ties — alias the same
+		// backing row, so almost all groups pass the cheap pointer check.
+		// A genuine tie (distinct outputs on one feature value) re-sorts
+		// from the node's partition order with the same unstable sort the
+		// original induction used, keeping the grown tree bit-identical to
+		// the pre-presort implementation.
+		ties := false
+		for k := 1; k < n; k++ {
+			if vals[k] == vals[k-1] && !sameRow(Y, order[k-1], order[k]) {
+				ties = true
+				break
+			}
+		}
+		if ties {
+			sOrder := g.sorter.order[:n]
+			copy(sOrder, idx)
+			for k, i := range sOrder {
+				vals[k] = X[i][f]
+			}
+			g.sorter.order, g.sorter.vals = sOrder, vals
+			sort.Sort(&g.sorter)
+			order = sOrder
 		}
 		for d := range sum {
 			sum[d], sumsq[d] = 0, 0
 		}
 		for k := 0; k < n-1; k++ {
-			i := order[k]
-			for d := 0; d < t.outDim; d++ {
-				sum[d] += Y[i][d]
-				sumsq[d] += Y[i][d] * Y[i][d]
+			yi := Y[order[k]]
+			for d := range sum {
+				v := yi[d]
+				sum[d] += v
+				sumsq[d] += v * v
 			}
 			if k+1 < minLeaf || n-k-1 < minLeaf {
 				continue
@@ -230,7 +419,7 @@ func (g *grower) bestSplit(idx []int) (int, float64, bool) {
 			}
 			nl, nr := float64(k+1), float64(n-k-1)
 			var childSSE float64
-			for d := 0; d < t.outDim; d++ {
+			for d := range sum {
 				rs := total[d] - sum[d]
 				rq := totalSq[d] - sumsq[d]
 				childSSE += (sumsq[d] - sum[d]*sum[d]/nl) + (rq - rs*rs/nr)
@@ -273,37 +462,69 @@ func (t *Tree) leaf(x []float64) []float64 {
 	}
 }
 
-// Depth returns the maximum depth of the tree (a root-only tree has depth 1).
+// Depth returns the maximum depth of the tree (a root-only tree has depth
+// 1). The walk uses an explicit heap stack, so chain-shaped degenerate
+// trees of any depth cannot overflow the goroutine stack.
 func (t *Tree) Depth() int {
-	var rec func(i int32) int
-	rec = func(i int32) int {
-		nd := &t.nodes[i]
-		if nd.feature < 0 {
-			return 1
-		}
-		l, r := rec(nd.left), rec(nd.right)
-		if l > r {
-			return l + 1
-		}
-		return r + 1
+	if len(t.nodes) == 0 {
+		return 0
 	}
-	return rec(0)
+	type frame struct {
+		node  int32
+		depth int32
+	}
+	stack := make([]frame, 1, 64)
+	stack[0] = frame{0, 1}
+	max := 1
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[fr.node]
+		if nd.feature < 0 {
+			if int(fr.depth) > max {
+				max = int(fr.depth)
+			}
+			continue
+		}
+		stack = append(stack, frame{nd.left, fr.depth + 1}, frame{nd.right, fr.depth + 1})
+	}
+	return max
 }
 
 // NumNodes returns the total node count.
 func (t *Tree) NumNodes() int { return len(t.nodes) }
 
-func meanRows(Y [][]float64, idx []int, dim int) []float64 {
-	m := make([]float64, dim)
+func meanRowsInto(m []float64, Y [][]float64, idx []int) []float64 {
 	for _, i := range idx {
-		for d := 0; d < dim; d++ {
-			m[d] += Y[i][d]
+		yi := Y[i]
+		for d := range m {
+			m[d] += yi[d]
 		}
 	}
 	for d := range m {
 		m[d] /= float64(len(idx))
 	}
 	return m
+}
+
+// sameRow reports whether samples a and b carry interchangeable outputs: a
+// shared backing row (bootstrap duplicates) or element-wise equal values.
+// Tied feature values over such rows accumulate to identical prefix sums
+// in any order.
+func sameRow(Y [][]float64, a, b int) bool {
+	ya, yb := Y[a], Y[b]
+	if len(ya) == 0 {
+		return true
+	}
+	if &ya[0] == &yb[0] {
+		return true
+	}
+	for d := range ya {
+		if ya[d] != yb[d] {
+			return false
+		}
+	}
+	return true
 }
 
 func pure(Y [][]float64, idx []int) bool {

@@ -242,6 +242,9 @@ func (e *Experiment) placeML(goal float64) ([]perfsim.Tenant, error) {
 	}
 	free := topology.FullNodeSet(e.Machine.Topo.NumNodes)
 	var tenants []perfsim.Tenant
+	// One prediction buffer serves the whole packing loop: PredictInto is
+	// allocation-free and choosePlacement only reads the vector.
+	vec := make([]float64, e.Predictor.NumPlacements)
 	for id := 0; ; id++ {
 		c := container.New(id, e.Workload, e.V)
 		// Observe in the two input placements (measured alone; the paper
@@ -250,8 +253,7 @@ func (e *Experiment) placeML(goal float64) ([]perfsim.Tenant, error) {
 		if err != nil {
 			return nil, err
 		}
-		vec, err := e.Predictor.Predict(basePerf, probePerf)
-		if err != nil {
+		if err := e.Predictor.PredictInto(vec, basePerf, probePerf); err != nil {
 			return nil, err
 		}
 		choice := e.choosePlacement(vec, basePerf, goal*(1+e.Headroom))

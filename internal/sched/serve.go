@@ -256,8 +256,11 @@ func (s *Scheduler) Admit(ctx context.Context, w perfsim.Workload, v int) (*Assi
 		}
 		obs[i] = perf
 	}
-	vec, err := p.Predict(obs[0], obs[1])
-	if err != nil {
+	// The vector outlives the call (it is kept on the tenant for later
+	// rebalancing), so it is allocated per admission; the prediction itself
+	// runs allocation-free through the compiled forest.
+	vec := make([]float64, p.NumPlacements)
+	if err := p.PredictInto(vec, obs[0], obs[1]); err != nil {
 		return nil, err
 	}
 	goal := s.cfg.goalFrac() * obs[0] * (1 + s.cfg.headroom())

@@ -1,15 +1,106 @@
 #!/bin/sh
 # Runs the benchmark suite with a fixed -benchtime and converts the output
 # to a JSON report: one record per benchmark with ns/op, B/op and
-# allocs/op. The suite includes the Engine cache-hit-path benchmarks
-# (BenchmarkEnginePlacements/{cold,warm}, BenchmarkEnginePin,
-# BenchmarkEnginePlace); the warm/cold ratio is the serving layer's
-# memoization win and is gated at >= 50x by check_engine_speedup below.
+# allocs/op. Two gate layers run after the suite:
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_2.json)
+#   1. In-run gates on the fresh numbers: the Engine warm/cold memoization
+#      ratio (>= 50x) and the compiled-forest serving path
+#      (BenchmarkPredictLatency must report 0 allocs/op).
+#   2. Compare gates against the previous BENCH_*.json: the PR 3 speedup
+#      floors (PredictLatency >= 5x, AblationForestSize/trees-100 >= 2x,
+#      Figure4AMD/Intel >= 30% down) plus a generic > 20% ns/op regression
+#      check on every other benchmark present in both reports.
+#
+# Usage:
+#   scripts/bench.sh [output.json]          run suite, write report, gate
+#   scripts/bench.sh --compare NEW OLD      compare two reports only
+#
+# Default output: BENCH_3.json. The comparison baseline is the
+# highest-numbered BENCH_*.json other than the output file.
 set -eu
 
-out="${1:-BENCH_2.json}"
+# compare_reports NEW OLD: speedup-floor and regression gates over two
+# JSON reports produced by this script. Benchmark names match exactly
+# first; a trailing "-N" (the GOMAXPROCS suffix Go appends on multi-core
+# machines) is stripped only as a fallback so real subtest suffixes like
+# "trees-100" survive. The generic regression gate applies only to
+# benchmarks taking >= 100 us: sub-microsecond timings swing well past
+# 20% between recording days on shared machines, while the gated speedup
+# floors carry margins that dwarf that noise.
+compare_reports() {
+    new="$1"; old="$2"
+    # The speedup floors encode the PR 3 compiled-forest/presort wins, so
+    # they only make sense against a pre-PR-3 baseline (BENCH_2 or older);
+    # against newer reports only the regression gate applies.
+    floors=0
+    case "$(basename "$old")" in
+        BENCH_[012].json) floors=1 ;;
+    esac
+    echo "comparing $new against $old"
+    awk -v newfile="$new" -v oldfile="$old" -v floors="$floors" '
+    function record(file, line,   name, ns) {
+        if (match(line, /"name": "[^"]*"/)) {
+            name = substr(line, RSTART+9, RLENGTH-10)
+            if (match(line, /"ns_per_op": [0-9.e+]*/)) {
+                ns = substr(line, RSTART+13, RLENGTH-13)
+                if (file == "new") newns[name] = ns; else oldns[name] = ns
+            }
+        }
+    }
+    function oldfor(name,   stripped) {
+        if (name in oldns) return name
+        stripped = name; sub(/-[0-9]+$/, "", stripped)
+        if (stripped in oldns) return stripped
+        for (o in oldns) {
+            stripped = o; sub(/-[0-9]+$/, "", stripped)
+            if (stripped == name) return o
+        }
+        return ""
+    }
+    BEGIN {
+        # Speedup floors: new must be <= floor * old.
+        if (floors) {
+            floor["BenchmarkPredictLatency"] = 0.2               # >= 5x faster
+            floor["BenchmarkAblationForestSize/trees-100"] = 0.5 # >= 2x faster
+            floor["BenchmarkFigure4AMD"] = 0.7                   # >= 30% down
+            floor["BenchmarkFigure4Intel"] = 0.7                 # >= 30% down
+        }
+        regress = 1.2                                              # > 20% regression fails
+        minns = 100000                                             # regression gate floor: 100 us
+        while ((getline line < newfile) > 0) record("new", line)
+        while ((getline line < oldfile) > 0) record("old", line)
+        fails = 0
+        for (name in newns) {
+            o = oldfor(name)
+            if (o == "") continue
+            ratio = newns[name] / oldns[o]
+            # Floor lookup: raw name first, then with any -GOMAXPROCS
+            # suffix stripped (new reports recorded on multi-core machines
+            # carry one; the floor keys never do).
+            g = name
+            if (!(g in floor)) { sub(/-[0-9]+$/, "", g) }
+            if (g in floor) {
+                status = (ratio <= floor[g]) ? "ok" : "FAIL"
+                printf "  %-45s %12.0f -> %12.0f ns/op  (%.2fx, need <= %.2fx) %s\n", \
+                    name, oldns[o], newns[name], ratio, floor[g], status
+                if (status == "FAIL") fails++
+            } else if (oldns[o]+0 >= minns && ratio > regress) {
+                printf "  %-45s %12.0f -> %12.0f ns/op  (%.2fx) FAIL: >20%% regression\n", \
+                    name, oldns[o], newns[name], ratio
+                fails++
+            }
+        }
+        if (fails > 0) { printf "%d benchmark gate(s) failed\n", fails; exit 1 }
+        print "benchmark compare gates passed"
+    }'
+}
+
+if [ "${1:-}" = "--compare" ]; then
+    compare_reports "$2" "$3"
+    exit 0
+fi
+
+out="${1:-BENCH_3.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -52,3 +143,24 @@ END {
     printf "engine warm-cache speedup: %.0fx (cold %.0f ns/op, warm %.0f ns/op)\n", ratio, cold, warm
     if (ratio < 50) { print "FAIL: warm Engine.Placements is < 50x faster than cold enumeration"; exit 1 }
 }' "$tmp"
+
+# Gate: the compiled-forest serving path must be allocation-free.
+awk '
+/^BenchmarkPredictLatency/ { for (i=3;i<NF;i++) if ($(i+1)=="allocs/op") allocs=$i }
+END {
+    if (allocs == "") { print "FAIL: BenchmarkPredictLatency missing"; exit 1 }
+    printf "predict latency allocations: %s allocs/op\n", allocs
+    if (allocs + 0 != 0) { print "FAIL: PredictInto serving path allocates"; exit 1 }
+}' "$tmp"
+
+# Compare against the previous report, if one exists.
+prev=""
+for f in $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
+    [ "$f" = "$out" ] && continue
+    prev="$f"
+done
+if [ -n "$prev" ]; then
+    compare_reports "$out" "$prev"
+else
+    echo "no previous BENCH_*.json to compare against"
+fi
