@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench profile ci
+.PHONY: all build vet test race bench benchsmoke profile ci
 
 all: build
 
@@ -28,12 +28,19 @@ race:
 	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/
 
 # Runs the full benchmark suite with fixed -benchtime and emits
-# BENCH_3.json, then applies the gates: Engine warm-cache >= 50x, the
-# compiled-forest serving path at 0 allocs/op, the PR 3 speedup floors and
-# a > 20% regression check against the previous BENCH_*.json. Override the
-# budget with BENCHTIME=200ms etc.
+# BENCH_4.json, then applies the gates: Engine warm-cache >= 50x, the
+# compiled-forest serving AND batch paths at 0 allocs/op, the era-matched
+# speedup floors (ns/op, bytes/op and allocs/op) and a > 20% regression
+# check against the previous BENCH_*.json. Override the budget with
+# BENCHTIME=200ms etc.
 bench:
-	sh scripts/bench.sh BENCH_3.json
+	sh scripts/bench.sh BENCH_4.json
+
+# One-iteration pass over every benchmark: catches benchmark rot (setup
+# errors, API drift) without paying for stable timings. CI runs this on
+# every push.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -count 1 .
 
 # Emits a CPU profile of the heaviest training pipeline (the Figure 4
 # cross-validation grid) for `go tool pprof repro.test cpu.prof`.

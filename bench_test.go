@@ -172,7 +172,10 @@ func BenchmarkPredictLatency(b *testing.B) {
 
 // BenchmarkPredictBatch measures whole-dataset scoring through the
 // compiled forest's tree-outer batch traversal (the cross-validation and
-// evaluation path), reported per dataset pass.
+// evaluation path), reported per dataset pass. The flat PredictDatasetInto
+// path writes into caller-owned feature and prediction blocks and must run
+// allocation-free (gated at 0 allocs/op in scripts/bench.sh, like
+// BenchmarkPredictLatency).
 func BenchmarkPredictBatch(b *testing.B) {
 	m := machines.Intel()
 	ws := append(workloads.Paper(), workloads.CorpusFrom(20, 7, []string{"flat", "bw", "lat"})...)
@@ -186,9 +189,15 @@ func BenchmarkPredictBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	n := len(ds.Workloads)
+	xbuf := make([]float64, n*pred.InDim())
+	out := make([]float64, n*pred.NumPlacements)
+	if err := pred.PredictDatasetInto(out, xbuf, ds, nil); err != nil { // warm (compiles the forest)
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pred.PredictDataset(ds, nil); err != nil {
+		if err := pred.PredictDatasetInto(out, xbuf, ds, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

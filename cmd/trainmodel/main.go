@@ -63,17 +63,17 @@ func main() {
 	}
 	fmt.Printf("%s, %d vCPUs: observe placements #%d and #%d\n", m.Topo.Name, v, pred.Base+1, pred.Probe+1)
 
-	// Training-set accuracy summary, scored in one batch.
-	predAll, err := pred.PredictDataset(ds, nil)
-	if err != nil {
+	// Training-set accuracy summary, scored in one flat batch: pre-sized
+	// feature and prediction blocks, targets from the dataset's cached
+	// relative matrix.
+	n := len(ds.Workloads)
+	xbuf := make([]float64, n*pred.InDim())
+	predAll := make([]float64, n*pred.NumPlacements)
+	if err := pred.PredictDatasetInto(predAll, xbuf, ds, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "predict:", err)
 		os.Exit(1)
 	}
-	var actAll [][]float64
-	for w := range ds.Workloads {
-		actAll = append(actAll, ds.RelVector(w, pred.Base))
-	}
-	fmt.Printf("training-set MAPE: %.2f%%\n", mlearn.MAPE(predAll, actAll))
+	fmt.Printf("training-set MAPE: %.2f%%\n", mlearn.MAPEFlat(predAll, ds.RelMatrix(pred.Base), nil))
 
 	if *out != "" {
 		f, err := os.Create(*out)

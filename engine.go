@@ -317,6 +317,10 @@ func (e *Engine) trainWith(ctx context.Context, ds *Dataset, cfg TrainConfig) (*
 	if err != nil {
 		return nil, err
 	}
+	// Compile the forest before the predictor becomes visible to the
+	// serving paths: the flat inference representation is otherwise built
+	// lazily, and the first Place/Predict should not pay it.
+	pred.Compile()
 	e.mu.Lock()
 	e.predictors[ds.V] = pred
 	e.mu.Unlock()
@@ -325,7 +329,9 @@ func (e *Engine) trainWith(ctx context.Context, ds *Dataset, cfg TrainConfig) (*
 
 // UsePredictor registers a trained predictor for a container size (e.g.
 // one loaded with LoadPredictor), replacing any previous registration.
+// The predictor is compiled for serving if it was not already.
 func (e *Engine) UsePredictor(vcpus int, p *Predictor) {
+	p.Compile()
 	e.mu.Lock()
 	e.predictors[vcpus] = p
 	e.mu.Unlock()

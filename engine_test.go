@@ -269,7 +269,11 @@ func TestEngineCancellation(t *testing.T) {
 
 	t.Run("mid-train", func(t *testing.T) {
 		eng := quickEngine(m)
-		ws := append(PaperWorkloads(), workloads.CorpusFrom(60, 7,
+		// A corpus big enough that the placement-pair search takes well
+		// over the cancel delay even on the flat training data plane
+		// (the 60-row corpus this test started with now trains to
+		// completion in under the 20 ms sleep).
+		ws := append(PaperWorkloads(), workloads.CorpusFrom(600, 7,
 			[]string{"flat", "bw", "lat", "smt-averse", "cache"})...)
 		ds, err := eng.Collect(context.Background(), ws, 16)
 		if err != nil {

@@ -21,9 +21,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/concern"
 	"repro/internal/machines"
+	"repro/internal/mlearn"
 	"repro/internal/perfsim"
 	"repro/internal/placement"
 )
@@ -48,6 +50,13 @@ type Dataset struct {
 	// HPE[w][p] are the hardware-performance-event readings of workload w
 	// observed in placement p (for the single-placement HPE model variant).
 	HPE [][][]float64
+
+	// relMu guards relByBase, the per-baseline relative-target matrices
+	// memoized by RelMatrix. Every training candidate that shares a
+	// baseline placement reuses the same flat target block, so the O(n²)
+	// input-pair search stops re-materializing identical RelVector rows.
+	relMu     sync.Mutex
+	relByBase map[int]mlearn.Matrix
 }
 
 // CollectConfig controls ground-truth collection.
@@ -159,6 +168,33 @@ func (ds *Dataset) RelVector(w, base int) []float64 {
 		out[p] = ds.Perf[w][base] / ds.Perf[w][p]
 	}
 	return out
+}
+
+// RelMatrix returns the dataset's flat relative-performance target matrix
+// for baseline placement base: row w is RelVector(w, base), laid out
+// row-major in one contiguous block. The matrix is computed once per base
+// and cached on the dataset (concurrent candidate evaluations share it),
+// so callers must treat it as read-only.
+func (ds *Dataset) RelMatrix(base int) mlearn.Matrix {
+	ds.relMu.Lock()
+	defer ds.relMu.Unlock()
+	if m, ok := ds.relByBase[base]; ok {
+		return m
+	}
+	if ds.relByBase == nil {
+		ds.relByBase = map[int]mlearn.Matrix{}
+	}
+	m := mlearn.NewMatrix(len(ds.Workloads), len(ds.Placements))
+	for w := range ds.Workloads {
+		row := m.Row(w)
+		pw := ds.Perf[w]
+		b := pw[base]
+		for p := range row {
+			row[p] = b / pw[p]
+		}
+	}
+	ds.relByBase[base] = m
+	return m
 }
 
 // WorkloadIndex returns the row of the named workload, or -1.

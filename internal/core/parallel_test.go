@@ -77,9 +77,13 @@ func TestCvMAPEIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	cand := &Predictor{Variant: PerfFeatures, Base: 0, Probe: 3}
 	cfg := TrainConfig{SelectionTrees: 4, SelectionFolds: 3}
+	folds, err := mlearn.GroupKFold(ds.Groups, cfg.selectionFolds())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	xparallel.SetMaxWorkers(1)
-	want, err := cvMAPE(context.Background(), ds, cand, cfg, 99)
+	want, err := cvMAPE(context.Background(), ds, cand, cfg, 99, folds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +92,7 @@ func TestCvMAPEIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
 		xparallel.SetMaxWorkers(w)
-		got, err := cvMAPE(context.Background(), ds, cand, cfg, 99)
+		got, err := cvMAPE(context.Background(), ds, cand, cfg, 99, folds)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -70,12 +70,68 @@ func (p *Predictor) PredictRow(ds *Dataset, w int) []float64 {
 	return p.forest.Predict(features(ds, p, w))
 }
 
-// PredictDataset scores the given dataset rows (nil = all) in one batch
-// through the compiled forest's tree-outer traversal; row r of the result
-// is bit-identical to PredictRow(ds, rows[r]).
+// Compile eagerly builds the forest's flat SoA inference representation
+// (otherwise built lazily on the first prediction), so serving entry
+// points can pay the one-time build off the hot path when they register a
+// predictor. Safe to call repeatedly and on untrained predictors.
+func (p *Predictor) Compile() {
+	if p != nil && p.forest != nil {
+		p.forest.Compiled()
+	}
+}
+
+// InDim returns the model's input dimensionality: 1 for the perf variant,
+// the number of selected counters for HPE, their sum for combined. Sizes
+// the feature scratch of PredictDatasetInto.
+func (p *Predictor) InDim() int { return featDim(p) }
+
+// PredictDatasetInto scores the selected dataset rows (nil = all) into dst
+// (flat, row-major, len nrows*NumPlacements) through the compiled forest's
+// tree-outer traversal, using xbuf (len >= nrows*InDim()) as feature
+// scratch. The call is allocation-free after the forest's one-time
+// compilation; row r is bit-identical to PredictRow(ds, rows[r]).
+func (p *Predictor) PredictDatasetInto(dst, xbuf []float64, ds *Dataset, rows []int) error {
+	d := featDim(p)
+	n := len(ds.Workloads)
+	if rows != nil {
+		n = len(rows)
+	}
+	if len(xbuf) < n*d {
+		return fmt.Errorf("core: feature scratch has %d entries, need %d: %w", len(xbuf), n*d, mlearn.ErrDimMismatch)
+	}
+	X := mlearn.Matrix{Data: xbuf[:n*d], Rows: n, Cols: d}
+	fillFeatures(X, ds, p, rows)
+	c := p.forest.Compiled()
+	if c == nil {
+		return mlearn.ErrEmptyForest
+	}
+	return c.PredictRowsInto(dst, X, nil)
+}
+
+// PredictDataset scores the given dataset rows (nil = all) in one batch,
+// allocating the output vectors in a single contiguous block; row r is
+// bit-identical to PredictRow(ds, rows[r]). Hot loops should pool their
+// buffers and call PredictDatasetInto instead.
 func (p *Predictor) PredictDataset(ds *Dataset, rows []int) ([][]float64, error) {
-	X := featureMatrix(ds, p, rows)
-	return p.forest.PredictRows(X)
+	n := len(ds.Workloads)
+	if rows != nil {
+		n = len(rows)
+	}
+	// NumPlacements equals the forest's output dimensionality for every
+	// trained or loaded predictor, and sizing by it keeps the untrained
+	// case on PredictDatasetInto's typed-error path instead of a nil
+	// forest dereference.
+	d := p.NumPlacements
+	xbuf := make([]float64, n*featDim(p))
+	backing := make([]float64, n*d)
+	if err := p.PredictDatasetInto(backing, xbuf, ds, rows); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, n)
+	for r := range out {
+		out[r] = backing[r*d : (r+1)*d]
+	}
+	return out, nil
 }
 
 // BestPlacement returns the index of the fastest predicted placement
@@ -123,9 +179,13 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 	if pj.NumPlacements != f.OutDim() {
 		return nil, fmt.Errorf("core: predictor claims %d placements but forest outputs %d", pj.NumPlacements, f.OutDim())
 	}
-	return &Predictor{
+	p := &Predictor{
 		Variant: pj.Variant, Base: pj.Base, Probe: pj.Probe,
 		HPEFeats: pj.HPEFeats, NumPlacements: pj.NumPlacements,
 		forest: f,
-	}, nil
+	}
+	// Loaded predictors exist to serve; compile now rather than on the
+	// first prediction.
+	p.Compile()
+	return p, nil
 }

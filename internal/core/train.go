@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mlearn"
 	"repro/internal/xparallel"
@@ -112,6 +113,11 @@ func Train(ds *Dataset, cfg TrainConfig) (*Predictor, error) {
 // TrainCtx is Train with cancellation: the context is threaded through the
 // placement-pair search, SFS and cross-validation fan-outs, so a cancelled
 // training run returns ctx.Err() promptly without fitting the final model.
+//
+// The cross-validation folds are computed once here and shared by every
+// candidate the selection loops evaluate: the split is a pure function of
+// the dataset's groups and the fold count, so recomputing it per candidate
+// (as the O(n²) pair search once did) only burned allocations.
 func TrainCtx(ctx context.Context, ds *Dataset, cfg TrainConfig) (*Predictor, error) {
 	if len(ds.Workloads) < 4 {
 		return nil, fmt.Errorf("core: need at least 4 training workloads, have %d", len(ds.Workloads))
@@ -121,6 +127,16 @@ func TrainCtx(ctx context.Context, ds *Dataset, cfg TrainConfig) (*Predictor, er
 	}
 
 	p := &Predictor{Variant: cfg.Variant, NumPlacements: len(ds.Placements)}
+
+	var folds []mlearn.Fold
+	ensureFolds := func() error {
+		if folds != nil {
+			return nil
+		}
+		var err error
+		folds, err = mlearn.GroupKFold(ds.Groups, cfg.selectionFolds())
+		return err
+	}
 
 	// Choose the input placement pair.
 	switch {
@@ -132,13 +148,19 @@ func TrainCtx(ctx context.Context, ds *Dataset, cfg TrainConfig) (*Predictor, er
 	case cfg.Variant == HPEFeatures:
 		// Single-placement variant: the baseline is the placement whose
 		// HPEs predict best; probe is unused but kept equal to base.
-		base, err := bestHPEBase(ctx, ds, cfg)
+		if err := ensureFolds(); err != nil {
+			return nil, err
+		}
+		base, err := bestHPEBase(ctx, ds, cfg, folds)
 		if err != nil {
 			return nil, err
 		}
 		p.Base, p.Probe = base, base
 	default:
-		base, probe, err := bestPair(ctx, ds, cfg)
+		if err := ensureFolds(); err != nil {
+			return nil, err
+		}
+		base, probe, err := bestPair(ctx, ds, cfg, folds)
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +169,10 @@ func TrainCtx(ctx context.Context, ds *Dataset, cfg TrainConfig) (*Predictor, er
 
 	// SFS for the HPE variants.
 	if cfg.Variant == HPEFeatures || cfg.Variant == Combined {
-		feats, err := selectHPEs(ctx, ds, p.Base, p.Probe, cfg)
+		if err := ensureFolds(); err != nil {
+			return nil, err
+		}
+		feats, err := selectHPEs(ctx, ds, p.Base, p.Probe, cfg, folds)
 		if err != nil {
 			return nil, err
 		}
@@ -157,11 +182,15 @@ func TrainCtx(ctx context.Context, ds *Dataset, cfg TrainConfig) (*Predictor, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Final model on the full dataset.
-	X, Y := designMatrix(ds, p, nil)
+	// Final model on the full dataset, trained natively on the flat data
+	// plane: pooled feature matrix, cached relative-target matrix.
+	xb := getFloats(len(ds.Workloads) * featDim(p))
+	X := mlearn.Matrix{Data: *xb, Rows: len(ds.Workloads), Cols: featDim(p)}
+	fillFeatures(X, ds, p, nil)
 	forestCfg := cfg.Forest
 	forestCfg.Seed = xmix(cfg.Seed, 0xF1A1)
-	f, err := mlearn.TrainForest(X, Y, forestCfg)
+	f, err := mlearn.TrainForestMatrix(X, ds.RelMatrix(p.Base), nil, forestCfg)
+	putFloats(xb)
 	if err != nil {
 		return nil, err
 	}
@@ -177,102 +206,177 @@ func validPair(ds *Dataset, base, probe int) error {
 	return nil
 }
 
-// features builds the model input for workload row w under predictor
-// settings (base, probe, variant, hpeFeats).
-func features(ds *Dataset, p *Predictor, w int) []float64 {
-	var x []float64
+// featDim returns the input dimensionality of a candidate or trained
+// predictor configuration.
+func featDim(p *Predictor) int {
+	d := 0
 	if p.Variant == PerfFeatures || p.Variant == Combined {
-		x = append(x, ds.Perf[w][p.Probe]/ds.Perf[w][p.Base])
+		d++
+	}
+	if p.Variant == HPEFeatures || p.Variant == Combined {
+		d += len(p.HPEFeats)
+	}
+	return d
+}
+
+// featureInto writes the model input for workload row w under predictor
+// settings (base, probe, variant, hpeFeats) into dst (len featDim).
+func featureInto(dst []float64, ds *Dataset, p *Predictor, w int) {
+	k := 0
+	if p.Variant == PerfFeatures || p.Variant == Combined {
+		dst[k] = ds.Perf[w][p.Probe] / ds.Perf[w][p.Base]
+		k++
 	}
 	if p.Variant == HPEFeatures || p.Variant == Combined {
 		for _, f := range p.HPEFeats {
-			x = append(x, ds.HPE[w][p.Base][f])
+			dst[k] = ds.HPE[w][p.Base][f]
+			k++
 		}
 	}
+}
+
+// features builds the model input for workload row w, allocating exactly
+// the needed capacity.
+func features(ds *Dataset, p *Predictor, w int) []float64 {
+	x := make([]float64, featDim(p))
+	featureInto(x, ds, p, w)
 	return x
 }
 
-// expandRows resolves a row selection (nil = every dataset row).
-func expandRows(ds *Dataset, rows []int) []int {
-	if rows != nil {
-		return rows
+// rowOf resolves a row selection (nil = every dataset row) without
+// materializing an identity index slice for the all-rows case.
+func rowOf(rows []int, i int) int {
+	if rows == nil {
+		return i
 	}
-	rows = make([]int, len(ds.Workloads))
-	for i := range rows {
-		rows[i] = i
-	}
-	return rows
+	return rows[i]
 }
 
-// featureMatrix builds the model inputs X over the given rows (nil = all).
-func featureMatrix(ds *Dataset, p *Predictor, rows []int) [][]float64 {
-	rows = expandRows(ds, rows)
-	X := make([][]float64, 0, len(rows))
-	for _, w := range rows {
-		X = append(X, features(ds, p, w))
+// fillFeatures writes the model inputs for the selected dataset rows
+// (nil = all) into the flat matrix X (X.Rows rows of featDim columns).
+func fillFeatures(X mlearn.Matrix, ds *Dataset, p *Predictor, rows []int) {
+	for i := 0; i < X.Rows; i++ {
+		featureInto(X.Row(i), ds, p, rowOf(rows, i))
 	}
-	return X
 }
 
-// designMatrix builds (X, Y) over the given rows (nil = all rows).
-func designMatrix(ds *Dataset, p *Predictor, rows []int) ([][]float64, [][]float64) {
-	rows = expandRows(ds, rows)
-	Y := make([][]float64, 0, len(rows))
-	for _, w := range rows {
-		Y = append(Y, ds.RelVector(w, p.Base))
+// floatPool recycles the flat scratch blocks the training plane burns
+// through: per-candidate feature matrices and per-fold prediction blocks.
+// Buffers are fully overwritten before every read, so pooled garbage never
+// reaches a model.
+var floatPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getFloats(n int) *[]float64 {
+	b := floatPool.Get().(*[]float64)
+	if cap(*b) < n {
+		*b = make([]float64, n)
 	}
-	return featureMatrix(ds, p, rows), Y
+	*b = (*b)[:n]
+	return b
+}
+
+func putFloats(b *[]float64) { floatPool.Put(b) }
+
+// ordScratch is the pooled per-fold presort-derivation state: the fold's
+// per-feature order headers and backing, and the row-position map
+// SubsetOrders uses to filter the candidate's full orders.
+type ordScratch struct {
+	ord  [][]int
+	back []int
+	pos  []int32
+}
+
+var ordPool = sync.Pool{New: func() any { return new(ordScratch) }}
+
+// getOrds sizes a pooled scratch for d features over nTr fold rows of an
+// n-row dataset; SubsetOrders overwrites every cell it exposes.
+func getOrds(d, nTr, n int) *ordScratch {
+	o := ordPool.Get().(*ordScratch)
+	if cap(o.back) < nTr*d {
+		o.back = make([]int, nTr*d)
+	}
+	o.back = o.back[:nTr*d]
+	if cap(o.ord) < d {
+		o.ord = make([][]int, d)
+	}
+	o.ord = o.ord[:d]
+	for f := 0; f < d; f++ {
+		o.ord[f] = o.back[f*nTr : (f+1)*nTr]
+	}
+	if cap(o.pos) < n {
+		o.pos = make([]int32, n)
+	}
+	o.pos = o.pos[:n]
+	return o
 }
 
 // cvMAPE evaluates a candidate predictor configuration by group k-fold
-// cross-validation, returning the mean absolute percentage error. Folds
-// train and predict concurrently; their predictions are concatenated in
-// fold order, so the error is bit-identical at any worker count.
-func cvMAPE(ctx context.Context, ds *Dataset, p *Predictor, cfg TrainConfig, seed uint64) (float64, error) {
-	folds, err := mlearn.GroupKFold(ds.Groups, cfg.selectionFolds())
-	if err != nil {
-		return 0, err
-	}
-	type foldOut struct {
-		pred, actual [][]float64
-	}
-	outs, err := xparallel.MapErrCtx(ctx, len(folds), 0, func(fi int) (foldOut, error) {
+// cross-validation over the caller's precomputed folds, returning the mean
+// absolute percentage error. The candidate's feature matrix is built once
+// into pooled scratch and shared read-only by every fold, targets come
+// from the dataset's cached per-base RelMatrix, and each fold trains
+// directly on its row subset of those shared flat matrices — nothing is
+// copied per fold, and the ephemeral fold forests are recycled after
+// scoring. Folds train and predict concurrently; their predictions fold
+// into the error in fold order, so the result is bit-identical at any
+// worker count.
+func cvMAPE(ctx context.Context, ds *Dataset, p *Predictor, cfg TrainConfig, seed uint64, folds []mlearn.Fold) (float64, error) {
+	n := len(ds.Workloads)
+	d := featDim(p)
+	xb := getFloats(n * d)
+	X := mlearn.Matrix{Data: *xb, Rows: n, Cols: d}
+	fillFeatures(X, ds, p, nil)
+	Y := ds.RelMatrix(p.Base)
+	// One argsort per feature of the candidate's full column, shared by
+	// every fold: a fold's presorted orders are the full orders filtered
+	// down to its (ascending) training rows, derived in O(n) each.
+	fullOrd := mlearn.ColumnOrders(X, nil)
+	preds, err := xparallel.MapErrCtx(ctx, len(folds), 0, func(fi int) (*[]float64, error) {
 		fold := folds[fi]
-		X, Y := designMatrix(ds, p, fold.Train)
-		f, err := mlearn.TrainForest(X, Y, mlearn.ForestConfig{
+		ords := getOrds(d, len(fold.Train), n)
+		mlearn.SubsetOrders(ords.ord, fullOrd, fold.Train, ords.pos)
+		f, err := mlearn.TrainForestMatrixOrd(X, Y, fold.Train, ords.ord, mlearn.ForestConfig{
 			Trees: cfg.selectionTrees(),
 			Seed:  xmix(seed, uint64(fi)),
 		})
+		ordPool.Put(ords)
 		if err != nil {
-			return foldOut{}, err
+			return nil, err
 		}
-		// Score the whole held-out fold in one batch: the compiled forest
-		// walks tree-outer/row-inner, keeping each tree's nodes cache-hot
-		// across the fold's rows. Row r is bit-identical to a per-row
-		// Predict.
-		Xt, Yt := designMatrix(ds, p, fold.Test)
-		pred, err := f.PredictRows(Xt)
+		// Score the whole held-out fold in one batch straight off the
+		// shared feature matrix. Row r is bit-identical to a per-row
+		// Predict; the fold forest hands its tree storage back to the
+		// training pools once scored.
+		out := getFloats(len(fold.Test) * Y.Cols)
+		err = f.PredictRowsInto(*out, X, fold.Test)
+		f.Recycle()
 		if err != nil {
-			return foldOut{}, err
+			return nil, err
 		}
-		return foldOut{pred: pred, actual: Yt}, nil
+		return out, nil
 	})
+	putFloats(xb)
 	if err != nil {
 		return 0, err
 	}
-	var pred, actual [][]float64
-	for _, o := range outs {
-		pred = append(pred, o.pred...)
-		actual = append(actual, o.actual...)
+	var total float64
+	count := 0
+	for fi, pr := range preds {
+		mlearn.MAPEFlatAccum(*pr, Y, folds[fi].Test, &total, &count)
+		putFloats(pr)
 	}
-	return mlearn.MAPE(pred, actual), nil
+	if count == 0 {
+		return 0, nil
+	}
+	return 100 * total / float64(count), nil
 }
 
 // bestPair searches all unordered placement pairs for the one minimizing
 // cross-validated error; the lower-indexed placement acts as the baseline.
-// Candidate pairs are evaluated concurrently; the winner is selected by a
-// serial scan in pair order, so ties resolve exactly as in a serial search.
-func bestPair(ctx context.Context, ds *Dataset, cfg TrainConfig) (int, int, error) {
+// Candidate pairs are evaluated concurrently over the shared folds; the
+// winner is selected by a serial scan in pair order, so ties resolve
+// exactly as in a serial search.
+func bestPair(ctx context.Context, ds *Dataset, cfg TrainConfig, folds []mlearn.Fold) (int, int, error) {
 	n := len(ds.Placements)
 	var pairs [][2]int
 	for i := 0; i < n; i++ {
@@ -283,7 +387,7 @@ func bestPair(ctx context.Context, ds *Dataset, cfg TrainConfig) (int, int, erro
 	errs, err := xparallel.MapErrCtx(ctx, len(pairs), 0, func(pi int) (float64, error) {
 		i, j := pairs[pi][0], pairs[pi][1]
 		cand := &Predictor{Variant: PerfFeatures, Base: i, Probe: j}
-		return cvMAPE(ctx, ds, cand, cfg, xmix(cfg.Seed, uint64(i*n+j)))
+		return cvMAPE(ctx, ds, cand, cfg, xmix(cfg.Seed, uint64(i*n+j)), folds)
 	})
 	if err != nil {
 		return 0, 0, err
@@ -303,7 +407,7 @@ func bestPair(ctx context.Context, ds *Dataset, cfg TrainConfig) (int, int, erro
 
 // bestHPEBase picks the observation placement for the single-placement
 // HPE variant using a coarse screen with all counters as features.
-func bestHPEBase(ctx context.Context, ds *Dataset, cfg TrainConfig) (int, error) {
+func bestHPEBase(ctx context.Context, ds *Dataset, cfg TrainConfig, folds []mlearn.Fold) (int, error) {
 	nHPE := len(ds.HPE[0][0])
 	all := make([]int, nHPE)
 	for i := range all {
@@ -311,7 +415,7 @@ func bestHPEBase(ctx context.Context, ds *Dataset, cfg TrainConfig) (int, error)
 	}
 	errs, err := xparallel.MapErrCtx(ctx, len(ds.Placements), 0, func(b int) (float64, error) {
 		cand := &Predictor{Variant: HPEFeatures, Base: b, Probe: b, HPEFeats: all}
-		return cvMAPE(ctx, ds, cand, cfg, xmix(cfg.Seed, 0xBA5E+uint64(b)))
+		return cvMAPE(ctx, ds, cand, cfg, xmix(cfg.Seed, 0xBA5E+uint64(b)), folds)
 	})
 	if err != nil {
 		return 0, err
@@ -326,12 +430,12 @@ func bestHPEBase(ctx context.Context, ds *Dataset, cfg TrainConfig) (int, error)
 }
 
 // selectHPEs runs Sequential Forward Selection over the counters.
-func selectHPEs(ctx context.Context, ds *Dataset, base, probe int, cfg TrainConfig) ([]int, error) {
+func selectHPEs(ctx context.Context, ds *Dataset, base, probe int, cfg TrainConfig, folds []mlearn.Fold) ([]int, error) {
 	nHPE := len(ds.HPE[0][0])
 	var evalErr error
 	eval := func(subset []int) float64 {
 		cand := &Predictor{Variant: cfg.Variant, Base: base, Probe: probe, HPEFeats: subset}
-		e, err := cvMAPE(ctx, ds, cand, cfg, xmix(cfg.Seed, 0x5F5+uint64(len(subset))))
+		e, err := cvMAPE(ctx, ds, cand, cfg, xmix(cfg.Seed, 0x5F5+uint64(len(subset))), folds)
 		if err != nil {
 			evalErr = err
 			return math.Inf(-1)

@@ -228,13 +228,17 @@ func Figure4(ctx context.Context, w io.Writer, m machines.Machine, cfg Config) (
 		if err != nil {
 			return 0, err
 		}
+		// Score the held-out workload through the flat data plane: one
+		// feature row into stack-sized scratch, targets from the full
+		// dataset's cached per-base relative matrix (shared across every
+		// cell that picked the same baseline).
 		wi := ds.WorkloadIndex(pw.Name)
-		predicted, err := pred.PredictDataset(ds, []int{wi})
-		if err != nil {
+		xbuf := make([]float64, pred.InDim())
+		predicted := make([]float64, pred.NumPlacements)
+		if err := pred.PredictDatasetInto(predicted, xbuf, ds, []int{wi}); err != nil {
 			return 0, err
 		}
-		actual := ds.RelVector(wi, pred.Base)
-		return mlearn.MAPE(predicted, [][]float64{actual}), nil
+		return mlearn.MAPEFlat(predicted, ds.RelMatrix(pred.Base), []int{wi}), nil
 	})
 	if err != nil {
 		return nil, err

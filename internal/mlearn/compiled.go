@@ -399,6 +399,77 @@ func (c *CompiledForest) PredictBatch(dst [][]float64, xs [][]float64) error {
 	return nil
 }
 
+// PredictRowsInto fills dst (flat, row-major, len nrows*OutDim) with the
+// predictions for the selected rows (nil = every row) of the flat input
+// matrix. Traversal is tree-outer/row-inner exactly like PredictBatch —
+// result r is bit-identical to PredictInto on row rowAt(sel, r) — and the
+// call performs no allocations, closing the batch-scoring loop for callers
+// that pool their buffers.
+func (c *CompiledForest) PredictRowsInto(dst []float64, xs Matrix, sel []int) error {
+	if c == nil || len(c.roots) == 0 {
+		return ErrEmptyForest
+	}
+	if xs.Cols != c.inDim {
+		return fmt.Errorf("input rows have %d features, forest expects %d: %w", xs.Cols, c.inDim, ErrDimMismatch)
+	}
+	n := xs.Rows
+	if sel != nil {
+		n = len(sel)
+		for _, r := range sel {
+			if r < 0 || r >= xs.Rows {
+				return fmt.Errorf("selected row %d out of range (%d rows): %w", r, xs.Rows, ErrDimMismatch)
+			}
+		}
+	}
+	if len(dst) != n*c.outDim {
+		return fmt.Errorf("output buffer has %d entries, want %d: %w", len(dst), n*c.outDim, ErrDimMismatch)
+	}
+	nt := float64(len(c.roots))
+	// An already-built interval table beats even the tree-outer walk; batch
+	// scoring never triggers the build itself (training-time batches are
+	// too small to amortize it).
+	if c.inDim == 1 {
+		if st := c.stepT.Load(); st != nil && st.sums != nil {
+			for r := 0; r < n; r++ {
+				row := st.row(xs.At(rowAt(sel, r), 0), c.outDim)
+				out := dst[r*c.outDim : (r+1)*c.outDim]
+				for d := range out {
+					out[d] = row[d] / nt
+				}
+			}
+			return nil
+		}
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	feat, thr, left, right := c.feat, c.thr, c.left, c.right
+	for _, root := range c.roots {
+		for r := 0; r < n; r++ {
+			x := xs.Row(rowAt(sel, r))
+			i := root
+			f := feat[i]
+			for f >= 0 {
+				if x[f] <= thr[i] {
+					i = left[i]
+				} else {
+					i = right[i]
+				}
+				f = feat[i]
+			}
+			leaf := c.leaves[left[i] : int(left[i])+c.outDim]
+			out := dst[r*c.outDim : (r+1)*c.outDim]
+			for d := range out {
+				out[d] += leaf[d]
+			}
+		}
+	}
+	for i := range dst {
+		dst[i] /= nt
+	}
+	return nil
+}
+
 // PredictRows scores every input row in one batch, returning freshly
 // allocated output vectors backed by a single contiguous block.
 func (c *CompiledForest) PredictRows(xs [][]float64) ([][]float64, error) {

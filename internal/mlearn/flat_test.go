@@ -1,0 +1,240 @@
+package mlearn
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func trainFlatFixture(t *testing.T, inDim int) (Matrix, Matrix, *Forest) {
+	t.Helper()
+	rng := xrand.New(99)
+	X, Y := randomSet(rng, 35, inDim, 6)
+	xm, ym := MatrixFrom(X), MatrixFrom(Y)
+	f, err := TrainForestMatrix(xm, ym, nil, ForestConfig{Trees: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xm, ym, f
+}
+
+// TestPredictRowsIntoMatchesPredictBatch pins the flat batch walk — both
+// the uncompiled pointer path and the compiled SoA path — to the existing
+// PredictBatch traversal, bit for bit, including a row selection.
+func TestPredictRowsIntoMatchesPredictBatch(t *testing.T) {
+	for _, inDim := range []int{1, 4} {
+		xm, ym, f := trainFlatFixture(t, inDim)
+		xs := make([][]float64, xm.Rows)
+		want := make([][]float64, xm.Rows)
+		for r := range xs {
+			xs[r] = xm.Row(r)
+			want[r] = make([]float64, ym.Cols)
+		}
+		if err := f.PredictBatch(want, xs); err != nil {
+			t.Fatal(err)
+		}
+
+		// Compiled path (PredictBatch above forced compilation).
+		flat := make([]float64, xm.Rows*ym.Cols)
+		if err := f.PredictRowsInto(flat, xm, nil); err != nil {
+			t.Fatal(err)
+		}
+		for r := range want {
+			for d := range want[r] {
+				if flat[r*ym.Cols+d] != want[r][d] {
+					t.Fatalf("inDim=%d: compiled PredictRowsInto[%d][%d] = %v, want %v",
+						inDim, r, d, flat[r*ym.Cols+d], want[r][d])
+				}
+			}
+		}
+
+		// Uncompiled pointer path: retrain (fresh, never-compiled forest).
+		f2, err := TrainForestMatrix(xm, ym, nil, ForestConfig{Trees: 12, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := []int{3, 0, 7, 7, 19}
+		wantSel := make([]float64, len(sel)*ym.Cols)
+		if err := f.PredictRowsInto(wantSel, xm, sel); err != nil {
+			t.Fatal(err)
+		}
+		gotSel := make([]float64, len(sel)*ym.Cols)
+		if err := f2.PredictRowsInto(gotSel, xm, sel); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantSel {
+			if gotSel[i] != wantSel[i] {
+				t.Fatalf("inDim=%d: pointer-walk PredictRowsInto differs from compiled at %d: %v vs %v",
+					inDim, i, gotSel[i], wantSel[i])
+			}
+		}
+	}
+}
+
+// TestPredictRowsIntoAllocFree gates the zero-allocation contract of the
+// compiled batch-scoring loop.
+func TestPredictRowsIntoAllocFree(t *testing.T) {
+	xm, ym, f := trainFlatFixture(t, 1)
+	c := f.Compiled()
+	dst := make([]float64, xm.Rows*ym.Cols)
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := c.PredictRowsInto(dst, xm, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("compiled PredictRowsInto allocates %v per run, want 0", avg)
+	}
+	// The uncompiled pointer walk must also be allocation-free (the
+	// cross-validation fold-scoring path).
+	f2, err := TrainForestMatrix(xm, ym, nil, ForestConfig{Trees: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := f2.PredictRowsInto(dst, xm, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("pointer-walk PredictRowsInto allocates %v per run, want 0", avg)
+	}
+}
+
+// TestPredictRowsIntoErrors covers the typed-error contract.
+func TestPredictRowsIntoErrors(t *testing.T) {
+	xm, ym, f := trainFlatFixture(t, 2)
+	var empty Forest
+	if err := empty.PredictRowsInto(nil, xm, nil); err != ErrEmptyForest {
+		t.Fatalf("empty forest: got %v, want ErrEmptyForest", err)
+	}
+	bad := Matrix{Data: xm.Data, Rows: xm.Rows, Cols: xm.Cols + 1}
+	dst := make([]float64, xm.Rows*ym.Cols)
+	if err := f.PredictRowsInto(dst, bad, nil); !isDimErr(err) {
+		t.Fatalf("bad input dims: got %v, want ErrDimMismatch", err)
+	}
+	if err := f.PredictRowsInto(dst[:1], xm, nil); !isDimErr(err) {
+		t.Fatalf("bad output len: got %v, want ErrDimMismatch", err)
+	}
+	if err := f.PredictRowsInto(dst[:ym.Cols], xm, []int{xm.Rows}); !isDimErr(err) {
+		t.Fatalf("out-of-range selection: got %v, want ErrDimMismatch", err)
+	}
+	if err := f.Compiled().PredictRowsInto(dst[:ym.Cols], xm, []int{-1}); !isDimErr(err) {
+		t.Fatalf("negative selection: got %v, want ErrDimMismatch", err)
+	}
+}
+
+func isDimErr(err error) bool { return errors.Is(err, ErrDimMismatch) }
+
+// TestMAPEFlatMatchesMAPE pins the flat metric — including fold-chained
+// accumulation — to the row-pointer MAPE over the same concatenation.
+func TestMAPEFlatMatchesMAPE(t *testing.T) {
+	rng := xrand.New(3)
+	actual := NewMatrix(9, 4)
+	for i := range actual.Data {
+		actual.Data[i] = rng.Range(-1, 2)
+	}
+	actual.Data[5] = 0 // exercise the skip-zero rule
+	folds := [][]int{{2, 0, 5}, {1, 8}, {3, 4, 6, 7}}
+	pred := map[int][]float64{}
+	var catPred, catAct [][]float64
+	var total float64
+	count := 0
+	for _, rows := range folds {
+		block := make([]float64, len(rows)*actual.Cols)
+		for i := range block {
+			block[i] = rng.Range(-1, 2)
+		}
+		pb := block
+		for ri, r := range rows {
+			pred[r] = pb[ri*actual.Cols : (ri+1)*actual.Cols]
+			catPred = append(catPred, pred[r])
+			catAct = append(catAct, actual.Row(r))
+		}
+		MAPEFlatAccum(block, actual, rows, &total, &count)
+	}
+	want := MAPE(catPred, catAct)
+	got := 100 * total / float64(count)
+	if got != want {
+		t.Fatalf("chained MAPEFlatAccum = %v, MAPE = %v", got, want)
+	}
+	one := folds[2]
+	block := make([]float64, len(one)*actual.Cols)
+	for ri, r := range one {
+		copy(block[ri*actual.Cols:(ri+1)*actual.Cols], pred[r])
+	}
+	var cp, ca [][]float64
+	for _, r := range one {
+		cp = append(cp, pred[r])
+		ca = append(ca, actual.Row(r))
+	}
+	if got, want := MAPEFlat(block, actual, one), MAPE(cp, ca); got != want {
+		t.Fatalf("MAPEFlat = %v, MAPE = %v", got, want)
+	}
+}
+
+// TestGroupKFoldPinnedAssignment pins the exact fold assignment for a
+// fixed group labeling: the split is hoisted out of the per-candidate loop
+// and shared across the whole pair search, so a silent reshuffle here
+// would silently re-rank every candidate. Any deliberate change must
+// update this table consciously.
+func TestGroupKFoldPinnedAssignment(t *testing.T) {
+	groups := []string{"a", "a", "b", "c", "b", "d", "e", "c"}
+	folds, err := GroupKFold(groups, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct groups in first-appearance order: a=0, b=1, c=2, d=3, e=4;
+	// group g lands in fold g%3.
+	want := []Fold{
+		{Test: []int{0, 1, 5}, Train: []int{2, 3, 4, 6, 7}}, // a, d
+		{Test: []int{2, 4, 6}, Train: []int{0, 1, 3, 5, 7}}, // b, e
+		{Test: []int{3, 7}, Train: []int{0, 1, 2, 4, 5, 6}}, // c
+	}
+	if !reflect.DeepEqual(folds, want) {
+		t.Fatalf("GroupKFold assignment changed:\n got %+v\nwant %+v", folds, want)
+	}
+	// Fewer distinct groups than k: k clamps to the group count.
+	folds, err = GroupKFold([]string{"x", "y", "x"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []Fold{
+		{Test: []int{0, 2}, Train: []int{1}},
+		{Test: []int{1}, Train: []int{0, 2}},
+	}
+	if !reflect.DeepEqual(folds, want) {
+		t.Fatalf("clamped GroupKFold assignment changed:\n got %+v\nwant %+v", folds, want)
+	}
+}
+
+// TestRecycleKeepsServingForestsUsable double-checks Recycle's scope: a
+// recycled forest reports empty, while an independently trained forest
+// sharing the warm pools still predicts exactly as before.
+func TestRecycleKeepsServingForestsUsable(t *testing.T) {
+	xm, ym, f := trainFlatFixture(t, 2)
+	keep, err := TrainForestMatrix(xm, ym, nil, ForestConfig{Trees: 9, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVec := keep.Predict(xm.Row(4))
+	f.Recycle()
+	if err := f.PredictRowsInto(make([]float64, ym.Cols), xm, []int{0}); err != ErrEmptyForest {
+		t.Fatalf("recycled forest: got %v, want ErrEmptyForest", err)
+	}
+	// Churn the pools, then re-check the retained forest.
+	for i := 0; i < 4; i++ {
+		tmp, err := TrainForestMatrix(xm, ym, nil, ForestConfig{Trees: 9, Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmp.Recycle()
+	}
+	got := keep.Predict(xm.Row(4))
+	for d := range got {
+		if got[d] != wantVec[d] || math.IsNaN(got[d]) {
+			t.Fatalf("retained forest drifted after pool churn: %v vs %v", got, wantVec)
+		}
+	}
+}

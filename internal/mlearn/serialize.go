@@ -81,7 +81,6 @@ func LoadForest(d *ForestDump) (*Forest, error) {
 		}
 		f.trees = append(f.trees, t)
 	}
-	f.compiled = compile(f.trees, f.inDim, f.outDim)
 	return f, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/xrand"
 )
@@ -50,26 +51,70 @@ type Tree struct {
 	nodes  []node
 	inDim  int
 	outDim int
+	// store is the pooled backing for nodes and the leaf-mean arena when
+	// the tree was grown in this process; Forest.Recycle returns it to the
+	// training pools. Deserialized trees carry no store.
+	store *treeStore
+}
+
+// treeStore is the retained per-tree storage: the node slice and the arena
+// backing every leaf's mean vector. Both come from a pool so ephemeral
+// cross-validation forests can hand them back (Forest.Recycle) instead of
+// allocating ~5 KB per tree times millions of selection trees.
+type treeStore struct {
+	nodes []node
+	arena []float64
+}
+
+var treeStorePool = sync.Pool{New: func() any { return new(treeStore) }}
+
+// validateSet checks a row-pointer training set's shape, reporting the
+// same errors tree and forest training always raised.
+func validateSet(X, Y [][]float64) error {
+	if len(X) == 0 || len(X) != len(Y) {
+		return fmt.Errorf("mlearn: bad training set: %d inputs, %d outputs", len(X), len(Y))
+	}
+	inDim, outDim := len(X[0]), len(Y[0])
+	for i := range X {
+		if len(X[i]) != inDim {
+			return fmt.Errorf("mlearn: row %d has %d features, want %d", i, len(X[i]), inDim)
+		}
+		if len(Y[i]) != outDim {
+			return fmt.Errorf("mlearn: row %d has %d outputs, want %d", i, len(Y[i]), outDim)
+		}
+	}
+	return nil
 }
 
 // BuildTree grows a tree on (X, Y). All rows of X must share a length, as
 // must all rows of Y. rng drives feature subsampling; pass nil when
-// FeatureSubset is 0.
+// FeatureSubset is 0. This is the row-pointer compatibility wrapper: the
+// rows are flattened into strided matrices and grown by the flat grower,
+// producing a tree bit-identical to the historical row-pointer induction.
 func BuildTree(X, Y [][]float64, cfg TreeConfig, rng *xrand.SplitMix64) (*Tree, error) {
-	g, err := newGrower(X, Y, cfg, rng)
-	if err != nil {
+	if err := validateSet(X, Y); err != nil {
 		return nil, err
+	}
+	return buildTreeMatrix(MatrixFrom(X), MatrixFrom(Y), cfg, rng)
+}
+
+// buildTreeMatrix grows a plain (non-bootstrap) tree over every row of the
+// flat matrices.
+func buildTreeMatrix(X, Y Matrix, cfg TreeConfig, rng *xrand.SplitMix64) (*Tree, error) {
+	n := X.Rows
+	g := getGrower(X, Y, n, cfg, rng)
+	for i := 0; i < n; i++ {
+		g.setSample(i, i)
 	}
 	// Presort: one sorted sample order per feature, computed once and then
 	// maintained through every partition, so bestSplit never sorts again.
 	// Ties break by sample index, making each order fully deterministic.
 	// Sorting runs over a contiguous (value, index) pair buffer: the
-	// comparator then touches no scattered X rows.
-	n := len(X)
-	pairs := make([]sortPair, n)
-	for f := 0; f < g.t.inDim; f++ {
+	// comparator then touches no scattered matrix rows.
+	pairs := g.pairs[:n]
+	for f := 0; f < g.xc; f++ {
 		for i := range pairs {
-			pairs[i] = sortPair{v: X[i][f], i: int32(i)}
+			pairs[i] = sortPair{v: X.At(i, f), i: int32(i)}
 		}
 		sortPairs(pairs)
 		ord := g.ford[f]
@@ -78,36 +123,47 @@ func BuildTree(X, Y [][]float64, cfg TreeConfig, rng *xrand.SplitMix64) (*Tree, 
 		}
 	}
 	g.grow(0, n, 1)
-	return g.t, nil
+	t := g.t
+	putGrower(g)
+	return t, nil
 }
 
-// buildTreeBootstrap grows a tree on the bootstrap sample described by ks
-// (bX[j] must alias baseX[ks[j]], likewise bY), deriving every feature's
-// presorted order in O(n) from baseOrd — the base set's per-feature sorted
-// index orders — instead of re-sorting per tree: the bootstrap positions of
-// each base row are emitted, ascending, while walking the base order.
-// Relative to BuildTree's per-tree sort this arranges equal-valued samples
-// differently, which is harmless: tied samples sharing a base row are
-// bit-for-bit interchangeable in every prefix sum, and genuinely tied
-// distinct rows take bestSplit's fallback sort either way.
-func buildTreeBootstrap(bX, bY [][]float64, ks []int, baseOrd [][]int, cfg TreeConfig, rng *xrand.SplitMix64) (*Tree, error) {
-	g, err := newGrower(bX, bY, cfg, rng)
-	if err != nil {
-		return nil, err
+// growBootstrapTree grows one bootstrap tree over the selected rows of the
+// flat matrices (rows nil = every row): rng draws n base positions with
+// replacement, and every feature's presorted order is derived in O(n) from
+// baseOrd — the base set's per-feature sorted position orders — instead of
+// re-sorting per tree: the bootstrap positions of each base position are
+// emitted, ascending, while walking the base order. Relative to a per-tree
+// sort this arranges equal-valued samples differently, which is harmless:
+// tied samples sharing a base row are bit-for-bit interchangeable in every
+// prefix sum, and genuinely tied distinct rows take bestSplit's fallback
+// sort either way.
+func growBootstrapTree(X, Y Matrix, rows []int, n int, baseOrd [][]int, cfg TreeConfig, rng *xrand.SplitMix64) *Tree {
+	g := getGrower(X, Y, n, cfg, rng)
+	ks := g.ks[:n]
+	for j := 0; j < n; j++ {
+		k := rng.Intn(n)
+		ks[j] = k
+		g.setSample(j, rowAt(rows, k))
 	}
-	n := len(ks)
-	nBase := len(bX) // TrainForest draws bootstraps the size of the base set
-	// Bucket the bootstrap positions by base row (positions stay ascending
-	// because j ascends).
-	starts := make([]int32, nBase+1)
+	// Bucket the bootstrap positions by base position (positions stay
+	// ascending because j ascends). starts and cursor come from the pool,
+	// so they are cleared explicitly before counting.
+	starts := g.starts[:n+1]
+	for i := range starts {
+		starts[i] = 0
+	}
 	for _, k := range ks {
 		starts[k+1]++
 	}
-	for i := 0; i < nBase; i++ {
+	for i := 0; i < n; i++ {
 		starts[i+1] += starts[i]
 	}
-	pos := make([]int32, n)
-	cursor := make([]int32, nBase)
+	cursor := g.cursor[:n]
+	for i := range cursor {
+		cursor[i] = 0
+	}
+	pos := g.pos[:n]
 	for j, k := range ks {
 		pos[starts[k]+cursor[k]] = int32(j)
 		cursor[k]++
@@ -123,51 +179,9 @@ func buildTreeBootstrap(bX, bY [][]float64, ks []int, baseOrd [][]int, cfg TreeC
 		}
 	}
 	g.grow(0, n, 1)
-	return g.t, nil
-}
-
-// newGrower validates the training set and allocates all induction state.
-func newGrower(X, Y [][]float64, cfg TreeConfig, rng *xrand.SplitMix64) (*grower, error) {
-	if len(X) == 0 || len(X) != len(Y) {
-		return nil, fmt.Errorf("mlearn: bad training set: %d inputs, %d outputs", len(X), len(Y))
-	}
-	t := &Tree{inDim: len(X[0]), outDim: len(Y[0])}
-	for i := range X {
-		if len(X[i]) != t.inDim {
-			return nil, fmt.Errorf("mlearn: row %d has %d features, want %d", i, len(X[i]), t.inDim)
-		}
-		if len(Y[i]) != t.outDim {
-			return nil, fmt.Errorf("mlearn: row %d has %d outputs, want %d", i, len(Y[i]), t.outDim)
-		}
-	}
-	n := len(X)
-	g := &grower{
-		X: X, Y: Y, cfg: cfg, rng: rng, t: t,
-		idx:      make([]int, n),
-		scratch:  make([]int, n),
-		side:     make([]bool, n),
-		features: make([]int, t.inDim),
-		vals:     make([]float64, n),
-		sum:      make([]float64, t.outDim),
-		sumsq:    make([]float64, t.outDim),
-		total:    make([]float64, t.outDim),
-		totalSq:  make([]float64, t.outDim),
-	}
-	// A binary tree over n samples with >= 1 sample per leaf has at most
-	// 2n-1 nodes and n leaves; pre-sizing the node slice and carving every
-	// leaf mean from one arena removes all per-node allocations.
-	t.nodes = make([]node, 0, 2*n-1)
-	g.arena = make([]float64, n*t.outDim)
-	g.sorter.order = make([]int, n)
-	for i := range g.idx {
-		g.idx[i] = i
-	}
-	g.ford = make([][]int, t.inDim)
-	backing := make([]int, n*t.inDim)
-	for f := 0; f < t.inDim; f++ {
-		g.ford[f] = backing[f*n : (f+1)*n]
-	}
-	return g, nil
+	t := g.t
+	putGrower(g)
+	return t
 }
 
 // sortPair is one (feature value, sample index) element of the presort.
@@ -190,36 +204,162 @@ func sortPairs(pairs []sortPair) {
 	})
 }
 
-// grower holds the scratch state for one tree induction. All buffers are
-// allocated once in BuildTree and reused across every node of the tree: the
-// sample indices are partitioned in place (children are subslices of the
-// parent's idx and ford segments), and the split search reuses the value
-// and prefix-sum buffers, so growing a node allocates nothing beyond its
-// leaf mean.
+// grower holds the scratch state for one tree induction over flat strided
+// matrices. Samples are positions 0..n-1; xoff/yoff map each position to
+// its row's offset in the x/y backing, so bootstrap duplicates and
+// row-subset training (cross-validation folds) share the caller's matrices
+// instead of materializing per-tree row copies. All buffers live in a sync.Pool and
+// are reused across trees and forests: the sample indices are partitioned
+// in place (children are subslices of the parent's idx and ford segments),
+// and the split search reuses the value and prefix-sum buffers, so growing
+// a node allocates nothing beyond its pooled leaf mean.
 //
 // Induction is presort-based (classic presort CART): every feature's
-// sample order is sorted once per tree, then maintained through each
-// node's partition by a stable split of the order segments. bestSplit
-// therefore costs O(features·n) per node instead of the O(features·
-// n log n) a per-node re-sort would.
+// sample order is sorted once per tree (or derived from the forest's base
+// presort), then maintained through each node's partition by a stable
+// split of the order segments. bestSplit therefore costs O(features·n)
+// per node instead of the O(features·n log n) a per-node re-sort would.
 type grower struct {
-	X, Y [][]float64
+	x    []float64 // flat feature storage, row-major
+	xc   int       // feature stride (input dimensionality)
+	y    []float64 // flat output storage, row-major
+	yc   int       // output stride (output dimensionality)
+	xoff []int     // sample position -> offset of its feature row in x
+	yoff []int     // sample position -> offset of its output row in y
 	cfg  TreeConfig
 	rng  *xrand.SplitMix64
 	t    *Tree
 
-	idx      []int     // sample indices, partitioned in place during growth
-	scratch  []int     // spill buffer for the right half of a partition
-	side     []bool    // per-sample split side of the current node (true = left)
-	features []int     // candidate feature ids (reshuffled per split)
-	ford     [][]int   // per-feature presorted sample orders, partitioned in lockstep with idx
-	vals     []float64 // reused buffer for the node's sorted feature values
-	arena    []float64 // backing store for the node mean vectors
-	sorter   argsort   // order+vals buffers for the tie fallback sort
+	idx      []int      // sample positions, partitioned in place during growth
+	scratch  []int      // spill buffer for the right half of a partition
+	side     []bool     // per-sample split side of the current node (true = left)
+	features []int      // candidate feature ids (reshuffled per split)
+	ford     [][]int    // per-feature presorted sample orders, partitioned in lockstep with idx
+	fordBack []int      // contiguous backing for ford
+	vals     []float64  // reused buffer for the node's sorted feature values
+	pairs    []sortPair // presort scratch for non-bootstrap trees
+	arena    []float64  // carve cursor into t.store.arena for leaf means
+	sorter   argsort    // order+vals buffers for the tie fallback sort
 	sum      []float64
 	sumsq    []float64
 	total    []float64
 	totalSq  []float64
+
+	// Bootstrap scratch (growBootstrapTree).
+	ks     []int
+	starts []int32
+	pos    []int32
+	cursor []int32
+}
+
+var growerPool = sync.Pool{New: func() any { return new(grower) }}
+
+func intsCap(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}
+
+func int32sCap(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+func floatsCap(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+// getGrower checks a grower out of the pool, sized for n samples of the
+// given matrices. Every buffer a tree reads is either fully rewritten
+// before use or explicitly cleared here, so pooled garbage can never leak
+// into induction (determinism depends on it).
+func getGrower(X, Y Matrix, n int, cfg TreeConfig, rng *xrand.SplitMix64) *grower {
+	g := growerPool.Get().(*grower)
+	inDim, outDim := X.Cols, Y.Cols
+	g.x, g.xc, g.y, g.yc = X.Data, X.Cols, Y.Data, Y.Cols
+	g.cfg, g.rng = cfg, rng
+
+	// Retained tree storage: a binary tree over n samples with >= 1 sample
+	// per leaf has at most 2n-1 nodes and n leaves; pre-sizing the node
+	// slice and carving every leaf mean from one arena removes all
+	// per-node allocations.
+	ts := treeStorePool.Get().(*treeStore)
+	if cap(ts.nodes) < 2*n-1 {
+		ts.nodes = make([]node, 0, 2*n-1)
+	}
+	if cap(ts.arena) < n*outDim {
+		ts.arena = make([]float64, n*outDim)
+	}
+	g.t = &Tree{inDim: inDim, outDim: outDim, store: ts}
+	g.t.nodes = ts.nodes[:0]
+	g.arena = ts.arena[:n*outDim]
+
+	g.xoff = intsCap(g.xoff, n)
+	g.yoff = intsCap(g.yoff, n)
+	g.idx = intsCap(g.idx, n)
+	for i := range g.idx {
+		g.idx[i] = i
+	}
+	g.scratch = intsCap(g.scratch, n)
+	if cap(g.side) < n {
+		g.side = make([]bool, n)
+	} else {
+		g.side = g.side[:n]
+	}
+	g.features = intsCap(g.features, inDim)
+	g.fordBack = intsCap(g.fordBack, n*inDim)
+	if cap(g.ford) < inDim {
+		g.ford = make([][]int, inDim)
+	}
+	g.ford = g.ford[:inDim]
+	for f := 0; f < inDim; f++ {
+		g.ford[f] = g.fordBack[f*n : (f+1)*n]
+	}
+	g.vals = floatsCap(g.vals, n)
+	if cap(g.pairs) < n {
+		g.pairs = make([]sortPair, n)
+	} else {
+		g.pairs = g.pairs[:n]
+	}
+	g.sorter.order = intsCap(g.sorter.order, n)
+	g.sum = floatsCap(g.sum, outDim)
+	g.sumsq = floatsCap(g.sumsq, outDim)
+	g.total = floatsCap(g.total, outDim)
+	g.totalSq = floatsCap(g.totalSq, outDim)
+	g.ks = intsCap(g.ks, n)
+	g.starts = int32sCap(g.starts, n+1)
+	g.pos = int32sCap(g.pos, n)
+	g.cursor = int32sCap(g.cursor, n)
+	return g
+}
+
+// putGrower returns a grower to the pool, dropping references to the
+// caller's matrices and the grown tree but keeping every scratch buffer.
+func putGrower(g *grower) {
+	g.x, g.y = nil, nil
+	g.t, g.rng = nil, nil
+	growerPool.Put(g)
+}
+
+// xAt reads sample i's feature f through the precomputed row offset.
+func (g *grower) xAt(i, f int) float64 { return g.x[g.xoff[i]+f] }
+
+// yRow returns sample i's output row (a view; never mutated).
+func (g *grower) yRow(i int) []float64 {
+	o := g.yoff[i]
+	return g.y[o : o+g.yc]
+}
+
+// setSample points sample position i at storage row r.
+func (g *grower) setSample(i, r int) {
+	g.xoff[i] = r * g.xc
+	g.yoff[i] = r * g.yc
 }
 
 // argsort sorts an index slice by parallel float values, implementing
@@ -241,11 +381,15 @@ func (a *argsort) Swap(i, j int) {
 	a.vals[i], a.vals[j] = a.vals[j], a.vals[i]
 }
 
-// newVec carves one outDim-sized vector from the tree's arena.
+// newVec carves one zeroed outDim-sized vector from the tree's arena (the
+// arena is pooled, so it may carry a previous tree's values).
 func (g *grower) newVec() []float64 {
 	d := g.t.outDim
 	v := g.arena[:d:d]
 	g.arena = g.arena[d:]
+	for i := range v {
+		v[i] = 0
+	}
 	return v
 }
 
@@ -260,7 +404,7 @@ func (g *grower) grow(lo, hi, depth int) int32 {
 	// The mean vector is only materialized when the node actually becomes
 	// a leaf: internal nodes never serve predictions, and their (large)
 	// segments dominate the summation cost.
-	if len(idx) < 2*g.cfg.minLeaf() || (g.cfg.MaxDepth > 0 && depth >= g.cfg.MaxDepth) || pure(g.Y, idx) {
+	if len(idx) < 2*g.cfg.minLeaf() || (g.cfg.MaxDepth > 0 && depth >= g.cfg.MaxDepth) || g.pure(idx) {
 		return g.leaf(self, idx)
 	}
 
@@ -273,7 +417,7 @@ func (g *grower) grow(lo, hi, depth int) int32 {
 	// re-evaluating the float predicate.
 	nl, nr := 0, 0
 	for _, i := range idx {
-		if g.X[i][feat] <= thr {
+		if g.xAt(i, feat) <= thr {
 			g.side[i] = true
 			idx[nl] = i
 			nl++
@@ -289,7 +433,13 @@ func (g *grower) grow(lo, hi, depth int) int32 {
 	}
 	// Maintain every feature's presorted order through the partition: a
 	// stable split by the same predicate keeps each child segment sorted.
+	// The split feature's own order is exempt: it is sorted by value and
+	// the threshold lies strictly between its nl-th and nl+1-th distinct
+	// values, so the stable partition would reproduce the segment as-is.
 	for f := range g.ford {
+		if f == feat {
+			continue
+		}
 		partitionBySide(g.side, g.ford[f][lo:hi], g.scratch)
 	}
 	l := g.grow(lo, lo+nl, depth+1)
@@ -303,7 +453,16 @@ func (g *grower) grow(lo, hi, depth int) int32 {
 
 // leaf fills node self's prediction vector with the mean of its samples.
 func (g *grower) leaf(self int32, idx []int) int32 {
-	g.t.nodes[self].value = meanRowsInto(g.newVec(), g.Y, idx)
+	m := g.newVec()
+	for _, i := range idx {
+		for d, v := range g.yRow(i) {
+			m[d] += v
+		}
+	}
+	for d := range m {
+		m[d] /= float64(len(idx))
+	}
+	g.t.nodes[self].value = m
 	return self
 }
 
@@ -342,7 +501,6 @@ func (g *grower) bestSplit(lo, hi int) (int, float64, bool) {
 	}
 
 	n := hi - lo
-	X, Y := g.X, g.Y
 	idx := g.idx[lo:hi]
 	vals := g.vals[:n]
 	sum, sumsq := g.sum, g.sumsq
@@ -356,9 +514,7 @@ func (g *grower) bestSplit(lo, hi int) (int, float64, bool) {
 		total[d], totalSq[d] = 0, 0
 	}
 	for _, i := range idx {
-		yi := Y[i]
-		for d := range total {
-			v := yi[d]
+		for d, v := range g.yRow(i) {
 			total[d] += v
 			totalSq[d] += v * v
 		}
@@ -367,35 +523,36 @@ func (g *grower) bestSplit(lo, hi int) (int, float64, bool) {
 	// Gain compares children only (the parent SSE is constant), so the scan
 	// just minimizes child SSE.
 	for _, f := range features {
-		order := g.ford[f][lo:hi]
-		for k, i := range order {
-			vals[k] = X[i][f]
-		}
-		if vals[0] == vals[n-1] {
-			continue // constant feature
-		}
+		// One pass fills the node's sorted values and detects harmful ties.
 		// The presorted order is usable directly when every tie group is
 		// harmless: equal feature values admit many valid sort orders, and
 		// the floating-point prefix sums differ between them unless the
 		// tied samples also share identical output rows. Bootstrap
-		// duplicates — by far the dominant source of ties — alias the same
-		// backing row, so almost all groups pass the cheap pointer check.
+		// duplicates — by far the dominant source of ties — map to the same
+		// storage row, so almost all groups pass the cheap row-offset
+		// check (and once a harmful tie is found the check short-circuits).
 		// A genuine tie (distinct outputs on one feature value) re-sorts
 		// from the node's partition order with the same unstable sort the
 		// original induction used, keeping the grown tree bit-identical to
 		// the pre-presort implementation.
+		order := g.ford[f][lo:hi]
 		ties := false
+		vals[0] = g.xAt(order[0], f)
 		for k := 1; k < n; k++ {
-			if vals[k] == vals[k-1] && !sameRow(Y, order[k-1], order[k]) {
+			v := g.xAt(order[k], f)
+			vals[k] = v
+			if v == vals[k-1] && !ties && !g.sameRow(order[k-1], order[k]) {
 				ties = true
-				break
 			}
+		}
+		if vals[0] == vals[n-1] {
+			continue // constant feature
 		}
 		if ties {
 			sOrder := g.sorter.order[:n]
 			copy(sOrder, idx)
 			for k, i := range sOrder {
-				vals[k] = X[i][f]
+				vals[k] = g.xAt(i, f)
 			}
 			g.sorter.order, g.sorter.vals = sOrder, vals
 			sort.Sort(&g.sorter)
@@ -405,9 +562,7 @@ func (g *grower) bestSplit(lo, hi int) (int, float64, bool) {
 			sum[d], sumsq[d] = 0, 0
 		}
 		for k := 0; k < n-1; k++ {
-			yi := Y[order[k]]
-			for d := range sum {
-				v := yi[d]
+			for d, v := range g.yRow(order[k]) {
 				sum[d] += v
 				sumsq[d] += v * v
 			}
@@ -494,31 +649,15 @@ func (t *Tree) Depth() int {
 // NumNodes returns the total node count.
 func (t *Tree) NumNodes() int { return len(t.nodes) }
 
-func meanRowsInto(m []float64, Y [][]float64, idx []int) []float64 {
-	for _, i := range idx {
-		yi := Y[i]
-		for d := range m {
-			m[d] += yi[d]
-		}
-	}
-	for d := range m {
-		m[d] /= float64(len(idx))
-	}
-	return m
-}
-
 // sameRow reports whether samples a and b carry interchangeable outputs: a
-// shared backing row (bootstrap duplicates) or element-wise equal values.
-// Tied feature values over such rows accumulate to identical prefix sums
-// in any order.
-func sameRow(Y [][]float64, a, b int) bool {
-	ya, yb := Y[a], Y[b]
-	if len(ya) == 0 {
+// shared storage row (bootstrap duplicates, caught by the offset compare)
+// or element-wise equal values. Tied feature values over such rows
+// accumulate to identical prefix sums in any order.
+func (g *grower) sameRow(a, b int) bool {
+	if g.yoff[a] == g.yoff[b] {
 		return true
 	}
-	if &ya[0] == &yb[0] {
-		return true
-	}
+	ya, yb := g.yRow(a), g.yRow(b)
 	for d := range ya {
 		if ya[d] != yb[d] {
 			return false
@@ -527,11 +666,12 @@ func sameRow(Y [][]float64, a, b int) bool {
 	return true
 }
 
-func pure(Y [][]float64, idx []int) bool {
-	first := Y[idx[0]]
+// pure reports whether every sample in idx carries the same output row.
+func (g *grower) pure(idx []int) bool {
+	first := g.yRow(idx[0])
 	for _, i := range idx[1:] {
-		for d := range first {
-			if Y[i][d] != first[d] {
+		for d, v := range g.yRow(i) {
+			if v != first[d] {
 				return false
 			}
 		}

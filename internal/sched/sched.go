@@ -107,6 +107,9 @@ func NewExperimentPrepared(spec *concern.Spec, imps []placement.Important, w per
 		return nil, fmt.Errorf("sched: predictor has %d placements, machine yields %d: %w",
 			pred.NumPlacements, len(imps), nperr.ErrMachineMismatch)
 	}
+	// The packing loops predict per admitted instance; compile the forest
+	// up front so the first admission doesn't pay the lazy build.
+	pred.Compile()
 	return &Experiment{
 		Machine: spec.Machine, Spec: spec, V: v, Workload: w,
 		Placements: imps, Predictor: pred,

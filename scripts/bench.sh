@@ -4,18 +4,21 @@
 # allocs/op. Two gate layers run after the suite:
 #
 #   1. In-run gates on the fresh numbers: the Engine warm/cold memoization
-#      ratio (>= 50x) and the compiled-forest serving path
-#      (BenchmarkPredictLatency must report 0 allocs/op).
-#   2. Compare gates against the previous BENCH_*.json: the PR 3 speedup
-#      floors (PredictLatency >= 5x, AblationForestSize/trees-100 >= 2x,
-#      Figure4AMD/Intel >= 30% down) plus a generic > 20% ns/op regression
-#      check on every other benchmark present in both reports.
+#      ratio (>= 50x) and the compiled-forest scoring paths
+#      (BenchmarkPredictLatency and BenchmarkPredictBatch must both report
+#      0 allocs/op).
+#   2. Compare gates against the previous BENCH_*.json. Against a
+#      pre-PR-3 baseline (BENCH_0..2) the PR 3 ns/op floors apply; against
+#      BENCH_3 the PR 4 flat-data-plane floors apply: Figure4AMD/Intel at
+#      <= 0.75x ns/op AND <= 0.3x bytes/op, AblationForestSize/trees-100
+#      at <= 0.5x allocs/op. A generic > 20% ns/op regression check covers
+#      every other benchmark present in both reports.
 #
 # Usage:
 #   scripts/bench.sh [output.json]          run suite, write report, gate
 #   scripts/bench.sh --compare NEW OLD      compare two reports only
 #
-# Default output: BENCH_3.json. The comparison baseline is the
+# Default output: BENCH_4.json. The comparison baseline is the
 # highest-numbered BENCH_*.json other than the output file.
 set -eu
 
@@ -29,21 +32,31 @@ set -eu
 # floors carry margins that dwarf that noise.
 compare_reports() {
     new="$1"; old="$2"
-    # The speedup floors encode the PR 3 compiled-forest/presort wins, so
-    # they only make sense against a pre-PR-3 baseline (BENCH_2 or older);
-    # against newer reports only the regression gate applies.
-    floors=0
+    # Era-select the floors: the PR 3 compiled-forest/presort wins only
+    # make sense against a pre-PR-3 baseline, the PR 4 training-plane wins
+    # only against BENCH_3; against newer reports only the regression gate
+    # applies.
+    era=none
     case "$(basename "$old")" in
-        BENCH_[012].json) floors=1 ;;
+        BENCH_[012].json) era=pr3 ;;
+        BENCH_3.json)     era=pr4 ;;
     esac
-    echo "comparing $new against $old"
-    awk -v newfile="$new" -v oldfile="$old" -v floors="$floors" '
-    function record(file, line,   name, ns) {
+    echo "comparing $new against $old (floor era: $era)"
+    awk -v newfile="$new" -v oldfile="$old" -v era="$era" '
+    function record(file, line,   name, v) {
         if (match(line, /"name": "[^"]*"/)) {
             name = substr(line, RSTART+9, RLENGTH-10)
             if (match(line, /"ns_per_op": [0-9.e+]*/)) {
-                ns = substr(line, RSTART+13, RLENGTH-13)
-                if (file == "new") newns[name] = ns; else oldns[name] = ns
+                v = substr(line, RSTART+13, RLENGTH-13)
+                if (file == "new") newns[name] = v; else oldns[name] = v
+            }
+            if (match(line, /"bytes_per_op": [0-9.e+]*/)) {
+                v = substr(line, RSTART+16, RLENGTH-16)
+                if (file == "new") newb[name] = v; else oldb[name] = v
+            }
+            if (match(line, /"allocs_per_op": [0-9.e+]*/)) {
+                v = substr(line, RSTART+17, RLENGTH-17)
+                if (file == "new") newa[name] = v; else olda[name] = v
             }
         }
     }
@@ -57,13 +70,29 @@ compare_reports() {
         }
         return ""
     }
+    function gate(kind, name, newv, oldv, cap,   ratio, status) {
+        if (oldv == "" || newv == "") {
+            printf "  %-45s missing %s data\n", name, kind; return 1
+        }
+        ratio = newv / oldv
+        status = (ratio <= cap) ? "ok" : "FAIL"
+        printf "  %-45s %14.0f -> %14.0f %s  (%.2fx, need <= %.2fx) %s\n", \
+            name, oldv, newv, kind, ratio, cap, status
+        return (status == "FAIL") ? 1 : 0
+    }
     BEGIN {
-        # Speedup floors: new must be <= floor * old.
-        if (floors) {
-            floor["BenchmarkPredictLatency"] = 0.2               # >= 5x faster
-            floor["BenchmarkAblationForestSize/trees-100"] = 0.5 # >= 2x faster
-            floor["BenchmarkFigure4AMD"] = 0.7                   # >= 30% down
-            floor["BenchmarkFigure4Intel"] = 0.7                 # >= 30% down
+        # Floors: new must be <= floor * old for the named metric.
+        if (era == "pr3") {
+            nsfloor["BenchmarkPredictLatency"] = 0.2               # >= 5x faster
+            nsfloor["BenchmarkAblationForestSize/trees-100"] = 0.5 # >= 2x faster
+            nsfloor["BenchmarkFigure4AMD"] = 0.7                   # >= 30% down
+            nsfloor["BenchmarkFigure4Intel"] = 0.7                 # >= 30% down
+        } else if (era == "pr4") {
+            nsfloor["BenchmarkFigure4AMD"] = 0.75                  # >= 25% down
+            nsfloor["BenchmarkFigure4Intel"] = 0.75                # >= 25% down
+            bfloor["BenchmarkFigure4AMD"] = 0.3                    # >= 70% fewer bytes
+            bfloor["BenchmarkFigure4Intel"] = 0.3                  # >= 70% fewer bytes
+            afloor["BenchmarkAblationForestSize/trees-100"] = 0.5  # >= 2x fewer allocs
         }
         regress = 1.2                                              # > 20% regression fails
         minns = 100000                                             # regression gate floor: 100 us
@@ -73,20 +102,21 @@ compare_reports() {
         for (name in newns) {
             o = oldfor(name)
             if (o == "") continue
-            ratio = newns[name] / oldns[o]
             # Floor lookup: raw name first, then with any -GOMAXPROCS
             # suffix stripped (new reports recorded on multi-core machines
             # carry one; the floor keys never do).
             g = name
-            if (!(g in floor)) { sub(/-[0-9]+$/, "", g) }
-            if (g in floor) {
-                status = (ratio <= floor[g]) ? "ok" : "FAIL"
-                printf "  %-45s %12.0f -> %12.0f ns/op  (%.2fx, need <= %.2fx) %s\n", \
-                    name, oldns[o], newns[name], ratio, floor[g], status
-                if (status == "FAIL") fails++
-            } else if (oldns[o]+0 >= minns && ratio > regress) {
-                printf "  %-45s %12.0f -> %12.0f ns/op  (%.2fx) FAIL: >20%% regression\n", \
-                    name, oldns[o], newns[name], ratio
+            if (!(g in nsfloor) && !(g in bfloor) && !(g in afloor)) { sub(/-[0-9]+$/, "", g) }
+            if (g in nsfloor) { fails += gate("ns/op", name, newns[name], oldns[o], nsfloor[g]) }
+            if (g in bfloor)  { fails += gate("B/op", name, newb[name], oldb[o], bfloor[g]) }
+            if (g in afloor)  { fails += gate("allocs/op", name, newa[name], olda[o], afloor[g]) }
+            # A bench floored only on memory metrics still gets the
+            # generic wall-time regression check; only an explicit ns
+            # floor supersedes it.
+            if (g in nsfloor) continue
+            if (oldns[o]+0 >= minns && newns[name] / oldns[o] > regress) {
+                printf "  %-45s %14.0f -> %14.0f ns/op  (%.2fx) FAIL: >20%% regression\n", \
+                    name, oldns[o], newns[name], newns[name] / oldns[o]
                 fails++
             }
         }
@@ -100,7 +130,7 @@ if [ "${1:-}" = "--compare" ]; then
     exit 0
 fi
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -144,13 +174,17 @@ END {
     if (ratio < 50) { print "FAIL: warm Engine.Placements is < 50x faster than cold enumeration"; exit 1 }
 }' "$tmp"
 
-# Gate: the compiled-forest serving path must be allocation-free.
+# Gate: both compiled-forest scoring paths must be allocation-free — the
+# single-prediction serving path and the flat batch-scoring path.
 awk '
-/^BenchmarkPredictLatency/ { for (i=3;i<NF;i++) if ($(i+1)=="allocs/op") allocs=$i }
+/^BenchmarkPredictLatency/ { for (i=3;i<NF;i++) if ($(i+1)=="allocs/op") lat=$i }
+/^BenchmarkPredictBatch/   { for (i=3;i<NF;i++) if ($(i+1)=="allocs/op") batch=$i }
 END {
-    if (allocs == "") { print "FAIL: BenchmarkPredictLatency missing"; exit 1 }
-    printf "predict latency allocations: %s allocs/op\n", allocs
-    if (allocs + 0 != 0) { print "FAIL: PredictInto serving path allocates"; exit 1 }
+    if (lat == "") { print "FAIL: BenchmarkPredictLatency missing"; exit 1 }
+    if (batch == "") { print "FAIL: BenchmarkPredictBatch missing"; exit 1 }
+    printf "predict latency allocations: %s allocs/op, batch: %s allocs/op\n", lat, batch
+    if (lat + 0 != 0) { print "FAIL: PredictInto serving path allocates"; exit 1 }
+    if (batch + 0 != 0) { print "FAIL: PredictDatasetInto batch path allocates"; exit 1 }
 }' "$tmp"
 
 # Compare against the previous report, if one exists.
