@@ -2,18 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke profile ci
+.PHONY: all build vet test race bench benchsmoke clustersmoke profile ci
 
 all: build
 
 # go vet's default analyzer suite already includes copylocks and
 # structtag module-wide; the second, targeted pass pins exactly those two
-# analyzers on the lock-bearing packages (the Engine and the serving
-# Scheduler must never be copied) so the guarantee survives even if the
-# default suite is ever narrowed via VETFLAGS or a toolchain change.
+# analyzers on the lock-bearing packages (the Engine, the serving
+# Scheduler and the cluster Fleet must never be copied) so the guarantee
+# survives even if the default suite is ever narrowed via VETFLAGS or a
+# toolchain change.
 vet:
 	$(GO) vet ./...
-	$(GO) vet -copylocks -structtag . ./internal/sched/
+	$(GO) vet -copylocks -structtag . ./internal/sched/ ./internal/fleet/
 
 build:
 	$(GO) build ./...
@@ -22,19 +23,25 @@ test:
 	$(GO) test ./...
 
 # Race coverage for every concurrent pipeline, including the root package
-# (Engine singleflight caches, concurrent Place/Release) and the serving
-# scheduler in internal/sched.
+# (Engine singleflight caches, concurrent Place/Release, concurrent
+# Cluster admissions), the serving scheduler in internal/sched and the
+# cluster fleet layer in internal/fleet.
 race:
-	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/
+	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/ ./internal/fleet/
 
 # Runs the full benchmark suite with fixed -benchtime and emits
-# BENCH_4.json, then applies the gates: Engine warm-cache >= 50x, the
-# compiled-forest serving AND batch paths at 0 allocs/op, the era-matched
-# speedup floors (ns/op, bytes/op and allocs/op) and a > 20% regression
-# check against the previous BENCH_*.json. Override the budget with
-# BENCHTIME=200ms etc.
+# BENCH_5.json, then applies the gates: Engine warm-cache >= 50x, the
+# compiled-forest serving AND batch paths at 0 allocs/op, every fleet
+# routing policy admitting in < 1 ms, the era-matched speedup floors
+# (ns/op, bytes/op and allocs/op) and a > 20% regression check against
+# the previous BENCH_*.json. Override the budget with BENCHTIME=200ms etc.
 bench:
-	sh scripts/bench.sh BENCH_4.json
+	sh scripts/bench.sh BENCH_5.json
+
+# Deterministic fleet churn smoke: 200 containers over the AMD+Intel
+# cluster at reduced training fidelity. CI runs this on every push.
+clustersmoke:
+	$(GO) run ./cmd/clustersim -quick
 
 # One-iteration pass over every benchmark: catches benchmark rot (setup
 # errors, API drift) without paying for stable timings. CI runs this on

@@ -7,6 +7,7 @@ package numaplace
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -294,5 +295,57 @@ func BenchmarkEnginePlace(b *testing.B) {
 		if err := eng.Release(ctx, a.ID); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClusterAdmit measures one fleet admission (route per policy,
+// admit on the chosen machine, release) on a warm two-machine AMD+Intel
+// cluster with pre-trained engines — the fleet serving hot path.
+// BestPredicted pays two extra preview observations per admission; the
+// other policies route on fleet state alone.
+func BenchmarkClusterAdmit(b *testing.B) {
+	ctx := context.Background()
+	for _, policy := range []ClusterPolicy{RouteFirstFit, RouteLeastLoaded, RouteBestPredicted} {
+		b.Run(policy.String(), func(b *testing.B) {
+			cl := NewCluster(ClusterConfig{Policy: policy})
+			for i, m := range []Machine{machines.AMD(), machines.Intel()} {
+				eng := New(m,
+					WithCollectConfig(CollectConfig{Trials: 2}),
+					WithTrainConfig(TrainConfig{
+						Seed: 1, Forest: mlearn.ForestConfig{Trees: 20},
+						SelectionTrees: 4, SelectionFolds: 3,
+					}),
+				)
+				ws := append(PaperWorkloads(), workloads.CorpusFrom(10, 3, []string{"flat", "bw", "lat"})...)
+				ds, err := eng.Collect(ctx, ws, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Train(ctx, ds); err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.Add(fmt.Sprintf("m%d", i), eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+			wt, _ := WorkloadByName("WTbtree")
+			// Warm the enumeration and pinning caches.
+			if a, err := cl.Place(ctx, wt, 16); err != nil {
+				b.Fatal(err)
+			} else if err := cl.Release(ctx, a.ID); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := cl.Place(ctx, wt, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.Release(ctx, a.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

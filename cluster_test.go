@@ -1,0 +1,225 @@
+package numaplace
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// trainedEngine builds a quick Engine on m with a predictor trained for
+// the given container size.
+func trainedEngine(t *testing.T, ctx context.Context, m Machine, vcpus int) *Engine {
+	t.Helper()
+	eng := quickEngine(m)
+	ws := append(PaperWorkloads(), workloads.CorpusFrom(10, 3, []string{"flat", "bw", "lat"})...)
+	ds, err := eng.Collect(ctx, ws, vcpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Train(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// testCluster builds a heterogeneous AMD+Intel cluster with both engines
+// trained for 16-vCPU containers.
+func testCluster(t *testing.T, ctx context.Context, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	cl := NewCluster(cfg)
+	if err := cl.Add("amd-0", trainedEngine(t, ctx, AMD(), 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Add("intel-0", trainedEngine(t, ctx, Intel(), 16)); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestClusterHeterogeneousServing(t *testing.T) {
+	ctx := context.Background()
+	cl := testCluster(t, ctx, ClusterConfig{Policy: RouteBestPredicted})
+	wt, _ := WorkloadByName("WTbtree")
+
+	// Fill the fleet: admissions route across both machines until neither
+	// can host another container.
+	var admitted []*ClusterAssignment
+	backends := map[string]int{}
+	for {
+		a, err := cl.Place(ctx, wt, 16)
+		if err != nil {
+			if !errors.Is(err, ErrFleetFull) {
+				t.Fatalf("Place err = %v, want ErrFleetFull at capacity", err)
+			}
+			break
+		}
+		admitted = append(admitted, a)
+		backends[a.Backend]++
+		if len(admitted) > 12 {
+			t.Fatal("runaway admission")
+		}
+	}
+	if len(admitted) < 3 {
+		t.Fatalf("fleet admitted %d containers, want >= 3", len(admitted))
+	}
+	if len(backends) != 2 {
+		t.Fatalf("admissions used backends %v, want both machines", backends)
+	}
+	// BestPredicted on an empty fleet starts on the machine with the
+	// higher predicted performance; the faster Intel cores should win the
+	// first admission.
+	if admitted[0].Backend != "intel-0" {
+		t.Errorf("first admission on %s, want intel-0 (highest predicted perf)", admitted[0].Backend)
+	}
+
+	st := cl.Stats()
+	if st.Tenants != len(admitted) || st.Utilization <= 0 {
+		t.Fatalf("stats %+v inconsistent with %d admissions", st, len(admitted))
+	}
+	if got := cl.Assignments(); len(got) != len(admitted) {
+		t.Fatalf("Assignments() = %d, want %d", len(got), len(admitted))
+	}
+
+	// Drain one machine: its tenants rehome onto the other if it has
+	// room, or the drain reports the stranded remainder; either way the
+	// fleet keeps serving and every fleet ID stays valid.
+	rep, err := cl.Drain(ctx, "amd-0")
+	if err != nil && !errors.Is(err, ErrFleetFull) {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, mv := range rep.Moves {
+		if mv.From != "amd-0" || mv.To != "intel-0" || mv.Seconds <= 0 {
+			t.Fatalf("drain move %+v, want amd-0 -> intel-0 with positive migration cost", mv)
+		}
+	}
+	for _, a := range admitted {
+		if err := cl.Release(ctx, a.ID); err != nil {
+			t.Fatalf("release fleet ID %d after drain: %v", a.ID, err)
+		}
+	}
+	if cl.Len() != 0 {
+		t.Fatalf("%d tenants left after releasing all", cl.Len())
+	}
+	if err := cl.Remove("amd-0"); err != nil {
+		t.Fatalf("Remove of drained empty machine: %v", err)
+	}
+	if got := cl.Names(); len(got) != 1 || got[0] != "intel-0" {
+		t.Fatalf("names = %v, want [intel-0]", got)
+	}
+
+	// Untrained container sizes are rejected fleet-wide with the causes
+	// joined in.
+	if _, err := cl.Place(ctx, wt, 8); !errors.Is(err, ErrFleetFull) || !errors.Is(err, ErrUntrained) {
+		t.Errorf("Place(8 vCPUs) err = %v, want ErrFleetFull wrapping ErrUntrained", err)
+	}
+}
+
+func TestClusterRebalanceBudget(t *testing.T) {
+	ctx := context.Background()
+	cl := testCluster(t, ctx, ClusterConfig{Policy: RouteFirstFit, DrainBelow: 0.9})
+	wt, _ := WorkloadByName("WTbtree")
+
+	// One tenant on each machine (first admission fills amd-0 partially;
+	// place a second and release the first so only the second's machine
+	// keeps a tenant — then admit once more).
+	a1, err := cl.Place(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cl.Place(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero budget: the pass examines but commits no cross-machine moves
+	// and runs no intra passes.
+	rep, err := cl.Rebalance(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) != 0 || rep.TotalSeconds != 0 {
+		t.Fatalf("zero-budget pass spent %g s on %d moves", rep.TotalSeconds, len(rep.Moves))
+	}
+
+	// A generous budget lets the fleet consolidate the emptier machine
+	// onto the busier one (DrainBelow 0.9 treats both as candidates).
+	rep, err = cl.Rebalance(ctx, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSeconds > 1e6 {
+		t.Fatalf("pass overspent the budget: %g s", rep.TotalSeconds)
+	}
+	for _, mv := range rep.Moves {
+		if mv.Seconds <= 0 {
+			t.Fatalf("cross-machine move %+v without migration cost", mv)
+		}
+	}
+	// Fleet IDs survive any moves.
+	for _, id := range []int{a1.ID, a2.ID} {
+		if err := cl.Release(ctx, id); err != nil {
+			t.Fatalf("release %d after rebalance: %v", id, err)
+		}
+	}
+}
+
+// TestClusterConcurrentPlace drives concurrent admissions and releases
+// across the cluster's backends; under -race it guards the fleet/engine
+// lock interplay (cluster lock strictly before engine locks).
+func TestClusterConcurrentPlace(t *testing.T) {
+	ctx := context.Background()
+	cl := testCluster(t, ctx, ClusterConfig{Policy: RouteLeastLoaded})
+	wt, _ := WorkloadByName("WTbtree")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []int
+			for i := 0; i < 12; i++ {
+				if a, err := cl.Place(ctx, wt, 16); err == nil {
+					mine = append(mine, a.ID)
+				} else if !errors.Is(err, ErrFleetFull) {
+					t.Errorf("Place: %v", err)
+					return
+				}
+				if len(mine) > 1 {
+					if err := cl.Release(ctx, mine[0]); err != nil {
+						t.Errorf("Release: %v", err)
+						return
+					}
+					mine = mine[1:]
+				}
+			}
+			for _, id := range mine {
+				if err := cl.Release(ctx, id); err != nil {
+					t.Errorf("Release: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := cl.Rebalance(ctx, 30); err != nil {
+				t.Errorf("Rebalance: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if cl.Len() != 0 {
+		t.Fatalf("%d tenants leaked", cl.Len())
+	}
+	for _, b := range cl.Stats().Backends {
+		if b.FreeNodes != b.TotalNodes {
+			t.Fatalf("machine %s holds %d/%d nodes after all releases", b.Name, b.FreeNodes, b.TotalNodes)
+		}
+	}
+}

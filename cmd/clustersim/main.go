@@ -1,0 +1,307 @@
+// Command clustersim drives a trace of multi-tenant churn — deterministic
+// Poisson-ish container arrivals and departures — over a cluster of
+// heterogeneous machines served by numaplace.Cluster, on the same
+// discrete-event kernel the migration simulator uses. It is the fleet
+// layer's scenario driver: per-machine figures show one box; clustersim
+// shows a datacenter slice packing hundreds of containers across boxes
+// under a routing policy, with periodic budgeted rebalancing.
+//
+// The trace and every scheduling decision derive from the -seed, so
+// standard output is byte-identical across runs and GOMAXPROCS settings.
+// Wall-clock admission latencies (the only nondeterministic measurements)
+// go to standard error.
+//
+// Usage:
+//
+//	clustersim -machines amd,intel -policy best-predicted -n 240 -seed 1
+//	clustersim -quick            # smaller training budget, CI smoke
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/des"
+	"repro/internal/mlearn"
+	"repro/internal/workloads"
+	"repro/internal/xrand"
+)
+
+type simConfig struct {
+	machines []string
+	policy   numaplace.ClusterPolicy
+	n        int // total container arrivals
+	vcpus    int
+	seed     uint64
+
+	meanArrival    float64 // mean inter-arrival time, sim seconds
+	meanLife       float64 // mean container lifetime, sim seconds
+	rebalanceEvery float64 // rebalance tick period, sim seconds
+	budget         float64 // migration-seconds budget per rebalance pass
+	drainBelow     float64 // consolidation threshold (fleet.Config.DrainBelow)
+
+	trials, trees, corpus int // training fidelity
+}
+
+func main() {
+	machineList := flag.String("machines", "amd,intel", "comma-separated machine models forming the fleet")
+	policyName := flag.String("policy", "best-predicted", "routing policy: first-fit, least-loaded or best-predicted")
+	n := flag.Int("n", 240, "number of container arrivals in the trace")
+	vcpus := flag.Int("vcpus", 16, "vCPUs per container")
+	seed := flag.Uint64("seed", 1, "trace seed (arrivals, workloads, lifetimes)")
+	arrival := flag.Float64("arrival", 15, "mean inter-arrival time in simulated seconds")
+	life := flag.Float64("life", 90, "mean container lifetime in simulated seconds")
+	rebalance := flag.Float64("rebalance", 120, "rebalance tick period in simulated seconds (0 disables)")
+	budget := flag.Float64("budget", 60, "migration-seconds budget per rebalance pass")
+	drainBelow := flag.Float64("drain-below", 0.5, "consolidate machines below this utilization during rebalance")
+	quick := flag.Bool("quick", false, "reduced training fidelity and a 200-container trace (CI smoke)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	policy, ok := numaplace.ClusterPolicyByName(*policyName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	cfg := simConfig{
+		machines:       strings.Split(*machineList, ","),
+		policy:         policy,
+		n:              *n,
+		vcpus:          *vcpus,
+		seed:           *seed,
+		meanArrival:    *arrival,
+		meanLife:       *life,
+		rebalanceEvery: *rebalance,
+		budget:         *budget,
+		drainBelow:     *drainBelow,
+		trials:         3, trees: 60, corpus: 30,
+	}
+	if *quick {
+		cfg.trials, cfg.trees, cfg.corpus = 2, 10, 10
+		if !flagSet("n") {
+			cfg.n = 200
+		}
+	}
+	if err := run(ctx, cfg, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// flagSet reports whether the named flag was given explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// run executes the churn trace and writes the deterministic report to out;
+// wall-clock admission latencies go to errw.
+func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
+	fmt.Fprintf(out, "clustersim: %d x %d-vCPU containers over %s, policy %s, seed %d\n",
+		cfg.n, cfg.vcpus, strings.Join(cfg.machines, "+"), cfg.policy, cfg.seed)
+	fmt.Fprintf(out, "trace: mean inter-arrival %gs, mean lifetime %gs, rebalance every %gs (budget %gs/pass)\n",
+		cfg.meanArrival, cfg.meanLife, cfg.rebalanceEvery, cfg.budget)
+
+	// Build and train one Engine per machine, then assemble the cluster.
+	cl := numaplace.NewCluster(numaplace.ClusterConfig{Policy: cfg.policy, DrainBelow: cfg.drainBelow})
+	names := make([]string, 0, len(cfg.machines))
+	for i, mname := range cfg.machines {
+		m, ok := numaplace.MachineByName(mname)
+		if !ok {
+			return fmt.Errorf("unknown machine %q", mname)
+		}
+		eng := numaplace.New(m,
+			numaplace.WithCollectConfig(numaplace.CollectConfig{Trials: cfg.trials}),
+			numaplace.WithTrainConfig(numaplace.TrainConfig{
+				Seed: 1, Forest: mlearn.ForestConfig{Trees: cfg.trees},
+				SelectionTrees: 4, SelectionFolds: 3,
+			}),
+		)
+		ws := append(workloads.Paper(),
+			workloads.CorpusFrom(cfg.corpus, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
+		ds, err := eng.Collect(ctx, ws, cfg.vcpus)
+		if err != nil {
+			return fmt.Errorf("collecting on %s: %w", mname, err)
+		}
+		pred, err := eng.Train(ctx, ds)
+		if err != nil {
+			return fmt.Errorf("training on %s: %w", mname, err)
+		}
+		name := fmt.Sprintf("%s-%d", mname, i)
+		if err := cl.Add(name, eng); err != nil {
+			return err
+		}
+		names = append(names, name)
+		fmt.Fprintf(out, "trained %-8s %-22s %3d workloads x %2d placements, base/probe %d/%d\n",
+			name, m.Topo.Name, len(ws), pred.NumPlacements, pred.Base, pred.Probe)
+	}
+
+	// Pre-generate the whole trace so the rng stream is independent of
+	// event interleaving: arrival times, workloads and lifetimes are fixed
+	// by the seed alone.
+	catalog := workloads.Paper()
+	rng := xrand.New(cfg.seed)
+	exp := func(mean float64) float64 { return -mean * math.Log(1-rng.Float64()) }
+	type arrival struct {
+		at   float64
+		w    numaplace.Workload
+		life float64
+	}
+	trace := make([]arrival, cfg.n)
+	t := 0.0
+	for i := range trace {
+		t += exp(cfg.meanArrival)
+		trace[i] = arrival{at: t, w: catalog[rng.Intn(len(catalog))], life: exp(cfg.meanLife)}
+	}
+
+	var (
+		sim        des.Sim
+		admitted   int
+		rejected   int
+		runErr     error
+		remaining  = cfg.n
+		perBackend = map[string]int{}
+		admitWall  []time.Duration
+
+		// Time-weighted fleet utilization.
+		utilArea, peakUtil float64
+		lastT, lastUtil    float64
+	)
+	account := func() {
+		now := sim.Now()
+		utilArea += lastUtil * (now - lastT)
+		lastT = now
+		lastUtil = cl.Stats().Utilization
+		if lastUtil > peakUtil {
+			peakUtil = lastUtil
+		}
+	}
+
+	for _, a := range trace {
+		a := a
+		sim.At(a.at, func() {
+			if runErr != nil {
+				return
+			}
+			account()
+			remaining--
+			start := time.Now()
+			adm, err := cl.Place(ctx, a.w, cfg.vcpus)
+			admitWall = append(admitWall, time.Since(start))
+			if err != nil {
+				if errors.Is(err, numaplace.ErrFleetFull) {
+					rejected++
+					account()
+					return
+				}
+				runErr = err
+				return
+			}
+			admitted++
+			perBackend[adm.Backend]++
+			id := adm.ID
+			sim.After(a.life, func() {
+				if runErr != nil {
+					return
+				}
+				account()
+				if err := cl.Release(ctx, id); err != nil {
+					runErr = err
+				}
+				account()
+			})
+			account()
+		})
+	}
+
+	var (
+		migrationSeconds float64
+		crossMoves       int
+		intraMoves       int
+		machinesDrained  int
+	)
+	if cfg.rebalanceEvery > 0 {
+		var tick func()
+		tick = func() {
+			if runErr != nil {
+				return
+			}
+			account()
+			rep, err := cl.Rebalance(ctx, cfg.budget)
+			if rep != nil {
+				migrationSeconds += rep.TotalSeconds
+				crossMoves += len(rep.Moves)
+				machinesDrained += len(rep.Drained)
+				for _, ip := range rep.Intra {
+					intraMoves += len(ip.Report.Moves)
+				}
+			}
+			if err != nil {
+				runErr = err
+				return
+			}
+			account()
+			if remaining > 0 || cl.Len() > 0 {
+				sim.After(cfg.rebalanceEvery, tick)
+			}
+		}
+		sim.After(cfg.rebalanceEvery, tick)
+	}
+
+	end := sim.Run()
+	if runErr != nil {
+		return runErr
+	}
+	account()
+
+	meanUtil := 0.0
+	if end > 0 {
+		meanUtil = utilArea / end
+	}
+	fmt.Fprintf(out, "\ntrace complete at t=%.1fs\n", end)
+	fmt.Fprintf(out, "admitted           %6d\n", admitted)
+	fmt.Fprintf(out, "rejected           %6d  (%.1f%% rejection rate)\n",
+		rejected, 100*float64(rejected)/float64(cfg.n))
+	for _, name := range names {
+		fmt.Fprintf(out, "  on %-12s %6d\n", name, perBackend[name])
+	}
+	fmt.Fprintf(out, "fleet utilization  %6.1f%% mean, %.1f%% peak (allocated NUMA nodes)\n",
+		100*meanUtil, 100*peakUtil)
+	fmt.Fprintf(out, "rebalance moves    %6d cross-machine, %d intra-machine\n", crossMoves, intraMoves)
+	fmt.Fprintf(out, "machines drained   %6d times (consolidation)\n", machinesDrained)
+	fmt.Fprintf(out, "migration spend    %9.2fs simulated (fast mechanism)\n", migrationSeconds)
+	st := cl.Stats()
+	fmt.Fprintf(out, "leaked tenants     %6d (want 0)\n", st.Tenants)
+
+	// Wall-clock placement latency is real measured time and therefore
+	// nondeterministic: report it on errw, keeping out byte-identical.
+	// Every Place attempt is timed, rejections included — a rejection
+	// still pays routing and (under best-predicted) preview costs.
+	if len(admitWall) > 0 {
+		sorted := append([]time.Duration(nil), admitWall...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		fmt.Fprintf(errw, "place latency (wall): p50 %s, p95 %s, max %s over %d placement attempts\n",
+			sorted[len(sorted)/2].Round(time.Microsecond),
+			sorted[len(sorted)*95/100].Round(time.Microsecond),
+			sorted[len(sorted)-1].Round(time.Microsecond), len(sorted))
+	}
+	return nil
+}

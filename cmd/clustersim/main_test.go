@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro"
+)
+
+func quickCfg(policy string, n int) simConfig {
+	cfg := simConfig{
+		machines: []string{"amd", "intel"},
+		n:        n, vcpus: 16, seed: 1,
+		meanArrival: 15, meanLife: 90,
+		rebalanceEvery: 120, budget: 60, drainBelow: 0.9,
+		trials: 2, trees: 8, corpus: 8,
+	}
+	p, ok := numaplace.ClusterPolicyByName(policy)
+	if !ok {
+		panic("unknown policy " + policy)
+	}
+	cfg.policy = p
+	return cfg
+}
+
+// TestClustersimDeterministic asserts the acceptance property of the fleet
+// simulator: a >= 200-container churn trace over the heterogeneous
+// AMD+Intel fleet produces byte-identical standard output across repeated
+// runs and across GOMAXPROCS 1 vs 4 (training, routing previews and the
+// DES trace must all be schedule-independent).
+func TestClustersimDeterministic(t *testing.T) {
+	ctx := context.Background()
+	cfg := quickCfg("best-predicted", 200)
+
+	outputs := make([][]byte, 0, 3)
+	for _, procs := range []int{1, 4, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		var out bytes.Buffer
+		err := run(ctx, cfg, &out, io.Discard)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("run at GOMAXPROCS %d: %v", procs, err)
+		}
+		outputs = append(outputs, out.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Errorf("output differs between GOMAXPROCS 1 and 4:\n--- procs=1 ---\n%s\n--- procs=4 ---\n%s",
+			outputs[0], outputs[1])
+	}
+	if !bytes.Equal(outputs[1], outputs[2]) {
+		t.Errorf("output differs between repeated runs at the same seed:\n%s\nvs\n%s",
+			outputs[1], outputs[2])
+	}
+}
+
+// TestClustersimPolicies runs a short trace under each routing policy,
+// checking the simulator completes without leaking tenants and that every
+// admission is accounted for.
+func TestClustersimPolicies(t *testing.T) {
+	ctx := context.Background()
+	for _, policy := range []string{"first-fit", "least-loaded", "best-predicted"} {
+		var out bytes.Buffer
+		if err := run(ctx, quickCfg(policy, 60), &out, io.Discard); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !bytes.Contains(out.Bytes(), []byte("leaked tenants          0")) {
+			t.Errorf("%s: tenants leaked or report format changed:\n%s", policy, out.String())
+		}
+	}
+}

@@ -83,6 +83,8 @@ type (
 	RebalanceReport = sched.RebalanceReport
 	// RebalanceMove records one container migration during Rebalance.
 	RebalanceMove = sched.RebalanceMove
+	// PlacePreview estimates the admission Place would make right now.
+	PlacePreview = sched.Preview
 )
 
 // Option configures an Engine at construction.
@@ -402,6 +404,17 @@ func (e *Engine) serving() *sched.Scheduler {
 // free nodes cannot host the container.
 func (e *Engine) Place(ctx context.Context, w Workload, vcpus int) (*Assignment, error) {
 	return e.serving().Admit(ctx, w, vcpus)
+}
+
+// Preview estimates the admission Place would make for a container of
+// workload w right now — the chosen class and its predicted performance
+// against the current free nodes — without reserving anything. Cluster
+// routing (the BestPredicted policy) previews a container on every machine
+// to admit it where the model promises the most. Previews draw a
+// deterministic observation-noise stream from the workload identity, so
+// they are repeatable and leave subsequent admissions bit-identical.
+func (e *Engine) Preview(ctx context.Context, w Workload, vcpus int) (*PlacePreview, error) {
+	return e.serving().Preview(ctx, w, vcpus)
 }
 
 // Release evicts a previously placed container and returns its nodes to

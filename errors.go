@@ -40,4 +40,17 @@ var (
 	// ErrBadObservation: a non-positive throughput observation was fed to
 	// a predictor.
 	ErrBadObservation = nperr.ErrBadObservation
+
+	// ErrFleetFull: no machine in the Cluster admitted the container
+	// (Cluster.Place, Cluster.Drain). The per-machine rejections are
+	// joined in, so errors.Is also matches their causes.
+	ErrFleetFull = nperr.ErrFleetFull
+
+	// ErrUnknownBackend: a Cluster operation named a machine the cluster
+	// is not serving (Drain, Resume, Remove).
+	ErrUnknownBackend = nperr.ErrUnknownBackend
+
+	// ErrBackendNotEmpty: Cluster.Remove was called on a machine still
+	// serving tenants; Drain it first.
+	ErrBackendNotEmpty = nperr.ErrBackendNotEmpty
 )

@@ -57,6 +57,15 @@ func (c *Container) Place(threads []topology.ThreadID, pinned bool) error {
 	return nil
 }
 
+// Unplace removes the current thread mapping, returning the container to
+// its initial unplaced state. Schedulers call it when an admission fails
+// after the container was already pinned for observation, so a discarded
+// container never keeps claiming hardware threads.
+func (c *Container) Unplace() {
+	c.threads = nil
+	c.pinned = false
+}
+
 // Placed reports whether the container currently has a mapping.
 func (c *Container) Placed() bool { return c.threads != nil }
 

@@ -1,0 +1,819 @@
+// Package fleet implements the cluster serving layer: a concurrency-safe
+// fleet of named per-machine serving backends (numaplace Engines) behind
+// one routing policy. The paper's placement model is per-machine; its §3
+// target environment is a datacenter operator packing containers across
+// many NUMA boxes, and this package supplies that missing layer — each
+// machine is treated as a replica-like backend, admissions are routed
+// across the fleet, and cross-machine rebalancing is modeled as
+// fast-mechanism memory copies (Lepers et al., §7), which is what makes
+// moving a tenant between boxes affordable enough to schedule.
+//
+// Lock ordering: Fleet.mu is acquired before any backend (Engine) lock and
+// backends never call back into the fleet, so the order is one-directional
+// and deadlock-free. Place evaluates routing without holding Fleet.mu
+// across backend calls (admissions on distinct machines proceed in
+// parallel); Rebalance and Drain hold Fleet.mu end to end so a re-packing
+// pass is never interleaved with a half-registered admission — the same
+// atomicity the per-machine scheduler gives its own pass.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/machines"
+	"repro/internal/migrate"
+	"repro/internal/nperr"
+	"repro/internal/perfsim"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Backend is one machine's serving surface as the fleet sees it,
+// implemented by numaplace.Engine (and by lightweight fakes in tests).
+type Backend interface {
+	// Machine returns the backend's machine description.
+	Machine() machines.Machine
+	// Preview estimates the admission Place would make right now without
+	// reserving anything (the BestPredicted routing input).
+	Preview(ctx context.Context, w perfsim.Workload, vcpus int) (*sched.Preview, error)
+	// Place admits one container; Release evicts by backend-local ID.
+	Place(ctx context.Context, w perfsim.Workload, vcpus int) (*sched.Assignment, error)
+	Release(ctx context.Context, id int) error
+	// Rebalance re-packs the backend's own tenants onto nodes freed by
+	// departures (intra-machine moves).
+	Rebalance(ctx context.Context) (*sched.RebalanceReport, error)
+	// Assignments snapshots the backend's tenants; FreeNodes its
+	// unallocated NUMA nodes.
+	Assignments() []sched.Assignment
+	FreeNodes() topology.NodeSet
+}
+
+// Policy selects how Place routes an admission across the fleet.
+type Policy int
+
+const (
+	// FirstFit tries backends in the order they were added and admits on
+	// the first that accepts.
+	FirstFit Policy = iota
+	// LeastLoaded tries backends by ascending node utilization (spreading
+	// load), breaking ties in add order.
+	LeastLoaded
+	// BestPredicted previews the container on every backend and admits on
+	// the machine whose predictor promises the highest performance for
+	// the observed workload, falling back down the ranking on failure.
+	BestPredicted
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case LeastLoaded:
+		return "least-loaded"
+	case BestPredicted:
+		return "best-predicted"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// PolicyByName resolves the CLI-style policy names.
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "first-fit":
+		return FirstFit, true
+	case "least-loaded":
+		return LeastLoaded, true
+	case "best-predicted":
+		return BestPredicted, true
+	default:
+		return 0, false
+	}
+}
+
+// Config tunes a Fleet; the zero value selects FirstFit routing and the
+// calibrated defaults.
+type Config struct {
+	// Policy selects the admission routing policy.
+	Policy Policy
+	// DrainBelow is the node-utilization threshold below which Rebalance
+	// tries to consolidate a machine's tenants onto busier machines:
+	// 0 selects the default 0.5, a negative value disables cross-machine
+	// consolidation.
+	DrainBelow float64
+	// Migration configures the fast-mechanism copies used to cost
+	// cross-machine moves (zero value = calibrated defaults).
+	Migration migrate.Config
+}
+
+func (c Config) drainBelow() float64 {
+	switch {
+	case c.DrainBelow < 0:
+		return 0
+	case c.DrainBelow == 0:
+		return 0.5
+	default:
+		return c.DrainBelow
+	}
+}
+
+// member is one named backend plus the fleet's bookkeeping for it; the
+// mutable fields are guarded by Fleet.mu.
+type member struct {
+	name    string
+	b       Backend
+	total   int // NUMA nodes on the machine
+	drained bool
+	tenants int // fleet-registered tenants on this backend
+}
+
+// utilization returns the fraction of the member's NUMA nodes currently
+// allocated. It queries the backend (no Fleet.mu needed).
+func (m *member) utilization() float64 {
+	if m.total == 0 {
+		return 0
+	}
+	return 1 - float64(m.b.FreeNodes().Len())/float64(m.total)
+}
+
+// tenantRec maps one fleet-wide container ID to its current home; the
+// backend-local ID changes every time the container moves machines.
+type tenantRec struct {
+	mem      *member
+	engineID int
+	w        perfsim.Workload
+	vcpus    int
+}
+
+// Admission describes one fleet admission.
+type Admission struct {
+	// ID is the fleet-wide container identity. It is stable across
+	// cross-machine moves (backend-local IDs are not) and is the handle
+	// Release takes.
+	ID int
+	// Backend names the machine the container was admitted to.
+	Backend string
+	// Assignment is the backend scheduler's assignment; its ID field is
+	// backend-local.
+	Assignment sched.Assignment
+}
+
+// Move records one cross-machine migration performed by Rebalance or
+// Drain.
+type Move struct {
+	ID       int // fleet-wide container ID
+	Workload string
+	VCPUs    int
+	From, To string
+	// Seconds is the simulated fast-mechanism migration time.
+	Seconds float64
+}
+
+// IntraPass is one backend's intra-machine rebalance report within a
+// fleet-wide pass.
+type IntraPass struct {
+	Backend string
+	Report  *sched.RebalanceReport
+}
+
+// Report summarizes one fleet Rebalance or Drain pass.
+type Report struct {
+	// Intra holds the per-backend intra-machine passes (Rebalance only),
+	// in backend add order.
+	Intra []IntraPass
+	// Moves are the committed cross-machine migrations.
+	Moves []Move
+	// Drained names the backends emptied by this pass.
+	Drained []string
+	// Examined counts the tenants considered for a cross-machine move.
+	Examined int
+	// TotalSeconds sums all migration time spent (intra + cross);
+	// BudgetSeconds echoes the caller's budget (0 for Drain: unbudgeted).
+	TotalSeconds  float64
+	BudgetSeconds float64
+}
+
+// BackendStats is one machine's slice of Stats.
+type BackendStats struct {
+	Name        string
+	Machine     string
+	Draining    bool
+	Tenants     int
+	FreeNodes   int
+	TotalNodes  int
+	Utilization float64
+}
+
+// Stats is a point-in-time aggregate of the fleet.
+type Stats struct {
+	// Backends reports per-machine state in add order.
+	Backends []BackendStats
+	// Tenants is the number of containers currently served fleet-wide.
+	Tenants int
+	// Admitted / Rejected / Released count Place outcomes and explicit
+	// evictions; Moves counts cross-machine migrations.
+	Admitted, Rejected, Released, Moves int64
+	// MigrationSeconds is the cumulative simulated migration time spent
+	// by Rebalance and Drain passes (intra + cross).
+	MigrationSeconds float64
+	// Utilization is the fleet-wide allocated-node fraction.
+	Utilization float64
+}
+
+// Fleet routes container admissions across named backends and rebalances
+// tenants between them. All methods are safe for concurrent use.
+type Fleet struct {
+	cfg Config
+
+	mu      sync.Mutex
+	members []*member // add order
+	byName  map[string]*member
+	nextID  int
+	tenants map[int]*tenantRec
+
+	admitted, rejected, released, moves int64
+	migrationSeconds                    float64
+}
+
+// New builds an empty fleet.
+func New(cfg Config) *Fleet {
+	return &Fleet{
+		cfg:     cfg,
+		byName:  map[string]*member{},
+		tenants: map[int]*tenantRec{},
+	}
+}
+
+// Policy returns the fleet's routing policy.
+func (f *Fleet) Policy() Policy { return f.cfg.Policy }
+
+// Add registers a backend under a unique name. The name is the handle for
+// Drain, Resume and Remove and appears in admissions and move records.
+func (f *Fleet) Add(name string, b Backend) error {
+	if name == "" {
+		return fmt.Errorf("fleet: backend name must be non-empty")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.byName[name]; ok {
+		return fmt.Errorf("fleet: backend %q already added", name)
+	}
+	m := &member{name: name, b: b, total: b.Machine().Topo.NumNodes}
+	f.members = append(f.members, m)
+	f.byName[name] = m
+	return nil
+}
+
+// Backend returns the backend registered under name.
+func (f *Fleet) Backend(name string) (Backend, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return m.b, true
+}
+
+// Names returns the backend names in add order.
+func (f *Fleet) Names() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.members))
+	for i, m := range f.members {
+		out[i] = m.name
+	}
+	return out
+}
+
+// Len returns the number of containers currently served fleet-wide.
+func (f *Fleet) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.tenants)
+}
+
+// accepting snapshots the members open for admission, in add order.
+func (f *Fleet) accepting() []*member {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*member, 0, len(f.members))
+	for _, m := range f.members {
+		if !m.drained {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Place admits one container of workload w with the given vCPU count onto
+// the fleet, routing per the configured policy and falling back down the
+// candidate ranking when a backend rejects. It fails with ErrFleetFull
+// (with every backend's rejection joined in) when no backend admits the
+// container.
+func (f *Fleet) Place(ctx context.Context, w perfsim.Workload, vcpus int) (*Admission, error) {
+	cands, errs, err := f.rank(ctx, w, vcpus)
+	if err != nil {
+		return nil, err
+	}
+	for _, mem := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a, err := mem.b.Place(ctx, w, vcpus)
+		if err != nil {
+			// A cancellation surfacing through the backend is the
+			// caller giving up, not a capacity rejection.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", mem.name, err))
+			continue
+		}
+		f.mu.Lock()
+		if f.byName[mem.name] != mem {
+			// The backend was removed while the admission ran unlocked:
+			// undo it and fall through to the next candidate. The undo
+			// must not inherit the request's cancellation — a cancelled
+			// undo would strand the container on an engine the fleet no
+			// longer reaches. (A backend that merely started draining
+			// keeps the admission — the next drain or rebalance pass
+			// moves it.)
+			f.mu.Unlock()
+			if rerr := mem.b.Release(context.WithoutCancel(ctx), a.ID); rerr != nil {
+				return nil, fmt.Errorf("fleet: undoing admission on removed backend %s: %w", mem.name, rerr)
+			}
+			errs = append(errs, fmt.Errorf("%s: removed during admission", mem.name))
+			continue
+		}
+		id := f.nextID
+		f.nextID++
+		f.tenants[id] = &tenantRec{mem: mem, engineID: a.ID, w: w, vcpus: vcpus}
+		mem.tenants++
+		f.admitted++
+		f.mu.Unlock()
+		return &Admission{ID: id, Backend: mem.name, Assignment: *a}, nil
+	}
+	f.mu.Lock()
+	f.rejected++
+	f.mu.Unlock()
+	return nil, fmt.Errorf("fleet: placing %d-vCPU %q: %w", vcpus, w.Name,
+		errors.Join(append(errs, nperr.ErrFleetFull)...))
+}
+
+// rank orders the accepting members per the routing policy. BestPredicted
+// previews the container on every candidate (sequentially, in add order,
+// so results are deterministic); preview failures exclude the backend and
+// are reported back for the rejection message. A context cancellation
+// aborts with its error.
+func (f *Fleet) rank(ctx context.Context, w perfsim.Workload, vcpus int) ([]*member, []error, error) {
+	mems := f.accepting()
+	switch f.cfg.Policy {
+	case LeastLoaded:
+		utils := make(map[*member]float64, len(mems))
+		for _, m := range mems {
+			utils[m] = m.utilization()
+		}
+		sort.SliceStable(mems, func(i, j int) bool { return utils[mems[i]] < utils[mems[j]] })
+		return mems, nil, nil
+	case BestPredicted:
+		return rankByPreview(ctx, mems, w, vcpus)
+	default: // FirstFit
+		return mems, nil, nil
+	}
+}
+
+// rankByPreview previews a (w, vcpus) container on every member and
+// returns them by descending predicted performance. Members whose preview
+// fails are excluded and their failures reported; a context cancellation
+// aborts with its error. The input slice is reused.
+func rankByPreview(ctx context.Context, mems []*member, w perfsim.Workload, vcpus int) ([]*member, []error, error) {
+	var errs []error
+	perf := make(map[*member]float64, len(mems))
+	ranked := mems[:0]
+	for _, m := range mems {
+		pv, err := m.b.Preview(ctx, w, vcpus)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, nil, ctxErr
+			}
+			errs = append(errs, fmt.Errorf("%s: preview: %w", m.name, err))
+			continue
+		}
+		perf[m] = pv.PredictedPerf
+		ranked = append(ranked, m)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return perf[ranked[i]] > perf[ranked[j]] })
+	return ranked, errs, nil
+}
+
+// Release evicts the container with the given fleet ID from whichever
+// backend currently serves it. Unknown IDs fail with ErrUnknownContainer.
+//
+// The mapping is claimed (removed) under the fleet lock before the
+// backend eviction runs: Rebalance and Drain move only mapped tenants
+// under the same lock, so a claimed container can no longer migrate out
+// from under the eviction, and the captured backend/ID pair stays valid.
+// If the backend eviction itself fails (cancellation), the claim is
+// rolled back so the container is not leaked off the fleet's books.
+func (f *Fleet) Release(ctx context.Context, id int) error {
+	f.mu.Lock()
+	rec, ok := f.tenants[id]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: releasing container %d: %w", id, nperr.ErrUnknownContainer)
+	}
+	delete(f.tenants, id)
+	rec.mem.tenants--
+	mem, engineID := rec.mem, rec.engineID
+	f.mu.Unlock()
+
+	if err := mem.b.Release(ctx, engineID); err != nil {
+		f.mu.Lock()
+		f.tenants[id] = rec
+		rec.mem.tenants++
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: releasing container %d from %s: %w", id, mem.name, err)
+	}
+	f.mu.Lock()
+	f.released++
+	f.mu.Unlock()
+	return nil
+}
+
+// Assignments snapshots every container served fleet-wide, in ascending
+// fleet-ID order.
+func (f *Fleet) Assignments() []Admission {
+	// Snapshot the mapping values under the lock (tenantRec fields are
+	// mutated in place by cross-machine moves, so the raw recs must not
+	// be read unlocked).
+	type entry struct {
+		id       int
+		mem      *member
+		engineID int
+	}
+	f.mu.Lock()
+	entries := make([]entry, 0, len(f.tenants))
+	for id, rec := range f.tenants {
+		entries = append(entries, entry{id, rec.mem, rec.engineID})
+	}
+	f.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+
+	// Resolve backend-local assignments without Fleet.mu (one snapshot per
+	// distinct backend).
+	byBackend := map[*member]map[int]sched.Assignment{}
+	out := make([]Admission, 0, len(entries))
+	for _, e := range entries {
+		assigns, ok := byBackend[e.mem]
+		if !ok {
+			assigns = map[int]sched.Assignment{}
+			for _, a := range e.mem.b.Assignments() {
+				assigns[a.ID] = a
+			}
+			byBackend[e.mem] = assigns
+		}
+		a, ok := assigns[e.engineID]
+		if !ok {
+			continue // released or moved concurrently
+		}
+		out = append(out, Admission{ID: e.id, Backend: e.mem.name, Assignment: a})
+	}
+	return out
+}
+
+// Stats aggregates the fleet's counters and per-backend occupancy.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	mems := append([]*member(nil), f.members...)
+	st := Stats{
+		Tenants:          len(f.tenants),
+		Admitted:         f.admitted,
+		Rejected:         f.rejected,
+		Released:         f.released,
+		Moves:            f.moves,
+		MigrationSeconds: f.migrationSeconds,
+	}
+	drained := make(map[*member]bool, len(mems))
+	tenants := make(map[*member]int, len(mems))
+	for _, m := range mems {
+		drained[m], tenants[m] = m.drained, m.tenants
+	}
+	f.mu.Unlock()
+
+	var usedNodes, totalNodes int
+	for _, m := range mems {
+		free := m.b.FreeNodes().Len()
+		st.Backends = append(st.Backends, BackendStats{
+			Name:        m.name,
+			Machine:     m.b.Machine().Topo.Name,
+			Draining:    drained[m],
+			Tenants:     tenants[m],
+			FreeNodes:   free,
+			TotalNodes:  m.total,
+			Utilization: 1 - float64(free)/float64(m.total),
+		})
+		usedNodes += m.total - free
+		totalNodes += m.total
+	}
+	if totalNodes > 0 {
+		st.Utilization = float64(usedNodes) / float64(totalNodes)
+	}
+	return st
+}
+
+// moveCost returns the simulated fast-mechanism migration time for moving
+// the tenant's memory between machines.
+func (f *Fleet) moveCost(ctx context.Context, rec *tenantRec) (float64, error) {
+	res, err := migrate.RunCtx(ctx, migrate.ProfileFor(rec.w, rec.vcpus), migrate.Fast, f.cfg.Migration)
+	if err != nil {
+		return 0, err
+	}
+	return res.Seconds, nil
+}
+
+// moveLocked migrates the identified tenant from its current backend onto
+// the first destination (tried in order) that admits it, remapping the
+// fleet ID and recording the move. Destination rejections are appended to
+// *destErrs when the caller collects them (Drain does, so an infra
+// failure — untrained size, pin source down — is distinguishable from a
+// full fleet); a nil destErrs discards them. Callers hold f.mu.
+func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenantRec, cost float64, dests []*member, destErrs *[]error) (bool, error) {
+	for _, d := range dests {
+		a, err := d.b.Place(ctx, rec.w, rec.vcpus)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return false, ctxErr
+			}
+			if destErrs != nil {
+				*destErrs = append(*destErrs, fmt.Errorf("%s: %w", d.name, err))
+			}
+			continue
+		}
+		if err := rec.mem.b.Release(ctx, rec.engineID); err != nil {
+			// The tenant now runs on both machines' books — unreachable
+			// with a well-behaved backend (the fleet's mapping is the
+			// only release path). Surface it rather than guessing.
+			return false, fmt.Errorf("fleet: moving container %d off %s: %w", id, rec.mem.name, err)
+		}
+		rep.Moves = append(rep.Moves, Move{
+			ID: id, Workload: rec.w.Name, VCPUs: rec.vcpus,
+			From: rec.mem.name, To: d.name, Seconds: cost,
+		})
+		rep.TotalSeconds += cost
+		rec.mem.tenants--
+		rec.mem, rec.engineID = d, a.ID
+		d.tenants++
+		f.moves++
+		f.migrationSeconds += cost
+		return true, nil
+	}
+	return false, nil
+}
+
+// eligibleDestsLocked filters the members able to receive a tenant moving
+// off src — every non-draining member other than src whose utilization
+// strictly exceeds minUtil (a negative minUtil disables the filter, as
+// Drain's callers do) — busiest first, the consolidation order. It runs
+// no previews, so callers can cheaply rule a move out (no destination,
+// over budget) before paying for policy ordering. Callers hold f.mu.
+func (f *Fleet) eligibleDestsLocked(src *member, minUtil float64) []*member {
+	var dests []*member
+	utils := map[*member]float64{}
+	for _, d := range f.members {
+		if d == src || d.drained {
+			continue
+		}
+		if u := d.utilization(); u > minUtil {
+			dests = append(dests, d)
+			utils[d] = u
+		}
+	}
+	sort.SliceStable(dests, func(i, j int) bool { return utils[dests[i]] > utils[dests[j]] })
+	return dests
+}
+
+// orderDestsLocked applies the routing policy's destination order to an
+// eligible set: BestPredicted previews rec on each candidate and ranks by
+// predicted performance (preview failures excluded); every other policy
+// keeps the busiest-first consolidation order. Callers hold f.mu.
+func (f *Fleet) orderDestsLocked(ctx context.Context, rec *tenantRec, dests []*member) ([]*member, error) {
+	if f.cfg.Policy != BestPredicted {
+		return dests, nil
+	}
+	ranked, _, err := rankByPreview(ctx, dests, rec.w, rec.vcpus)
+	return ranked, err
+}
+
+// tenantsOfLocked returns the fleet IDs currently mapped to m in ascending
+// order. Callers hold f.mu.
+func (f *Fleet) tenantsOfLocked(m *member) []int {
+	ids := make([]int, 0, m.tenants)
+	for id, rec := range f.tenants {
+		if rec.mem == m {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Rebalance runs one fleet-wide re-packing pass under a migration-seconds
+// budget: first each backend's own intra-machine rebalance (nodes freed by
+// departures), then cross-machine consolidation — tenants of machines
+// utilized below Config.DrainBelow are moved onto strictly busier machines,
+// each move costed as a fast-mechanism copy of the container's memory. A
+// cross-machine move is committed only if it fits the remaining budget;
+// an intra pass is started only while budget remains (its cost is known
+// after the fact, so the final intra pass may overshoot). The pass holds
+// the fleet lock end to end; admissions wait rather than interleave.
+//
+// On error the report of work already committed is returned alongside the
+// error (migration seconds already spent are never discarded).
+func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rep := &Report{BudgetSeconds: budgetSeconds}
+
+	// Intra-machine passes, in add order.
+	for _, m := range f.members {
+		if m.drained {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		if rep.TotalSeconds >= budgetSeconds {
+			break
+		}
+		intra, err := m.b.Rebalance(ctx)
+		if intra != nil {
+			rep.Intra = append(rep.Intra, IntraPass{Backend: m.name, Report: intra})
+			rep.TotalSeconds += intra.TotalSeconds
+			f.migrationSeconds += intra.TotalSeconds
+		}
+		if err != nil {
+			return rep, fmt.Errorf("fleet: intra-machine rebalance on %s: %w", m.name, err)
+		}
+	}
+
+	// Cross-machine consolidation: drain candidates ascending utilization.
+	low := f.cfg.drainBelow()
+	if low <= 0 {
+		return rep, nil
+	}
+	type srcCand struct {
+		m    *member
+		util float64
+	}
+	var sources []srcCand
+	for _, m := range f.members {
+		if m.tenants == 0 {
+			continue
+		}
+		// Draining members are sources regardless of utilization: a
+		// tenant admitted in the race window while its Drain pass ran is
+		// picked up here, as Place's commit comment promises.
+		if u := m.utilization(); u < low || m.drained {
+			sources = append(sources, srcCand{m, u})
+		}
+	}
+	sort.SliceStable(sources, func(i, j int) bool { return sources[i].util < sources[j].util })
+
+	for _, src := range sources {
+		for _, id := range f.tenantsOfLocked(src.m) {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+			rec := f.tenants[id]
+			rep.Examined++
+			// Destinations: strictly busier machines only, so moves
+			// always go uphill and consolidation terminates — except off
+			// a draining source, which must empty wherever room exists.
+			// The cheap eligibility filter and the budget check both run
+			// before the policy ordering, so no preview observations are
+			// spent on a move that can never commit.
+			minUtil := src.m.utilization()
+			if src.m.drained {
+				minUtil = -1
+			}
+			dests := f.eligibleDestsLocked(src.m, minUtil)
+			if len(dests) == 0 {
+				continue
+			}
+			cost, err := f.moveCost(ctx, rec)
+			if err != nil {
+				return rep, err
+			}
+			if rep.TotalSeconds+cost > budgetSeconds {
+				continue // a smaller tenant may still fit the budget
+			}
+			if dests, err = f.orderDestsLocked(ctx, rec, dests); err != nil {
+				return rep, err
+			}
+			if _, err := f.moveLocked(ctx, rep, id, rec, cost, dests, nil); err != nil {
+				return rep, err
+			}
+		}
+		if src.m.tenants == 0 {
+			rep.Drained = append(rep.Drained, src.m.name)
+		}
+	}
+	return rep, nil
+}
+
+// Drain marks the named backend as closed for admission and moves every
+// tenant it serves onto the remaining machines (unbudgeted fast-mechanism
+// copies, destinations ranked like Rebalance). Tenants no other machine
+// can host stay where they are and the partial report is returned with an
+// error wrapping ErrFleetFull; the backend remains draining either way
+// (Resume reopens it). Draining an unknown backend fails with
+// ErrUnknownBackend.
+func (f *Fleet) Drain(ctx context.Context, name string) (*Report, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	src, ok := f.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: draining %q: %w", name, nperr.ErrUnknownBackend)
+	}
+	src.drained = true
+	rep := &Report{}
+	var stranded int
+	var destErrs []error
+	for _, id := range f.tenantsOfLocked(src) {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		rec := f.tenants[id]
+		rep.Examined++
+		// Destinations: every other accepting machine regardless of
+		// utilization (negative minUtil disables the uphill filter).
+		dests := f.eligibleDestsLocked(src, -1)
+		if len(dests) == 0 {
+			stranded++
+			continue
+		}
+		cost, err := f.moveCost(ctx, rec)
+		if err != nil {
+			return rep, err
+		}
+		if dests, err = f.orderDestsLocked(ctx, rec, dests); err != nil {
+			return rep, err
+		}
+		moved, err := f.moveLocked(ctx, rep, id, rec, cost, dests, &destErrs)
+		if err != nil {
+			return rep, err
+		}
+		if !moved {
+			stranded++
+		}
+	}
+	if stranded > 0 {
+		// The per-destination rejections ride along so callers can tell
+		// a genuinely full fleet from an infra failure (untrained size,
+		// pin source down) via errors.Is.
+		return rep, fmt.Errorf("fleet: draining %s: %d of %d containers could not be rehomed: %w",
+			name, stranded, rep.Examined, errors.Join(append(destErrs, nperr.ErrFleetFull)...))
+	}
+	rep.Drained = append(rep.Drained, name)
+	return rep, nil
+}
+
+// Resume reopens a drained backend for admissions.
+func (f *Fleet) Resume(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.byName[name]
+	if !ok {
+		return fmt.Errorf("fleet: resuming %q: %w", name, nperr.ErrUnknownBackend)
+	}
+	m.drained = false
+	return nil
+}
+
+// Remove detaches an empty backend from the fleet. Backends still serving
+// tenants fail with ErrBackendNotEmpty (Drain first); unknown names with
+// ErrUnknownBackend.
+func (f *Fleet) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.byName[name]
+	if !ok {
+		return fmt.Errorf("fleet: removing %q: %w", name, nperr.ErrUnknownBackend)
+	}
+	if m.tenants > 0 {
+		return fmt.Errorf("fleet: removing %s with %d tenants: %w", name, m.tenants, nperr.ErrBackendNotEmpty)
+	}
+	delete(f.byName, name)
+	for i, mm := range f.members {
+		if mm == m {
+			f.members = append(f.members[:i], f.members[i+1:]...)
+			break
+		}
+	}
+	return nil
+}

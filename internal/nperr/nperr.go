@@ -40,4 +40,18 @@ var (
 	// ErrBadObservation marks non-positive or otherwise unusable
 	// performance observations fed to a predictor.
 	ErrBadObservation = errors.New("invalid performance observation")
+
+	// ErrFleetFull marks fleet admissions no backend machine could host
+	// (every candidate rejected the container). The joined per-backend
+	// errors ride along, so errors.Is also matches the underlying causes
+	// (e.g. ErrMachineFull, ErrUntrained).
+	ErrFleetFull = errors.New("no fleet backend admitted the container")
+
+	// ErrUnknownBackend marks fleet operations naming a backend the fleet
+	// is not serving (never added, or already removed).
+	ErrUnknownBackend = errors.New("unknown fleet backend")
+
+	// ErrBackendNotEmpty marks removal of a fleet backend that still
+	// serves tenants; drain it first.
+	ErrBackendNotEmpty = errors.New("fleet backend still serving tenants")
 )

@@ -15,6 +15,7 @@ import (
 	"repro/internal/perfsim"
 	"repro/internal/placement"
 	"repro/internal/topology"
+	"repro/internal/xrand"
 )
 
 // ServeConfig tunes the incremental scheduler.
@@ -112,6 +113,10 @@ type Scheduler struct {
 	free    topology.NodeSet
 	nextID  int
 	tenants map[int]*tenant
+
+	// onDiscard, when set (tests only), receives every container abandoned
+	// by a failed admission after it was pinned for observation.
+	onDiscard func(*container.Container)
 }
 
 type tenant struct {
@@ -209,11 +214,25 @@ func predictedPerf(basePerf float64, vec []float64, class int) float64 {
 	return basePerf / vec[class]
 }
 
+// discard abandons a container whose admission failed after it was pinned
+// for observation: the observation pinning is removed so the discarded
+// container never keeps claiming hardware threads, and err is passed
+// through for the caller's return.
+func (s *Scheduler) discard(c *container.Container, err error) error {
+	c.Unplace()
+	if s.onDiscard != nil {
+		s.onDiscard(c)
+	}
+	return err
+}
+
 // Admit observes, predicts and places one new container of workload w with
 // v vCPUs, returning its assignment. It fails with nperr.ErrUntrained when
 // no predictor covers v, nperr.ErrMachineMismatch when the predictor does
 // not match the machine's enumeration, and nperr.ErrMachineFull when no
-// feasible class fits the free nodes.
+// feasible class fits the free nodes. Every failure after the container was
+// created discards it explicitly: its observation pinning is removed, no
+// tenant is registered, and the free set is untouched.
 func (s *Scheduler) Admit(ctx context.Context, w perfsim.Workload, v int) (*Assignment, error) {
 	imps, err := s.imps(ctx, v)
 	if err != nil {
@@ -241,51 +260,36 @@ func (s *Scheduler) Admit(ctx context.Context, w perfsim.Workload, v int) (*Assi
 	s.mu.Unlock()
 
 	c := container.New(id, w, v)
-	var obs [2]float64
-	for i, pi := range []int{p.Base, p.Probe} {
-		threads, err := s.pin(ctx, imps[pi].Placement, v)
-		if err != nil {
-			return nil, err
-		}
-		if err := c.Place(threads, true); err != nil {
-			return nil, err
-		}
-		perf, err := c.Observe(s.machine, c.ID()*2+i)
-		if err != nil {
-			return nil, err
-		}
-		obs[i] = perf
-	}
-	// The vector outlives the call (it is kept on the tenant for later
-	// rebalancing), so it is allocated per admission; the prediction itself
-	// runs allocation-free through the compiled forest.
-	vec := make([]float64, p.NumPlacements)
-	if err := p.PredictInto(vec, obs[0], obs[1]); err != nil {
-		return nil, err
+	obs, vec, err := s.observePredict(ctx, c, imps, p, admitTrial(c.ID()))
+	if err != nil {
+		return nil, s.discard(c, err)
 	}
 	goal := s.cfg.goalFrac() * obs[0] * (1 + s.cfg.headroom())
 
 	// Phase 2 (locked): choose a class that fits the free nodes, pin,
-	// and commit the reservation.
+	// and commit the reservation. Any failure in this phase discards the
+	// container before the free set or tenant table is touched, so a
+	// half-admitted container can never linger pinned to its probe
+	// placement.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, s.discard(c, err)
 	}
 	choice, nodes, ok := s.chooseFitting(imps, vec, obs[0], goal, s.free)
 	if !ok {
-		return nil, fmt.Errorf("sched: %d free nodes cannot host a %d-vCPU container: %w",
-			s.free.Len(), v, nperr.ErrMachineFull)
+		return nil, s.discard(c, fmt.Errorf("sched: %d free nodes cannot host a %d-vCPU container: %w",
+			s.free.Len(), v, nperr.ErrMachineFull))
 	}
 	threads, err := s.pin(ctx, placement.Placement{
 		Nodes:         nodes,
 		PerNodeScores: imps[choice].PerNodeScores,
 	}, v)
 	if err != nil {
-		return nil, err
+		return nil, s.discard(c, err)
 	}
 	if err := c.Place(threads, true); err != nil {
-		return nil, err
+		return nil, s.discard(c, err)
 	}
 
 	s.free = s.free.Minus(nodes)
@@ -296,6 +300,108 @@ func (s *Scheduler) Admit(ctx context.Context, w perfsim.Workload, v int) (*Assi
 	s.tenants[c.ID()] = t
 	a := s.assignment(t)
 	return &a, nil
+}
+
+// admitTrial derives the measurement-noise streams for an admission's two
+// observations from the container's identity (observation i uses trial
+// admitTrial(id)+i).
+func admitTrial(id int) int { return id * 2 }
+
+// previewTrial derives a deterministic, ID-independent noise stream for
+// preview observations. The value is negative, keeping it clear of the
+// non-negative admitTrial streams.
+func previewTrial(w perfsim.Workload, v int) int {
+	return -2 - int(xrand.Mix(xrand.HashString(w.Name), uint64(v))%(1<<30))
+}
+
+// observePredict pins c into the predictor's Base and Probe placements,
+// observes it alone in each (observation i draws the trialBase+i noise
+// stream), and predicts the full placement vector. It reads no mutable
+// scheduler state, so callers run it unlocked and concurrent observations
+// proceed in parallel.
+func (s *Scheduler) observePredict(ctx context.Context, c *container.Container,
+	imps []placement.Important, p *core.Predictor, trialBase int) ([2]float64, []float64, error) {
+	var obs [2]float64
+	for i, pi := range []int{p.Base, p.Probe} {
+		threads, err := s.pin(ctx, imps[pi].Placement, c.VCPUs())
+		if err != nil {
+			return obs, nil, err
+		}
+		if err := c.Place(threads, true); err != nil {
+			return obs, nil, err
+		}
+		perf, err := c.Observe(s.machine, trialBase+i)
+		if err != nil {
+			return obs, nil, err
+		}
+		obs[i] = perf
+	}
+	// The vector may outlive the call (Admit keeps it on the tenant for
+	// later rebalancing), so it is allocated per observation; the
+	// prediction itself runs allocation-free through the compiled forest.
+	vec := make([]float64, p.NumPlacements)
+	if err := p.PredictInto(vec, obs[0], obs[1]); err != nil {
+		return obs, nil, err
+	}
+	return obs, vec, nil
+}
+
+// Preview describes what Admit would do for a container right now, without
+// admitting it: the class Admit would choose against the current free nodes
+// and the model's prediction there. Routing layers (the fleet's
+// BestPredicted policy) use it to compare machines before committing an
+// admission to one of them.
+type Preview struct {
+	// Class, ClassID and Nodes mirror the Assignment fields the admission
+	// would produce.
+	Class   int
+	ClassID int
+	Nodes   topology.NodeSet
+	// BasePerf is the observed baseline throughput and PredictedPerf the
+	// model's prediction for the chosen class.
+	BasePerf      float64
+	PredictedPerf float64
+}
+
+// Preview observes and predicts one container of workload w with v vCPUs
+// and returns the choice Admit would make against the current free nodes,
+// reserving nothing. The observation draws a deterministic noise stream
+// from the workload identity instead of consuming a container ID, so
+// previews are repeatable and leave subsequent admissions bit-identical;
+// the estimate may therefore differ marginally from the admitted
+// container's own observation. Failure modes match Admit.
+func (s *Scheduler) Preview(ctx context.Context, w perfsim.Workload, v int) (*Preview, error) {
+	imps, err := s.imps(ctx, v)
+	if err != nil {
+		return nil, err
+	}
+	p := s.pred(v)
+	if p == nil {
+		return nil, fmt.Errorf("sched: previewing %d-vCPU container: %w", v, nperr.ErrUntrained)
+	}
+	if p.NumPlacements != len(imps) {
+		return nil, fmt.Errorf("sched: predictor has %d placements, machine yields %d for %d vCPUs: %w",
+			p.NumPlacements, len(imps), v, nperr.ErrMachineMismatch)
+	}
+	c := container.New(0, w, v)
+	obs, vec, err := s.observePredict(ctx, c, imps, p, previewTrial(w, v))
+	c.Unplace()
+	if err != nil {
+		return nil, err
+	}
+	goal := s.cfg.goalFrac() * obs[0] * (1 + s.cfg.headroom())
+	s.mu.Lock()
+	free := s.free
+	s.mu.Unlock()
+	choice, nodes, ok := s.chooseFitting(imps, vec, obs[0], goal, free)
+	if !ok {
+		return nil, fmt.Errorf("sched: %d free nodes cannot host a %d-vCPU container: %w",
+			free.Len(), v, nperr.ErrMachineFull)
+	}
+	return &Preview{
+		Class: choice, ClassID: imps[choice].ID, Nodes: nodes,
+		BasePerf: obs[0], PredictedPerf: predictedPerf(obs[0], vec, choice),
+	}, nil
 }
 
 // chooseFitting walks placement classes in the batch policy's preference
@@ -343,6 +449,11 @@ func (s *Scheduler) Release(ctx context.Context, id int) error {
 // resolved at admission (the imps source is cache-warm), and pinning and
 // migration simulation are microsecond-scale — but a Place or Release
 // issued mid-pass waits for the pass to finish.
+//
+// On error the report of moves already committed is returned alongside the
+// error: those moves mutated the free set and the tenants, and their
+// migration seconds were really spent, so callers must not discard the
+// partial report.
 func (s *Scheduler) Rebalance(ctx context.Context) (*RebalanceReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -350,24 +461,28 @@ func (s *Scheduler) Rebalance(ctx context.Context) (*RebalanceReport, error) {
 	for _, id := range s.liveIDs() {
 		t := s.tenants[id]
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return rep, err
 		}
 		rep.Examined++
 		imps, err := s.imps(ctx, t.c.VCPUs())
 		if err != nil {
-			return nil, err
+			return rep, err
 		}
 		// Re-plan with the container's own nodes returned to the pool.
 		avail := s.free.Union(t.nodes)
 		choice, nodes, ok := s.chooseFitting(imps, t.vec, t.basePerf, t.goal, avail)
-		if !ok || nodes == t.nodes {
+		if !ok {
 			continue
 		}
+		// A strictly faster class is adopted even when its best concrete
+		// node set equals the tenant's current one (the re-pin installs
+		// that class's per-node sharing degrees); an unchanged class must
+		// bring a strictly better node set.
 		better := false
 		switch {
 		case predictedPerf(t.basePerf, t.vec, choice) > predictedPerf(t.basePerf, t.vec, t.class):
 			better = true // strictly faster class became available
-		case choice == t.class && s.machine.IC.Measure(nodes) > s.machine.IC.Measure(t.nodes):
+		case nodes != t.nodes && choice == t.class && s.machine.IC.Measure(nodes) > s.machine.IC.Measure(t.nodes):
 			better = true // same class, higher-bandwidth node set
 		}
 		if !better {
@@ -378,14 +493,21 @@ func (s *Scheduler) Rebalance(ctx context.Context) (*RebalanceReport, error) {
 			PerNodeScores: imps[choice].PerNodeScores,
 		}, t.c.VCPUs())
 		if err != nil {
-			return nil, err
+			return rep, err
 		}
-		res, err := migrate.RunCtx(ctx, migrate.ProfileFor(t.c.Workload(), t.c.VCPUs()), migrate.Fast, s.cfg.Migration)
+		prof := migrate.ProfileFor(t.c.Workload(), t.c.VCPUs())
+		if nodes == t.nodes {
+			// Same node set: the move re-pins threads into different
+			// sharing degrees but no memory changes nodes, so the fast
+			// mechanism only freezes the container and updates cpusets.
+			prof.AnonGB, prof.PageCacheGB = 0, 0
+		}
+		res, err := migrate.RunCtx(ctx, prof, migrate.Fast, s.cfg.Migration)
 		if err != nil {
-			return nil, err
+			return rep, err
 		}
 		if err := t.c.Place(threads, true); err != nil {
-			return nil, err
+			return rep, err
 		}
 		rep.Moves = append(rep.Moves, RebalanceMove{
 			ID: id, FromClass: t.classID, ToClass: imps[choice].ID,

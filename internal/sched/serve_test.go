@@ -3,11 +3,14 @@ package sched
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/concern"
+	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/machines"
+	"repro/internal/migrate"
 	"repro/internal/mlearn"
 	"repro/internal/nperr"
 	"repro/internal/placement"
@@ -19,6 +22,13 @@ import (
 // Scheduler whose artifact sources mimic a serving engine (memoized spec
 // and enumeration).
 func newTestScheduler(t *testing.T, m machines.Machine, v int, cfg ServeConfig) (*Scheduler, *concern.Spec) {
+	return newTestSchedulerPin(t, m, v, cfg, nil)
+}
+
+// newTestSchedulerPin is newTestScheduler with an explicit pin source (nil
+// selects the default uncached pinner), for tests injecting pin failures.
+func newTestSchedulerPin(t *testing.T, m machines.Machine, v int, cfg ServeConfig,
+	pin func(ctx context.Context, p placement.Placement, vv int) ([]topology.ThreadID, error)) (*Scheduler, *concern.Spec) {
 	t.Helper()
 	spec := concern.FromMachine(m)
 	imps, err := placement.Enumerate(spec, v)
@@ -50,7 +60,7 @@ func newTestScheduler(t *testing.T, m machines.Machine, v int, cfg ServeConfig) 
 			}
 			return pred
 		},
-		nil, // default uncached pinner
+		pin,
 		cfg)
 	return s, spec
 }
@@ -179,10 +189,355 @@ func TestSchedulerRebalanceImproves(t *testing.T) {
 		t.Fatalf("second rebalance moved %d containers, want 0", len(rep2.Moves))
 	}
 
-	// Cancellation: a cancelled context aborts the pass.
+	// Cancellation: a cancelled context aborts the pass — and still hands
+	// back the (empty) report of the aborted pass rather than nil.
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := s.Rebalance(cancelled); !errors.Is(err, context.Canceled) {
+	rep3, err := s.Rebalance(cancelled)
+	if !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled Rebalance err = %v, want context.Canceled", err)
+	}
+	if rep3 == nil {
+		t.Error("cancelled Rebalance returned a nil report")
+	}
+}
+
+// slowerSameSizeClass returns a class index with the same node count as
+// tn's current class but a strictly lower predicted performance under tn's
+// own vector (the slowest such class), or false if none exists.
+func slowerSameSizeClass(tn *tenant, imps []placement.Important) (int, bool) {
+	size := imps[tn.class].Nodes.Len()
+	cur := predictedPerf(tn.basePerf, tn.vec, tn.class)
+	best, ok := -1, false
+	for i := range imps {
+		if i == tn.class || imps[i].Nodes.Len() != size {
+			continue
+		}
+		p := predictedPerf(tn.basePerf, tn.vec, i)
+		if p <= 0 || p >= cur {
+			continue
+		}
+		if !ok || p < predictedPerf(tn.basePerf, tn.vec, best) {
+			best, ok = i, true
+		}
+	}
+	return best, ok
+}
+
+// demoteTenant rewrites the tenant's class to a strictly slower class of
+// the same node count, keeping its nodes — the stale state the pre-fix
+// Rebalance could never repair: the best concrete node set of the faster
+// class equals the tenant's current nodes, so the nodes-unchanged
+// early-continue skipped the upgrade and classID stayed stale.
+func demoteTenant(t *testing.T, s *Scheduler, imps []placement.Important, id int) (fromClass, toClassID int) {
+	t.Helper()
+	tn := s.tenants[id]
+	slower, ok := slowerSameSizeClass(tn, imps)
+	if !ok {
+		t.Skipf("no slower same-size class for container %d", id)
+	}
+	want := tn.class
+	tn.class, tn.classID = slower, imps[slower].ID
+	return want, imps[want].ID
+}
+
+func TestSchedulerRebalanceAdoptsFasterClassOnSameNodes(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	// GoalFrac 0.5 admits into the smallest (2-node) classes; AMD has
+	// three distinct 2-node classes, so a same-size faster class exists.
+	s, _ := newTestScheduler(t, m, 16, ServeConfig{GoalFrac: 0.5})
+	wt, _ := workloads.ByName("WTbtree")
+
+	a, err := s.Admit(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps, err := s.imps(ctx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantClassID := demoteTenant(t, s, imps, a.ID)
+
+	rep, err := s.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) != 1 {
+		t.Fatalf("rebalance made %d moves, want 1 (faster same-size class on identical nodes)", len(rep.Moves))
+	}
+	mv := rep.Moves[0]
+	if mv.FromNodes != mv.ToNodes || mv.ToNodes != a.Nodes {
+		t.Fatalf("move changed nodes %s -> %s, want both %s", mv.FromNodes, mv.ToNodes, a.Nodes)
+	}
+	if mv.ToClass != wantClassID {
+		t.Fatalf("move adopted class %d, want %d", mv.ToClass, wantClassID)
+	}
+	got := s.Assignments()[0]
+	if got.Class != wantClassID {
+		t.Fatalf("tenant classID = %d after rebalance, want %d", got.Class, wantClassID)
+	}
+	// A same-node-set move copies no memory: its cost is exactly the fast
+	// mechanism's freeze/thaw plus cpuset bookkeeping.
+	prof := migrate.ProfileFor(wt, 16)
+	prof.AnonGB, prof.PageCacheGB = 0, 0
+	res, err := migrate.Run(prof, migrate.Fast, migrate.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Seconds != res.Seconds {
+		t.Fatalf("same-nodes move cost %g s, want zero-copy fast cost %g s", mv.Seconds, res.Seconds)
+	}
+	// Fixed point: a second pass moves nothing.
+	rep2, err := s.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Moves) != 0 {
+		t.Fatalf("second rebalance moved %d containers, want 0", len(rep2.Moves))
+	}
+}
+
+func TestSchedulerRebalancePartialReportOnPinFailure(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	errBoom := errors.New("pin source down")
+	var spec *concern.Spec
+	pinCalls, failAfter := 0, 0 // failAfter 0 = healthy
+	pin := func(ctx context.Context, p placement.Placement, v int) ([]topology.ThreadID, error) {
+		pinCalls++
+		if failAfter > 0 && pinCalls > failAfter {
+			return nil, errBoom
+		}
+		return placement.Pin(spec, p, v)
+	}
+	s, sp := newTestSchedulerPin(t, m, 16, ServeConfig{GoalFrac: 0.5}, pin)
+	spec = sp
+	wt, _ := workloads.ByName("WTbtree")
+
+	// Two tenants in 2-node classes, both demoted to a slower same-size
+	// class, so the pass wants to move both.
+	a1, err := s.Admit(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Admit(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imps, err := s.imps(ctx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demoteTenant(t, s, imps, a1.ID)
+	demoteTenant(t, s, imps, a2.ID)
+
+	// The pin source survives exactly one more call: the first move's
+	// re-pin commits, the second move's re-pin fails mid-pass.
+	failAfter = pinCalls + 1
+	rep, err := s.Rebalance(ctx)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Rebalance err = %v, want the pin failure", err)
+	}
+	if rep == nil {
+		t.Fatal("Rebalance discarded the partial report of committed moves")
+	}
+	if len(rep.Moves) != 1 || rep.Moves[0].ID != a1.ID {
+		t.Fatalf("partial report has moves %+v, want exactly the committed move of container %d", rep.Moves, a1.ID)
+	}
+	if rep.Examined != 2 {
+		t.Fatalf("partial report examined %d, want 2", rep.Examined)
+	}
+	if rep.TotalSeconds != rep.Moves[0].Seconds || rep.TotalSeconds <= 0 {
+		t.Fatalf("partial report TotalSeconds = %g, want the committed move's %g", rep.TotalSeconds, rep.Moves[0].Seconds)
+	}
+
+	// The scheduler stays consistent: with the pin source healed, the next
+	// pass completes the interrupted move and then reaches a fixed point.
+	failAfter = 0
+	rep2, err := s.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Moves) != 1 || rep2.Moves[0].ID != a2.ID {
+		t.Fatalf("healed rebalance moved %+v, want container %d", rep2.Moves, a2.ID)
+	}
+	rep3, err := s.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep3.Moves) != 0 {
+		t.Fatalf("fixed-point rebalance moved %d containers, want 0", len(rep3.Moves))
+	}
+}
+
+func TestSchedulerAdmitPhase2FailureDiscards(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	errBoom := errors.New("pin source down")
+	var spec *concern.Spec
+	var cancelPhase2 context.CancelFunc // armed: cancel during the 2nd observation pin
+	pinCalls, failAfter := 0, 0
+	pin := func(ctx context.Context, p placement.Placement, v int) ([]topology.ThreadID, error) {
+		pinCalls++
+		if failAfter > 0 && pinCalls > failAfter {
+			return nil, errBoom
+		}
+		if cancelPhase2 != nil && pinCalls%3 == 2 {
+			// Cancel while phase 1 is still observing: the pin itself
+			// succeeds, so the cancellation is first seen by the phase-2
+			// commit check.
+			cancelPhase2()
+		}
+		return placement.Pin(spec, p, v)
+	}
+	s, sp := newTestSchedulerPin(t, m, 16, ServeConfig{}, pin)
+	spec = sp
+	wt, _ := workloads.ByName("WTbtree")
+
+	var discarded []*container.Container
+	s.onDiscard = func(c *container.Container) { discarded = append(discarded, c) }
+	full := topology.FullNodeSet(m.Topo.NumNodes)
+
+	// Phase-2 pin failure: the observed container is discarded, unpinned,
+	// and the free set stays untouched.
+	failAfter = pinCalls + 2 // both observation pins succeed, the commit pin fails
+	if _, err := s.Admit(ctx, wt, 16); !errors.Is(err, errBoom) {
+		t.Fatalf("Admit err = %v, want the pin failure", err)
+	}
+	failAfter = 0
+	if len(discarded) != 1 {
+		t.Fatalf("discarded %d containers, want 1", len(discarded))
+	}
+	if discarded[0].Placed() {
+		t.Fatal("discarded container still holds its probe pinning")
+	}
+	if s.Free() != full || s.Len() != 0 {
+		t.Fatalf("failed admission disturbed state: free %s (want %s), len %d (want 0)", s.Free(), full, s.Len())
+	}
+
+	// Cancellation between phase 1 (observation) and phase 2 (commit):
+	// same discard guarantees, and the error is the context's.
+	cctx, cancel := context.WithCancel(ctx)
+	cancelPhase2 = cancel
+	if _, err := s.Admit(cctx, wt, 16); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Admit err = %v, want context.Canceled", err)
+	}
+	cancelPhase2 = nil
+	if len(discarded) != 2 {
+		t.Fatalf("discarded %d containers, want 2", len(discarded))
+	}
+	if discarded[1].Placed() {
+		t.Fatal("cancelled admission left the container pinned")
+	}
+	if s.Free() != full || s.Len() != 0 {
+		t.Fatalf("cancelled admission disturbed state: free %s, len %d", s.Free(), s.Len())
+	}
+
+	// Both failures left gaps in the ID space; admission still works.
+	a, err := s.Admit(ctx, wt, 16)
+	if err != nil {
+		t.Fatalf("Admit after discards: %v", err)
+	}
+	if a.ID != 2 {
+		t.Fatalf("third admission got ID %d, want 2 (failed admissions leave gaps)", a.ID)
+	}
+}
+
+func TestSchedulerPreview(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	s, _ := newTestScheduler(t, m, 16, ServeConfig{})
+	wt, _ := workloads.ByName("WTbtree")
+
+	pv, err := s.Preview(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.PredictedPerf <= 0 || pv.BasePerf <= 0 || pv.Nodes.Empty() {
+		t.Fatalf("implausible preview %+v", pv)
+	}
+	// Previews are repeatable and reserve nothing.
+	pv2, err := s.Preview(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *pv != *pv2 {
+		t.Fatalf("previews differ: %+v vs %+v", pv, pv2)
+	}
+	if s.Len() != 0 || s.Free() != topology.FullNodeSet(m.Topo.NumNodes) {
+		t.Fatal("preview mutated scheduler state")
+	}
+	// The preview matches the class the real admission chooses on the
+	// same free set.
+	a, err := s.Admit(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != pv.ClassID || a.Nodes != pv.Nodes {
+		t.Fatalf("admission chose class %d on %s, preview promised class %d on %s",
+			a.Class, a.Nodes, pv.ClassID, pv.Nodes)
+	}
+	// Untrained sizes fail typed.
+	if _, err := s.Preview(ctx, wt, 8); !errors.Is(err, nperr.ErrUntrained) {
+		t.Errorf("Preview(8 vCPUs) err = %v, want ErrUntrained", err)
+	}
+}
+
+// TestSchedulerConcurrentStress hammers one Scheduler with concurrent
+// admissions, releases and rebalance passes; run under -race it guards the
+// serving path's locking, and the final invariants guard the free-set
+// bookkeeping.
+func TestSchedulerConcurrentStress(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	s, _ := newTestScheduler(t, m, 16, ServeConfig{GoalFrac: 0.5})
+	wt, _ := workloads.ByName("WTbtree")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []int
+			for i := 0; i < 30; i++ {
+				if a, err := s.Admit(ctx, wt, 16); err == nil {
+					mine = append(mine, a.ID)
+				} else if !errors.Is(err, nperr.ErrMachineFull) {
+					t.Errorf("Admit: %v", err)
+					return
+				}
+				if len(mine) > 1 {
+					if err := s.Release(ctx, mine[0]); err != nil {
+						t.Errorf("Release: %v", err)
+						return
+					}
+					mine = mine[1:]
+				}
+			}
+			for _, id := range mine {
+				if err := s.Release(ctx, id); err != nil {
+					t.Errorf("Release: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if _, err := s.Rebalance(ctx); err != nil {
+				t.Errorf("Rebalance: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if s.Len() != 0 {
+		t.Fatalf("%d tenants leaked", s.Len())
+	}
+	if s.Free() != topology.FullNodeSet(m.Topo.NumNodes) {
+		t.Fatalf("free = %s after all releases, want the full set", s.Free())
 	}
 }

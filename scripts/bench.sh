@@ -4,21 +4,24 @@
 # allocs/op. Two gate layers run after the suite:
 #
 #   1. In-run gates on the fresh numbers: the Engine warm/cold memoization
-#      ratio (>= 50x) and the compiled-forest scoring paths
+#      ratio (>= 50x), the compiled-forest scoring paths
 #      (BenchmarkPredictLatency and BenchmarkPredictBatch must both report
-#      0 allocs/op).
+#      0 allocs/op), and every BenchmarkClusterAdmit policy admitting in
+#      under 1 ms on a warm fleet.
 #   2. Compare gates against the previous BENCH_*.json. Against a
 #      pre-PR-3 baseline (BENCH_0..2) the PR 3 ns/op floors apply; against
 #      BENCH_3 the PR 4 flat-data-plane floors apply: Figure4AMD/Intel at
 #      <= 0.75x ns/op AND <= 0.3x bytes/op, AblationForestSize/trees-100
-#      at <= 0.5x allocs/op. A generic > 20% ns/op regression check covers
-#      every other benchmark present in both reports.
+#      at <= 0.5x allocs/op. Against BENCH_4 (the PR 5 fleet-layer era,
+#      which adds a subsystem rather than a speedup) only the generic
+#      > 20% ns/op regression check applies — it covers every benchmark
+#      present in both reports.
 #
 # Usage:
 #   scripts/bench.sh [output.json]          run suite, write report, gate
 #   scripts/bench.sh --compare NEW OLD      compare two reports only
 #
-# Default output: BENCH_4.json. The comparison baseline is the
+# Default output: BENCH_5.json. The comparison baseline is the
 # highest-numbered BENCH_*.json other than the output file.
 set -eu
 
@@ -30,8 +33,28 @@ set -eu
 # benchmarks taking >= 100 us: sub-microsecond timings swing well past
 # 20% between recording days on shared machines, while the gated speedup
 # floors carry margins that dwarf that noise.
+#
+# Reports are recorded on whatever machine ran the suite, so raw ns/op
+# ratios mix code changes with hardware drift. The regression gate
+# therefore normalizes: the median ns/op ratio across all gated
+# benchmarks estimates the drift, and only benchmarks regressing > 20%
+# beyond it fail (when the new machine is faster, the absolute 1.2x
+# threshold is kept). A single-benchmark regression still stands out
+# against the median; only a uniform slow-down of the entire suite —
+# indistinguishable from slower hardware — is deliberately not flagged.
 compare_reports() {
     new="$1"; old="$2"
+    # Ratios are only meaningful between reports recorded with the same
+    # per-benchmark budget: short budgets leave one-time setup costs
+    # unamortized and inflate multi-ms benchmarks well past any gate
+    # margin. Smoke runs (BENCHTIME=20ms in CI) still enforce the in-run
+    # gates; the cross-report gates apply to full recordings only.
+    newbt="$(sed -n 's/.*"benchtime": *"\([^"]*\)".*/\1/p' "$new" | head -1)"
+    oldbt="$(sed -n 's/.*"benchtime": *"\([^"]*\)".*/\1/p' "$old" | head -1)"
+    if [ "$newbt" != "$oldbt" ]; then
+        echo "benchtime differs ($newbt vs $oldbt): compare gates skipped"
+        return 0
+    fi
     # Era-select the floors: the PR 3 compiled-forest/presort wins only
     # make sense against a pre-PR-3 baseline, the PR 4 training-plane wins
     # only against BENCH_3; against newer reports only the regression gate
@@ -40,6 +63,7 @@ compare_reports() {
     case "$(basename "$old")" in
         BENCH_[012].json) era=pr3 ;;
         BENCH_3.json)     era=pr4 ;;
+        BENCH_4.json)     era=pr5 ;;
     esac
     echo "comparing $new against $old (floor era: $era)"
     awk -v newfile="$new" -v oldfile="$old" -v era="$era" '
@@ -94,10 +118,31 @@ compare_reports() {
             bfloor["BenchmarkFigure4Intel"] = 0.3                  # >= 70% fewer bytes
             afloor["BenchmarkAblationForestSize/trees-100"] = 0.5  # >= 2x fewer allocs
         }
-        regress = 1.2                                              # > 20% regression fails
+        # era == "pr5" (fleet layer): no speedup floors — the generic
+        # regression gate below protects every earlier win.
+        regress = 1.2                                              # > 20% beyond drift fails
         minns = 100000                                             # regression gate floor: 100 us
         while ((getline line < newfile) > 0) record("new", line)
         while ((getline line < oldfile) > 0) record("old", line)
+        # Hardware-drift estimate: median ns/op ratio over the gated
+        # (>= 100 us) benchmarks present in both reports.
+        nratios = 0
+        for (name in newns) {
+            o = oldfor(name)
+            if (o == "" || oldns[o]+0 < minns) continue
+            ratios[nratios++] = newns[name] / oldns[o]
+        }
+        drift = 1
+        if (nratios > 0) {
+            for (i = 0; i < nratios; i++)          # insertion sort: tiny n
+                for (j = i; j > 0 && ratios[j-1] > ratios[j]; j--) {
+                    tmp = ratios[j]; ratios[j] = ratios[j-1]; ratios[j-1] = tmp
+                }
+            drift = (nratios % 2) ? ratios[int(nratios/2)] \
+                                  : (ratios[nratios/2-1] + ratios[nratios/2]) / 2
+        }
+        if (drift < 1) drift = 1                   # faster machine: keep the absolute bar
+        printf "  hardware drift estimate: %.2fx (median over %d benchmarks)\n", drift, nratios
         fails = 0
         for (name in newns) {
             o = oldfor(name)
@@ -114,9 +159,9 @@ compare_reports() {
             # generic wall-time regression check; only an explicit ns
             # floor supersedes it.
             if (g in nsfloor) continue
-            if (oldns[o]+0 >= minns && newns[name] / oldns[o] > regress) {
-                printf "  %-45s %14.0f -> %14.0f ns/op  (%.2fx) FAIL: >20%% regression\n", \
-                    name, oldns[o], newns[name], newns[name] / oldns[o]
+            if (oldns[o]+0 >= minns && newns[name] / oldns[o] > regress * drift) {
+                printf "  %-45s %14.0f -> %14.0f ns/op  (%.2fx, drift %.2fx) FAIL: >20%% regression beyond drift\n", \
+                    name, oldns[o], newns[name], newns[name] / oldns[o], drift
                 fails++
             }
         }
@@ -130,7 +175,7 @@ if [ "${1:-}" = "--compare" ]; then
     exit 0
 fi
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -185,6 +230,22 @@ END {
     printf "predict latency allocations: %s allocs/op, batch: %s allocs/op\n", lat, batch
     if (lat + 0 != 0) { print "FAIL: PredictInto serving path allocates"; exit 1 }
     if (batch + 0 != 0) { print "FAIL: PredictDatasetInto batch path allocates"; exit 1 }
+}' "$tmp"
+
+# Gate: every fleet routing policy must admit on a warm cluster in under
+# 1 ms (the serving-path sanity bound; the measured path is observe twice,
+# predict, route, pin — BestPredicted adds two preview observations).
+awk '
+/^BenchmarkClusterAdmit\// {
+    name = $1
+    for (i=3;i<NF;i++) if ($(i+1)=="ns/op") ns=$i
+    seen++
+    printf "cluster admit %-50s %s ns/op\n", name, ns
+    if (ns + 0 > 1000000) { printf "FAIL: %s admits slower than 1 ms\n", name; bad++ }
+}
+END {
+    if (seen == 0) { print "FAIL: BenchmarkClusterAdmit missing"; exit 1 }
+    if (bad > 0) exit 1
 }' "$tmp"
 
 # Compare against the previous report, if one exists.
