@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke clustersmoke profile ci
+.PHONY: all build vet test race bench benchsmoke clustersmoke crashsmoke profile ci
 
 all: build
 
@@ -24,24 +24,34 @@ test:
 
 # Race coverage for every concurrent pipeline, including the root package
 # (Engine singleflight caches, concurrent Place/Release, concurrent
-# Cluster admissions), the serving scheduler in internal/sched and the
-# cluster fleet layer in internal/fleet.
+# Cluster admissions), the serving scheduler in internal/sched, the
+# cluster fleet layer in internal/fleet (admissions racing machine death
+# and failover), the event kernel in internal/des and the workload
+# catalog in internal/workloads.
 race:
-	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/ ./internal/fleet/
+	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/ ./internal/fleet/ ./internal/des/ ./internal/workloads/
 
 # Runs the full benchmark suite with fixed -benchtime and emits
-# BENCH_5.json, then applies the gates: Engine warm-cache >= 50x, the
+# BENCH_6.json, then applies the gates: Engine warm-cache >= 50x, the
 # compiled-forest serving AND batch paths at 0 allocs/op, every fleet
-# routing policy admitting in < 1 ms, the era-matched speedup floors
-# (ns/op, bytes/op and allocs/op) and a > 20% regression check against
-# the previous BENCH_*.json. Override the budget with BENCHTIME=200ms etc.
+# routing policy admitting in < 1 ms with health tracking enabled, the
+# era-matched speedup floors (ns/op, bytes/op and allocs/op) and a > 20%
+# regression check against the previous BENCH_*.json. Override the
+# budget with BENCHTIME=200ms etc.
 bench:
-	sh scripts/bench.sh BENCH_5.json
+	sh scripts/bench.sh BENCH_6.json
 
 # Deterministic fleet churn smoke: 200 containers over the AMD+Intel
 # cluster at reduced training fidelity. CI runs this on every push.
 clustersmoke:
 	$(GO) run ./cmd/clustersim -quick
+
+# Failure-injection smoke: the same churn trace with amd-0 crashing at
+# t=600s — health probes ride the machine to dead, its tenants fail over,
+# and the report must account for every record (deterministic output).
+# CI runs this on every push.
+crashsmoke:
+	$(GO) run ./cmd/clustersim -quick -crash amd-0@600
 
 # One-iteration pass over every benchmark: catches benchmark rot (setup
 # errors, API drift) without paying for stable timings. CI runs this on

@@ -298,36 +298,51 @@ func BenchmarkEnginePlace(b *testing.B) {
 	}
 }
 
+// benchCluster builds the warm two-machine AMD+Intel cluster the fleet
+// benchmarks share: both engines pre-trained for 16-vCPU containers,
+// machines labeled with distinct failure domains.
+func benchCluster(b *testing.B, ctx context.Context, cfg ClusterConfig) *Cluster {
+	b.Helper()
+	cl := NewCluster(cfg)
+	for i, m := range []Machine{machines.AMD(), machines.Intel()} {
+		eng := New(m,
+			WithCollectConfig(CollectConfig{Trials: 2}),
+			WithTrainConfig(TrainConfig{
+				Seed: 1, Forest: mlearn.ForestConfig{Trees: 20},
+				SelectionTrees: 4, SelectionFolds: 3,
+			}),
+		)
+		ws := append(PaperWorkloads(), workloads.CorpusFrom(10, 3, []string{"flat", "bw", "lat"})...)
+		ds, err := eng.Collect(ctx, ws, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Train(ctx, ds); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Add(fmt.Sprintf("m%d", i), eng, InDomain(fmt.Sprintf("rack-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cl
+}
+
 // BenchmarkClusterAdmit measures one fleet admission (route per policy,
 // admit on the chosen machine, release) on a warm two-machine AMD+Intel
-// cluster with pre-trained engines — the fleet serving hot path.
-// BestPredicted pays two extra preview observations per admission; the
-// other policies route on fleet state alone.
+// cluster with pre-trained engines — the fleet serving hot path, with
+// health tracking and domain-spread routing enabled (the failure-aware
+// configuration every admission now pays for). BestPredicted pays two
+// extra preview observations per admission; the other policies route on
+// fleet state alone.
 func BenchmarkClusterAdmit(b *testing.B) {
 	ctx := context.Background()
 	for _, policy := range []ClusterPolicy{RouteFirstFit, RouteLeastLoaded, RouteBestPredicted} {
 		b.Run(policy.String(), func(b *testing.B) {
-			cl := NewCluster(ClusterConfig{Policy: policy})
-			for i, m := range []Machine{machines.AMD(), machines.Intel()} {
-				eng := New(m,
-					WithCollectConfig(CollectConfig{Trials: 2}),
-					WithTrainConfig(TrainConfig{
-						Seed: 1, Forest: mlearn.ForestConfig{Trees: 20},
-						SelectionTrees: 4, SelectionFolds: 3,
-					}),
-				)
-				ws := append(PaperWorkloads(), workloads.CorpusFrom(10, 3, []string{"flat", "bw", "lat"})...)
-				ds, err := eng.Collect(ctx, ws, 16)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, err := eng.Train(ctx, ds); err != nil {
-					b.Fatal(err)
-				}
-				if err := cl.Add(fmt.Sprintf("m%d", i), eng); err != nil {
-					b.Fatal(err)
-				}
-			}
+			cl := benchCluster(b, ctx, ClusterConfig{
+				Policy:        policy,
+				SpreadDomains: true,
+				Health:        ClusterHealthConfig{},
+			})
 			wt, _ := WorkloadByName("WTbtree")
 			// Warm the enumeration and pinning caches.
 			if a, err := cl.Place(ctx, wt, 16); err != nil {
@@ -347,5 +362,42 @@ func BenchmarkClusterAdmit(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFailover measures one full machine-death recovery on the warm
+// two-machine cluster: a crash declaration, the automatic failover pass
+// rehoming the dead machine's two tenants onto the survivor (costed
+// fast-mechanism copies included), and the revive that fences the stale
+// books. The machines ping-pong roles so every iteration starts from the
+// same shape.
+func BenchmarkFailover(b *testing.B) {
+	ctx := context.Background()
+	cl := benchCluster(b, ctx, ClusterConfig{
+		Policy: RouteFirstFit,
+		Health: ClusterHealthConfig{FailoverBudgetSeconds: -1},
+	})
+	wt, _ := WorkloadByName("WTbtree")
+	// Two 16-vCPU tenants land on m0 (first-fit) and fit either machine.
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Place(ctx, wt, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := []string{"m0", "m1"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := names[i%2]
+		if _, err := cl.Fail(ctx, from); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.Revive(ctx, from); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := cl.Len(); got != 2 {
+		b.Fatalf("tenant records corrupted by failover ping-pong: %d, want 2", got)
 	}
 }

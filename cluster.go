@@ -51,6 +51,35 @@ type (
 	ClusterMove = fleet.Move
 	// ClusterStats aggregates fleet counters and per-machine occupancy.
 	ClusterStats = fleet.Stats
+	// ClusterBackendStats is one machine's slice of ClusterStats, health
+	// state and failure-domain label included.
+	ClusterBackendStats = fleet.BackendStats
+	// ClusterDomainStats aggregates occupancy per failure domain.
+	ClusterDomainStats = fleet.DomainStats
+	// ClusterAddOption configures one machine at Add time (see InDomain).
+	ClusterAddOption = fleet.AddOption
+	// ClusterHealth is one machine's liveness state (ClusterHealthy,
+	// ClusterSuspect, ClusterDead) as tracked by the cluster.
+	ClusterHealth = fleet.Health
+	// ClusterHealthConfig tunes the health state machine: probe-miss
+	// thresholds for the healthy→suspect→dead transitions and the
+	// migration budget of the automatic failover pass.
+	ClusterHealthConfig = fleet.HealthConfig
+	// ClusterMonitor drives the health state machine from periodic
+	// liveness probes (see Cluster.Monitor).
+	ClusterMonitor = fleet.Monitor
+	// ClusterMonitorConfig tunes a monitor loop: probe cadence, probe
+	// function, transition/rejoin callbacks.
+	ClusterMonitorConfig = fleet.MonitorConfig
+	// ClusterProbeFunc answers one liveness probe: true = responded.
+	ClusterProbeFunc = fleet.ProbeFunc
+	// TimerSource abstracts the monitor's clock: SimTimers for
+	// deterministic simulation, WallTimers for live deployments.
+	TimerSource = fleet.TimerSource
+	// SimTimers schedules monitor ticks on a discrete-event simulation.
+	SimTimers = fleet.SimTimers
+	// WallTimers schedules monitor ticks on the wall clock.
+	WallTimers = fleet.WallTimers
 )
 
 // Routing policies for ClusterConfig.Policy.
@@ -67,23 +96,42 @@ const (
 	RouteBestPredicted = fleet.BestPredicted
 )
 
+// Machine health states for ClusterBackendStats.Health and the health
+// API. Healthy machines accept admissions; suspect ones (missed probes)
+// keep their tenants but stop receiving new ones; dead ones receive no
+// calls at all — their tenants are failed over and only Revive readmits
+// them.
+const (
+	ClusterHealthy = fleet.Healthy
+	ClusterSuspect = fleet.Suspect
+	ClusterDead    = fleet.Dead
+)
+
 // ClusterPolicyByName resolves the CLI-style policy names ("first-fit",
 // "least-loaded", "best-predicted").
 func ClusterPolicyByName(name string) (ClusterPolicy, bool) {
 	return fleet.PolicyByName(name)
 }
 
+// InDomain labels a machine with a failure domain at Add time (a rack, a
+// zone — any unit of correlated failure). Domain labels feed the
+// ClusterConfig.SpreadDomains routing preference (replicas of one
+// workload land in distinct domains while room exists) and the
+// per-domain slice of Stats.
+func InDomain(domain string) ClusterAddOption { return fleet.InDomain(domain) }
+
 // NewCluster builds an empty cluster; add machines with Add.
 func NewCluster(cfg ClusterConfig) *Cluster {
 	return &Cluster{f: fleet.New(cfg)}
 }
 
-// Add registers an Engine under a unique machine name. The Engine should
-// carry trained (or registered) predictors for the container sizes the
-// cluster will serve; untrained sizes simply fail admission on that
-// machine and routing falls through to the others.
-func (c *Cluster) Add(name string, e *Engine) error {
-	return c.f.Add(name, e)
+// Add registers an Engine under a unique machine name, optionally
+// labeling it with a failure domain (InDomain). The Engine should carry
+// trained (or registered) predictors for the container sizes the cluster
+// will serve; untrained sizes simply fail admission on that machine and
+// routing falls through to the others. Machines start healthy.
+func (c *Cluster) Add(name string, e *Engine, opts ...ClusterAddOption) error {
+	return c.f.Add(name, e, opts...)
 }
 
 // Engine returns the Engine registered under name.
@@ -146,9 +194,65 @@ func (c *Cluster) Resume(name string) error { return c.f.Resume(name) }
 func (c *Cluster) Remove(name string) error { return c.f.Remove(name) }
 
 // Assignments snapshots every container served cluster-wide in ascending
-// fleet-ID order.
+// fleet-ID order. Tenants stranded on a dead machine are included with
+// their last recorded assignment — a machine death never drops a record
+// from the snapshot.
 func (c *Cluster) Assignments() []ClusterAssignment { return c.f.Assignments() }
 
-// Stats aggregates the cluster's admission counters, migration spend and
-// per-machine occupancy.
+// Stats aggregates the cluster's admission counters, migration spend,
+// per-machine occupancy (health state included) and per-failure-domain
+// occupancy. Dead machines contribute no capacity until revived.
 func (c *Cluster) Stats() ClusterStats { return c.f.Stats() }
+
+// HealthOf returns the named machine's health state; ok is false for
+// machines the cluster is not serving.
+func (c *Cluster) HealthOf(name string) (ClusterHealth, bool) { return c.f.HealthOf(name) }
+
+// Heartbeat records one answered liveness probe: the machine's miss count
+// resets and a suspect machine returns to healthy. Dead machines stay
+// dead (ErrBackendDown) until Revive.
+func (c *Cluster) Heartbeat(name string) (ClusterHealth, error) { return c.f.Heartbeat(name) }
+
+// MissProbe records one missed probe deadline and advances the health
+// state machine: ClusterHealthConfig.SuspectAfter consecutive misses
+// close the machine for admissions, DeadAfter declare it dead — which
+// triggers the automatic failover pass, whose report is returned. The
+// error then wraps ErrNoHealthyBackend if any tenant was left stranded.
+func (c *Cluster) MissProbe(ctx context.Context, name string) (ClusterHealth, *ClusterReport, error) {
+	return c.f.MissProbe(ctx, name)
+}
+
+// Fail declares a machine dead immediately — crash injection, or an
+// operator acting on out-of-band knowledge — and runs the automatic
+// failover pass, rehoming its tenants onto the healthy remainder within
+// ClusterHealthConfig.FailoverBudgetSeconds. Tenants that cannot be
+// rehomed are reported stranded (error wraps ErrNoHealthyBackend) and
+// stay on the cluster's books for retry.
+func (c *Cluster) Fail(ctx context.Context, name string) (*ClusterReport, error) {
+	return c.f.Fail(ctx, name)
+}
+
+// Failover manually retries recovery for a dead machine's stranded
+// tenants under a fresh budget (non-positive = unbudgeted). Capacity may
+// have freed since the automatic pass ran.
+func (c *Cluster) Failover(ctx context.Context, name string, budgetSeconds float64) (*ClusterReport, error) {
+	return c.f.Failover(ctx, name, budgetSeconds)
+}
+
+// Revive readmits a dead machine once it is reachable again, first
+// fencing its stale books: every engine-side record the cluster no
+// longer maps there (tenants failed over in the meantime) is released,
+// so the rejoining machine frees capacity containers now running
+// elsewhere. Returns the number of fenced records.
+func (c *Cluster) Revive(ctx context.Context, name string) (int, error) {
+	return c.f.Revive(ctx, name)
+}
+
+// Monitor builds a health monitor that drives the state machine from
+// periodic liveness probes — deterministic on a simulation clock
+// (SimTimers) or live on the wall clock (WallTimers). Start it with
+// ClusterMonitor.Start; a machine that stops answering rides
+// healthy→suspect→dead and its tenants fail over automatically.
+func (c *Cluster) Monitor(timers TimerSource, cfg ClusterMonitorConfig) (*ClusterMonitor, error) {
+	return c.f.Monitor(timers, cfg)
+}

@@ -223,3 +223,97 @@ func TestClusterConcurrentPlace(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterFailover exercises the crash path end to end on real
+// Engines: machine death rehomes tenants without losing a record, stats
+// surface health and domains, and Revive fences the stale books.
+func TestClusterFailover(t *testing.T) {
+	ctx := context.Background()
+	cl := NewCluster(ClusterConfig{Policy: RouteFirstFit, SpreadDomains: true})
+	if err := cl.Add("amd-0", trainedEngine(t, ctx, AMD(), 16), InDomain("rack-0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Add("intel-0", trainedEngine(t, ctx, Intel(), 16), InDomain("rack-1")); err != nil {
+		t.Fatal(err)
+	}
+	wt, _ := WorkloadByName("WTbtree")
+
+	// First-fit would stack both replicas on amd-0; the domain spread
+	// pushes the second onto the other rack.
+	a1, err := cl.Place(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cl.Place(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Backend != "amd-0" || a2.Backend != "intel-0" {
+		t.Fatalf("replicas on %s/%s, want amd-0/intel-0 (domain spread)", a1.Backend, a2.Backend)
+	}
+
+	before := cl.Assignments()
+	rep, err := cl.Fail(ctx, "amd-0")
+	if err != nil && !errors.Is(err, ErrNoHealthyBackend) {
+		t.Fatalf("Fail: %v", err)
+	}
+	if got, want := len(rep.Moves)+rep.Stranded, 1; got != want {
+		t.Fatalf("failover accounted for %d tenants, want %d (report %+v)", got, want, rep)
+	}
+	if h, _ := cl.HealthOf("amd-0"); h != ClusterDead {
+		t.Fatalf("health after Fail = %v, want dead", h)
+	}
+
+	// Record conservation: the fleet-wide ID set is unchanged.
+	after := cl.Assignments()
+	if len(after) != len(before) {
+		t.Fatalf("tenant records %d -> %d across failover", len(before), len(after))
+	}
+	for i := range before {
+		if after[i].ID != before[i].ID {
+			t.Fatalf("fleet ID set changed: %v -> %v", before[i].ID, after[i].ID)
+		}
+	}
+
+	st := cl.Stats()
+	if st.Backends[0].Health != ClusterDead || st.Backends[0].FreeNodes != 0 {
+		t.Fatalf("dead machine stats = %+v, want dead with capacity written off", st.Backends[0])
+	}
+	if len(st.Domains) != 2 || st.Domains[0].Dead != 1 {
+		t.Fatalf("domain stats = %+v, want rack-0 reporting its dead machine", st.Domains)
+	}
+	if st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers)
+	}
+
+	// A heartbeat from the dead machine is refused until Revive fences it.
+	if _, err := cl.Heartbeat("amd-0"); !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("heartbeat on dead = %v, want ErrBackendDown", err)
+	}
+	fenced, err := cl.Revive(ctx, "amd-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fenced != len(rep.Moves) {
+		t.Fatalf("revive fenced %d, want %d (one per rehomed tenant)", fenced, len(rep.Moves))
+	}
+	if h, _ := cl.HealthOf("amd-0"); h != ClusterHealthy {
+		t.Fatalf("health after Revive = %v, want healthy", h)
+	}
+	eng, _ := cl.Engine("amd-0")
+	if used := 8 - eng.FreeNodes().Len(); used != rep.Stranded*2 {
+		// Each 16-vCPU container holds 2 AMD nodes; only tenants still
+		// mapped here (stranded, kept) may occupy the revived machine.
+		t.Fatalf("revived machine has %d nodes in use, want %d", used, rep.Stranded*2)
+	}
+
+	// Everything releases cleanly, wherever each tenant ended up.
+	for _, a := range cl.Assignments() {
+		if err := cl.Release(ctx, a.ID); err != nil {
+			t.Fatalf("release %d: %v", a.ID, err)
+		}
+	}
+	if cl.Len() != 0 {
+		t.Fatalf("%d tenants leaked after failover round-trip", cl.Len())
+	}
+}

@@ -11,10 +11,22 @@
 // Wall-clock admission latencies (the only nondeterministic measurements)
 // go to standard error.
 //
+// Failure scenarios inject machine trouble at fixed simulated times and
+// exercise the cluster's health tracking: a crashed machine stops
+// answering probes, rides healthy→suspect→dead, and its tenants fail
+// over automatically; a slow machine oscillates between healthy and
+// suspect without dying; a partitioned machine dies and later rejoins,
+// fencing the records that were failed over in its absence. Every
+// scenario's transitions, failover reports and final accounting are part
+// of the deterministic standard output.
+//
 // Usage:
 //
 //	clustersim -machines amd,intel -policy best-predicted -n 240 -seed 1
 //	clustersim -quick            # smaller training budget, CI smoke
+//	clustersim -quick -crash amd-0@600          # kill amd-0 at t=600s
+//	clustersim -quick -slow intel-1@300         # flaky probes from t=300s
+//	clustersim -quick -partition amd-0@400:900  # unreachable in [400,900)
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -51,7 +64,69 @@ type simConfig struct {
 	budget         float64 // migration-seconds budget per rebalance pass
 	drainBelow     float64 // consolidation threshold (fleet.Config.DrainBelow)
 
+	probeEvery float64     // health probe period, sim seconds (0 disables)
+	crash      []eventSpec // machines that stop answering probes at t
+	slow       []eventSpec // machines answering every 3rd probe from t
+	partition  []spanSpec  // machines unreachable in [from, to)
+	spread     bool        // spread workload replicas across racks
+
 	trials, trees, corpus int // training fidelity
+}
+
+// eventSpec is one "machine@t" scenario entry; spanSpec one "machine@t1:t2".
+type eventSpec struct {
+	name string
+	at   float64
+}
+
+type spanSpec struct {
+	name     string
+	from, to float64
+}
+
+// parseEvents parses a comma-separated list of machine@t specs.
+func parseEvents(flagName, s string) ([]eventSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []eventSpec
+	for _, part := range strings.Split(s, ",") {
+		name, ts, ok := strings.Cut(part, "@")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-%s %q: want machine@t", flagName, part)
+		}
+		at, err := strconv.ParseFloat(ts, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s %q: bad time: %w", flagName, part, err)
+		}
+		out = append(out, eventSpec{name: name, at: at})
+	}
+	return out, nil
+}
+
+// parseSpans parses a comma-separated list of machine@t1:t2 specs.
+func parseSpans(flagName, s string) ([]spanSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []spanSpec
+	for _, part := range strings.Split(s, ",") {
+		name, span, ok := strings.Cut(part, "@")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-%s %q: want machine@t1:t2", flagName, part)
+		}
+		fs, ts, ok := strings.Cut(span, ":")
+		if !ok {
+			return nil, fmt.Errorf("-%s %q: want machine@t1:t2", flagName, part)
+		}
+		from, err1 := strconv.ParseFloat(fs, 64)
+		to, err2 := strconv.ParseFloat(ts, 64)
+		if err1 != nil || err2 != nil || to <= from {
+			return nil, fmt.Errorf("-%s %q: bad span", flagName, part)
+		}
+		out = append(out, spanSpec{name: name, from: from, to: to})
+	}
+	return out, nil
 }
 
 func main() {
@@ -65,6 +140,11 @@ func main() {
 	rebalance := flag.Float64("rebalance", 120, "rebalance tick period in simulated seconds (0 disables)")
 	budget := flag.Float64("budget", 60, "migration-seconds budget per rebalance pass")
 	drainBelow := flag.Float64("drain-below", 0.5, "consolidate machines below this utilization during rebalance")
+	probeEvery := flag.Float64("probe-every", 10, "health probe period in simulated seconds (0 disables the monitor)")
+	crash := flag.String("crash", "", "crash scenario: machine@t[,...] — stops answering probes at sim time t, never recovers")
+	slow := flag.String("slow", "", "slow-node scenario: machine@t[,...] — answers only every third probe from sim time t")
+	partition := flag.String("partition", "", "partition scenario: machine@t1:t2[,...] — unreachable in [t1,t2), then rejoins")
+	spread := flag.Bool("spread", false, "spread replicas of a workload across failure domains (racks)")
 	quick := flag.Bool("quick", false, "reduced training fidelity and a 200-container trace (CI smoke)")
 	flag.Parse()
 
@@ -87,8 +167,23 @@ func main() {
 		rebalanceEvery: *rebalance,
 		budget:         *budget,
 		drainBelow:     *drainBelow,
+		probeEvery:     *probeEvery,
+		spread:         *spread,
 		trials:         3, trees: 60, corpus: 30,
 	}
+	scenarioErr := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	var err error
+	cfg.crash, err = parseEvents("crash", *crash)
+	scenarioErr(err)
+	cfg.slow, err = parseEvents("slow", *slow)
+	scenarioErr(err)
+	cfg.partition, err = parseSpans("partition", *partition)
+	scenarioErr(err)
 	if *quick {
 		cfg.trials, cfg.trees, cfg.corpus = 2, 10, 10
 		if !flagSet("n") {
@@ -119,9 +214,22 @@ func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
 		cfg.n, cfg.vcpus, strings.Join(cfg.machines, "+"), cfg.policy, cfg.seed)
 	fmt.Fprintf(out, "trace: mean inter-arrival %gs, mean lifetime %gs, rebalance every %gs (budget %gs/pass)\n",
 		cfg.meanArrival, cfg.meanLife, cfg.rebalanceEvery, cfg.budget)
+	for _, c := range cfg.crash {
+		fmt.Fprintf(out, "scenario: %s crashes at t=%gs (probes every %gs)\n", c.name, c.at, cfg.probeEvery)
+	}
+	for _, s := range cfg.slow {
+		fmt.Fprintf(out, "scenario: %s answers every 3rd probe from t=%gs (probes every %gs)\n", s.name, s.at, cfg.probeEvery)
+	}
+	for _, p := range cfg.partition {
+		fmt.Fprintf(out, "scenario: %s partitioned in t=[%g,%g)s (probes every %gs)\n", p.name, p.from, p.to, cfg.probeEvery)
+	}
 
 	// Build and train one Engine per machine, then assemble the cluster.
-	cl := numaplace.NewCluster(numaplace.ClusterConfig{Policy: cfg.policy, DrainBelow: cfg.drainBelow})
+	// Machines alternate between two racks — the failure domains the
+	// -spread routing preference and the per-domain stats report against.
+	cl := numaplace.NewCluster(numaplace.ClusterConfig{
+		Policy: cfg.policy, DrainBelow: cfg.drainBelow, SpreadDomains: cfg.spread,
+	})
 	names := make([]string, 0, len(cfg.machines))
 	for i, mname := range cfg.machines {
 		m, ok := numaplace.MachineByName(mname)
@@ -146,7 +254,7 @@ func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
 			return fmt.Errorf("training on %s: %w", mname, err)
 		}
 		name := fmt.Sprintf("%s-%d", mname, i)
-		if err := cl.Add(name, eng); err != nil {
+		if err := cl.Add(name, eng, numaplace.InDomain(fmt.Sprintf("rack-%d", i%2))); err != nil {
 			return err
 		}
 		names = append(names, name)
@@ -266,6 +374,85 @@ func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
 		sim.After(cfg.rebalanceEvery, tick)
 	}
 
+	// Health monitor: probes every machine each period on the simulation
+	// clock, so failure scenarios ride the deterministic event stream.
+	// Scenario-driven misses advance the healthy→suspect→dead machine
+	// state; death triggers the automatic failover pass, and a healed
+	// partition rejoins via Revive (fencing records failed over in its
+	// absence). All transitions are logged with their simulated times.
+	var failoverStranded int
+	if cfg.probeEvery > 0 {
+		for _, spec := range cfg.crash {
+			if _, ok := cl.Engine(spec.name); !ok {
+				return fmt.Errorf("-crash: unknown machine %q (have %s)", spec.name, strings.Join(names, ", "))
+			}
+		}
+		for _, spec := range cfg.slow {
+			if _, ok := cl.Engine(spec.name); !ok {
+				return fmt.Errorf("-slow: unknown machine %q (have %s)", spec.name, strings.Join(names, ", "))
+			}
+		}
+		for _, spec := range cfg.partition {
+			if _, ok := cl.Engine(spec.name); !ok {
+				return fmt.Errorf("-partition: unknown machine %q (have %s)", spec.name, strings.Join(names, ", "))
+			}
+		}
+		slowCount := map[string]int{}
+		probe := func(name string) bool {
+			now := sim.Now()
+			for _, c := range cfg.crash {
+				if c.name == name && now >= c.at {
+					return false
+				}
+			}
+			for _, p := range cfg.partition {
+				if p.name == name && now >= p.from && now < p.to {
+					return false
+				}
+			}
+			for _, s := range cfg.slow {
+				// Deterministic flakiness: two misses then an answer, on
+				// the machine's own probe counter — enough to oscillate
+				// healthy<->suspect under the default thresholds without
+				// ever reaching dead.
+				if s.name == name && now >= s.at {
+					slowCount[name]++
+					return slowCount[name]%3 == 0
+				}
+			}
+			return true
+		}
+		mon, err := cl.Monitor(numaplace.SimTimers{Sim: &sim}, numaplace.ClusterMonitorConfig{
+			IntervalSeconds: cfg.probeEvery,
+			Probe:           probe,
+			Until:           func() bool { return runErr == nil && (remaining > 0 || cl.Len() > 0) },
+			OnTransition: func(name string, from, to numaplace.ClusterHealth, rep *numaplace.ClusterReport, err error) {
+				fmt.Fprintf(out, "t=%8.1f  health %-10s %s -> %s\n", sim.Now(), name, from, to)
+				if rep != nil {
+					failoverStranded += rep.Stranded
+					fmt.Fprintf(out, "t=%8.1f  failover %-8s rehomed %d, stranded %d (%.2fs migration)\n",
+						sim.Now(), name, len(rep.Moves), rep.Stranded, rep.TotalSeconds)
+				}
+				if err != nil && !errors.Is(err, numaplace.ErrNoHealthyBackend) {
+					runErr = err
+				}
+			},
+			ReviveOnRejoin: true,
+			OnRejoin: func(name string, fenced int, err error) {
+				if err != nil {
+					runErr = err
+					return
+				}
+				fmt.Fprintf(out, "t=%8.1f  rejoin %-10s revived, fenced %d stale records\n", sim.Now(), name, fenced)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		mon.Start(ctx)
+		defer mon.Stop()
+	}
+
 	end := sim.Run()
 	if runErr != nil {
 		return runErr
@@ -290,6 +477,34 @@ func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
 	fmt.Fprintf(out, "migration spend    %9.2fs simulated (fast mechanism)\n", migrationSeconds)
 	st := cl.Stats()
 	fmt.Fprintf(out, "leaked tenants     %6d (want 0)\n", st.Tenants)
+	fmt.Fprintf(out, "failover passes    %6d (%d tenants rehomed, %d stranding events)\n",
+		st.Failovers, st.FailedOver, failoverStranded)
+
+	// Record conservation across failures: every record the cluster still
+	// maps must resolve, and no live machine may hold engine-side records
+	// the cluster does not know about (a still-dead machine legitimately
+	// holds stale books — they are fenced on revive).
+	unfenced := 0
+	for _, name := range names {
+		if h, _ := cl.HealthOf(name); h == numaplace.ClusterDead {
+			continue
+		}
+		if eng, ok := cl.Engine(name); ok {
+			unfenced += len(eng.Assignments())
+		}
+	}
+	unfenced -= st.Tenants
+	fmt.Fprintf(out, "unfenced records   %6d on live machines (want 0)\n", unfenced)
+
+	fmt.Fprintf(out, "machines:\n")
+	for _, b := range st.Backends {
+		fmt.Fprintf(out, "  %-12s %-8s %-8s %3d tenants, %2d/%2d nodes free\n",
+			b.Name, b.Domain, b.Health, b.Tenants, b.FreeNodes, b.TotalNodes)
+	}
+	for _, d := range st.Domains {
+		fmt.Fprintf(out, "  domain %-8s %d machines (%d dead), utilization %.1f%%\n",
+			d.Domain, d.Backends, d.Dead, 100*d.Utilization)
+	}
 
 	// Wall-clock placement latency is real measured time and therefore
 	// nondeterministic: report it on errw, keeping out byte-identical.

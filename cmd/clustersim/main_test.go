@@ -71,3 +71,88 @@ func TestClustersimPolicies(t *testing.T) {
 		}
 	}
 }
+
+// TestClustersimFailureScenarios runs each failure-injection scenario and
+// asserts (a) byte-identical output across GOMAXPROCS 1 and 4 — recovery
+// must ride the deterministic event stream — and (b) the recovery
+// accounting: no tenant record leaked, no stale engine-side record left
+// unfenced on a live machine.
+func TestClustersimFailureScenarios(t *testing.T) {
+	ctx := context.Background()
+	base := func() simConfig {
+		cfg := quickCfg("first-fit", 120)
+		cfg.probeEvery = 10
+		return cfg
+	}
+	scenarios := map[string]func() simConfig{
+		"crash": func() simConfig {
+			cfg := base()
+			cfg.crash = []eventSpec{{name: "amd-0", at: 300}}
+			return cfg
+		},
+		"slow": func() simConfig {
+			cfg := base()
+			cfg.slow = []eventSpec{{name: "intel-1", at: 300}}
+			return cfg
+		},
+		"partition": func() simConfig {
+			cfg := base()
+			cfg.partition = []spanSpec{{name: "amd-0", from: 300, to: 700}}
+			cfg.spread = true
+			return cfg
+		},
+	}
+	for name, mk := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			outputs := make([][]byte, 0, 2)
+			for _, procs := range []int{1, 4} {
+				prev := runtime.GOMAXPROCS(procs)
+				var out bytes.Buffer
+				err := run(ctx, mk(), &out, io.Discard)
+				runtime.GOMAXPROCS(prev)
+				if err != nil {
+					t.Fatalf("run at GOMAXPROCS %d: %v", procs, err)
+				}
+				outputs = append(outputs, out.Bytes())
+			}
+			if !bytes.Equal(outputs[0], outputs[1]) {
+				t.Fatalf("scenario output differs between GOMAXPROCS 1 and 4:\n--- procs=1 ---\n%s\n--- procs=4 ---\n%s",
+					outputs[0], outputs[1])
+			}
+			got := outputs[0]
+			for _, want := range []string{
+				"leaked tenants          0",
+				"unfenced records        0 on live machines",
+			} {
+				if !bytes.Contains(got, []byte(want)) {
+					t.Errorf("report missing %q:\n%s", want, got)
+				}
+			}
+			switch name {
+			case "crash":
+				for _, want := range []string{"healthy -> suspect", "suspect -> dead", "failover amd-0"} {
+					if !bytes.Contains(got, []byte(want)) {
+						t.Errorf("crash scenario missing %q:\n%s", want, got)
+					}
+				}
+				if bytes.Contains(got, []byte("rejoin")) {
+					t.Errorf("crashed machine rejoined without healing:\n%s", got)
+				}
+			case "slow":
+				if !bytes.Contains(got, []byte("healthy -> suspect")) ||
+					!bytes.Contains(got, []byte("suspect -> healthy")) {
+					t.Errorf("slow scenario should oscillate healthy<->suspect:\n%s", got)
+				}
+				if bytes.Contains(got, []byte("-> dead")) {
+					t.Errorf("slow machine must never die:\n%s", got)
+				}
+			case "partition":
+				for _, want := range []string{"suspect -> dead", "rejoin amd-0", "dead -> healthy"} {
+					if !bytes.Contains(got, []byte(want)) {
+						t.Errorf("partition scenario missing %q:\n%s", want, got)
+					}
+				}
+			}
+		})
+	}
+}

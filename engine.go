@@ -436,6 +436,14 @@ func (e *Engine) Assignments() []Assignment {
 	return e.serving().Assignments()
 }
 
+// Assignment returns the current assignment of one placed container by
+// its Engine-local ID; ok is false for IDs the Engine is not serving. The
+// cluster layer uses it to resolve individual fleet-wide IDs without
+// snapshotting every tenant.
+func (e *Engine) Assignment(id int) (Assignment, bool) {
+	return e.serving().Assignment(id)
+}
+
 // FreeNodes returns the node set not allocated to any placed container.
 func (e *Engine) FreeNodes() topology.NodeSet {
 	return e.serving().Free()

@@ -53,4 +53,18 @@ var (
 	// ErrBackendNotEmpty: Cluster.Remove was called on a machine still
 	// serving tenants; Drain it first.
 	ErrBackendNotEmpty = nperr.ErrBackendNotEmpty
+
+	// ErrBackendDown: the operation needs a live machine but the named
+	// one has been declared dead by the cluster's health tracking
+	// (Heartbeat, Drain, Fail on an already-dead machine). Revive it once
+	// it is reachable again; until then, back off rather than retry.
+	ErrBackendDown = nperr.ErrBackendDown
+
+	// ErrNoHealthyBackend: no healthy, accepting machine could host the
+	// container — returned by Place when every machine is dead, suspect
+	// or draining, and joined into Failover/Fail errors for tenants left
+	// stranded on a dead machine. Stranded tenants stay on the cluster's
+	// books and are retried by later Failover or Rebalance passes, so
+	// callers should back off and retry rather than re-create them.
+	ErrNoHealthyBackend = nperr.ErrNoHealthyBackend
 )

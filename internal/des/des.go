@@ -1,6 +1,7 @@
 // Package des is a minimal discrete-event simulation kernel: a virtual
-// clock and a time-ordered event queue. The memory-migration simulator is
-// built on it; the kernel is generic and reusable.
+// clock and a time-ordered event queue. The memory-migration simulator and
+// the cluster churn simulator are built on it; the kernel is generic and
+// reusable.
 package des
 
 import "container/heap"
@@ -12,10 +13,36 @@ type Sim struct {
 	seq   int64 // tie-breaker preserving scheduling order at equal times
 }
 
+// Timer is the handle to one scheduled event. Cancel removes the event
+// before it fires; holders that never cancel can discard the handle.
+type Timer struct {
+	s *Sim
+	// idx is the event's current position in the heap, maintained through
+	// sifts by the heap callbacks; -1 once fired or cancelled.
+	idx int
+}
+
+// Cancel removes the timer's event from the queue so it never fires. It
+// reports whether it cancelled the event: false means the event already
+// fired or was already cancelled, and the call was a no-op. Heartbeat-style
+// users reschedule by cancelling the pending deadline and scheduling a new
+// one, so a deadline never fires stale.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.s.queue, t.idx) // Pop marks t.idx = -1
+	return true
+}
+
+// Fired reports whether the event has already executed or been cancelled.
+func (t *Timer) Fired() bool { return t == nil || t.idx < 0 }
+
 type event struct {
 	time float64
 	seq  int64
 	fn   func()
+	t    *Timer // back-pointer kept in sync with the heap position
 }
 
 type eventHeap []event
@@ -27,12 +54,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].t.idx = i
+	h[j].t.idx = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(event)
+	e.t.idx = len(*h)
+	*h = append(*h, e)
+}
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	e := old[n-1]
+	old[n-1].fn = nil // release the closure
+	e.t.idx = -1
 	*h = old[:n-1]
 	return e
 }
@@ -40,18 +77,20 @@ func (h *eventHeap) Pop() interface{} {
 // Now returns the current simulation time in seconds.
 func (s *Sim) Now() float64 { return s.now }
 
-// At schedules fn at absolute time t. Scheduling in the past panics: it
-// would silently corrupt causality.
-func (s *Sim) At(t float64, fn func()) {
+// At schedules fn at absolute time t and returns its cancellation handle.
+// Scheduling in the past panics: it would silently corrupt causality.
+func (s *Sim) At(t float64, fn func()) *Timer {
 	if t < s.now {
 		panic("des: scheduling event in the past")
 	}
-	heap.Push(&s.queue, event{time: t, seq: s.seq, fn: fn})
+	tm := &Timer{s: s}
+	heap.Push(&s.queue, event{time: t, seq: s.seq, fn: fn, t: tm})
 	s.seq++
+	return tm
 }
 
-// After schedules fn d seconds from now.
-func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+// After schedules fn d seconds from now and returns its cancellation handle.
+func (s *Sim) After(d float64, fn func()) *Timer { return s.At(s.now+d, fn) }
 
 // Step executes the next event; it reports false when the queue is empty.
 func (s *Sim) Step() bool {

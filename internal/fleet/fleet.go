@@ -46,9 +46,11 @@ type Backend interface {
 	// Rebalance re-packs the backend's own tenants onto nodes freed by
 	// departures (intra-machine moves).
 	Rebalance(ctx context.Context) (*sched.RebalanceReport, error)
-	// Assignments snapshots the backend's tenants; FreeNodes its
-	// unallocated NUMA nodes.
+	// Assignments snapshots the backend's tenants; Assignment resolves one
+	// tenant by backend-local ID; FreeNodes returns its unallocated NUMA
+	// nodes.
 	Assignments() []sched.Assignment
+	Assignment(id int) (sched.Assignment, bool)
 	FreeNodes() topology.NodeSet
 }
 
@@ -108,6 +110,16 @@ type Config struct {
 	// Migration configures the fast-mechanism copies used to cost
 	// cross-machine moves (zero value = calibrated defaults).
 	Migration migrate.Config
+	// Health tunes the per-backend health state machine and the automatic
+	// failover pass (zero value = calibrated defaults; see HealthConfig).
+	Health HealthConfig
+	// SpreadDomains, when set, makes routing prefer machines whose failure
+	// domain does not already host a tenant of the same workload, so
+	// replicas of one workload survive a correlated domain failure. The
+	// preference is a soft constraint: when every domain already hosts the
+	// workload (or no labeled machine has room), routing falls back to the
+	// plain policy order.
+	SpreadDomains bool
 }
 
 func (c Config) drainBelow() float64 {
@@ -126,8 +138,11 @@ func (c Config) drainBelow() float64 {
 type member struct {
 	name    string
 	b       Backend
-	total   int // NUMA nodes on the machine
+	total   int    // NUMA nodes on the machine
+	domain  string // failure-domain label ("" = unlabeled)
 	drained bool
+	health  Health
+	misses  int // consecutive missed probes (reset by Heartbeat)
 	tenants int // fleet-registered tenants on this backend
 }
 
@@ -141,12 +156,16 @@ func (m *member) utilization() float64 {
 }
 
 // tenantRec maps one fleet-wide container ID to its current home; the
-// backend-local ID changes every time the container moves machines.
+// backend-local ID changes every time the container moves machines. The
+// fleet's tenant map is the authoritative record of who runs where: a dead
+// backend's own books are unreachable, so assign keeps the last assignment
+// snapshot for resolving tenants stranded on a dead machine.
 type tenantRec struct {
 	mem      *member
 	engineID int
 	w        perfsim.Workload
 	vcpus    int
+	assign   sched.Assignment // snapshot at admission / last cross-machine move
 }
 
 // Admission describes one fleet admission.
@@ -189,20 +208,43 @@ type Report struct {
 	Moves []Move
 	// Drained names the backends emptied by this pass.
 	Drained []string
-	// Examined counts the tenants considered for a cross-machine move.
+	// Examined counts the tenants considered for a cross-machine move;
+	// Stranded counts those no destination could take (Drain and Failover
+	// passes — stranded tenants stay on the fleet's books for retry).
 	Examined int
+	Stranded int
 	// TotalSeconds sums all migration time spent (intra + cross);
 	// BudgetSeconds echoes the caller's budget (0 for Drain: unbudgeted).
 	TotalSeconds  float64
 	BudgetSeconds float64
 }
 
-// BackendStats is one machine's slice of Stats.
+// BackendStats is one machine's slice of Stats. Health and Draining
+// together say exactly why a machine is (or is not) accepting admissions —
+// a drained-but-healthy machine is operator-closed, a suspect one is
+// probation-closed, a dead one is gone.
 type BackendStats struct {
-	Name        string
-	Machine     string
-	Draining    bool
-	Tenants     int
+	Name     string
+	Machine  string
+	Domain   string // failure-domain label ("" = unlabeled)
+	Health   Health
+	Draining bool
+	Tenants  int
+	// FreeNodes/Utilization are live queries; a dead machine answers no
+	// queries, so both report zero there (its capacity is written off).
+	FreeNodes   int
+	TotalNodes  int
+	Utilization float64
+}
+
+// DomainStats aggregates the fleet's occupancy per failure domain.
+// Capacity sums exclude dead machines — their nodes are written off until
+// revived — while Tenants still counts records stranded on them.
+type DomainStats struct {
+	Domain      string // "" = unlabeled machines
+	Backends    int    // members labeled with this domain (any health)
+	Dead        int    // of which dead
+	Tenants     int    // fleet-registered tenants, stranded ones included
 	FreeNodes   int
 	TotalNodes  int
 	Utilization float64
@@ -212,15 +254,23 @@ type BackendStats struct {
 type Stats struct {
 	// Backends reports per-machine state in add order.
 	Backends []BackendStats
-	// Tenants is the number of containers currently served fleet-wide.
+	// Domains reports per-failure-domain occupancy, sorted by domain name.
+	Domains []DomainStats
+	// Tenants is the number of containers currently served fleet-wide,
+	// including records stranded on dead machines awaiting failover.
 	Tenants int
 	// Admitted / Rejected / Released count Place outcomes and explicit
-	// evictions; Moves counts cross-machine migrations.
+	// evictions; Moves counts cross-machine migrations (rebalance, drain
+	// and failover).
 	Admitted, Rejected, Released, Moves int64
+	// Failovers counts automatic and manual failover passes; FailedOver
+	// counts tenants rehomed by them (a subset of Moves).
+	Failovers, FailedOver int64
 	// MigrationSeconds is the cumulative simulated migration time spent
-	// by Rebalance and Drain passes (intra + cross).
+	// by Rebalance, Drain and Failover passes (intra + cross).
 	MigrationSeconds float64
-	// Utilization is the fleet-wide allocated-node fraction.
+	// Utilization is the fleet-wide allocated-node fraction over live
+	// (non-dead) machines.
 	Utilization float64
 }
 
@@ -236,6 +286,7 @@ type Fleet struct {
 	tenants map[int]*tenantRec
 
 	admitted, rejected, released, moves int64
+	failovers, failedOver               int64
 	migrationSeconds                    float64
 }
 
@@ -251,9 +302,20 @@ func New(cfg Config) *Fleet {
 // Policy returns the fleet's routing policy.
 func (f *Fleet) Policy() Policy { return f.cfg.Policy }
 
+// AddOption configures one backend at Add time.
+type AddOption func(*member)
+
+// InDomain labels the backend with a failure domain (a rack, a zone, any
+// freeform correlated-failure unit). Domain labels feed the SpreadDomains
+// routing constraint and the per-domain slice of Stats.
+func InDomain(domain string) AddOption {
+	return func(m *member) { m.domain = domain }
+}
+
 // Add registers a backend under a unique name. The name is the handle for
-// Drain, Resume and Remove and appears in admissions and move records.
-func (f *Fleet) Add(name string, b Backend) error {
+// Drain, Resume, Remove and the health API, and appears in admissions and
+// move records. Backends start healthy.
+func (f *Fleet) Add(name string, b Backend, opts ...AddOption) error {
 	if name == "" {
 		return fmt.Errorf("fleet: backend name must be non-empty")
 	}
@@ -263,6 +325,9 @@ func (f *Fleet) Add(name string, b Backend) error {
 		return fmt.Errorf("fleet: backend %q already added", name)
 	}
 	m := &member{name: name, b: b, total: b.Machine().Topo.NumNodes}
+	for _, opt := range opts {
+		opt(m)
+	}
 	f.members = append(f.members, m)
 	f.byName[name] = m
 	return nil
@@ -297,13 +362,65 @@ func (f *Fleet) Len() int {
 	return len(f.tenants)
 }
 
-// accepting snapshots the members open for admission, in add order.
-func (f *Fleet) accepting() []*member {
+// accepting reports whether m takes new admissions: healthy and not
+// draining. Suspect machines keep their tenants but stop receiving new
+// ones; dead machines receive nothing at all. Callers hold f.mu.
+func (m *member) accepting() bool { return !m.drained && m.health == Healthy }
+
+// admissionView snapshots, under one lock acquisition, the members open
+// for admission (in add order) and — when domain spreading is enabled —
+// the failure domains already hosting a tenant of workload w.
+func (f *Fleet) admissionView(w perfsim.Workload) (mems []*member, occupied map[string]bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := make([]*member, 0, len(f.members))
+	mems = make([]*member, 0, len(f.members))
 	for _, m := range f.members {
-		if !m.drained {
+		if m.accepting() {
+			mems = append(mems, m)
+		}
+	}
+	if f.cfg.SpreadDomains {
+		occupied = f.occupiedDomainsLocked(w.Name, -1)
+	}
+	return mems, occupied
+}
+
+// occupiedDomainsLocked returns the failure domains currently hosting a
+// live tenant of the named workload, skipping the tenant with fleet ID
+// skipID (pass a negative ID to skip nothing — a tenant being moved must
+// not count its own domain as occupied). Tenants stranded on dead
+// machines provide no availability, so they do not occupy a domain: a
+// replacement replica may — should — land in the dead machine's domain
+// on a different box. Callers hold f.mu.
+func (f *Fleet) occupiedDomainsLocked(workload string, skipID int) map[string]bool {
+	occ := map[string]bool{}
+	for id, rec := range f.tenants {
+		if id != skipID && rec.w.Name == workload && rec.mem.health != Dead {
+			occ[rec.mem.domain] = true
+		}
+	}
+	return occ
+}
+
+// spreadOrder stable-partitions a policy-ranked candidate list so members
+// in failure domains not yet hosting the workload come first; within each
+// partition the policy order is preserved. With occupied nil (spreading
+// disabled) the list is returned unchanged.
+func spreadOrder(ranked []*member, occupied map[string]bool) []*member {
+	if occupied == nil || len(occupied) == 0 {
+		return ranked
+	}
+	out := make([]*member, 0, len(ranked))
+	for _, m := range ranked {
+		if !occupied[m.domain] {
+			out = append(out, m)
+		}
+	}
+	if len(out) == len(ranked) {
+		return ranked
+	}
+	for _, m := range ranked {
+		if occupied[m.domain] {
 			out = append(out, m)
 		}
 	}
@@ -350,9 +467,20 @@ func (f *Fleet) Place(ctx context.Context, w perfsim.Workload, vcpus int) (*Admi
 			errs = append(errs, fmt.Errorf("%s: removed during admission", mem.name))
 			continue
 		}
+		if mem.health == Dead {
+			// The machine was declared dead while the admission ran
+			// unlocked: the failover pass that just emptied it never saw
+			// this not-yet-registered tenant, so committing would place a
+			// container on a machine the fleet no longer trusts. Dead
+			// backends receive no calls, so there is nothing to undo here;
+			// the orphaned engine-side record is fenced by Revive.
+			f.mu.Unlock()
+			errs = append(errs, fmt.Errorf("%s: declared dead during admission: %w", mem.name, nperr.ErrBackendDown))
+			continue
+		}
 		id := f.nextID
 		f.nextID++
-		f.tenants[id] = &tenantRec{mem: mem, engineID: a.ID, w: w, vcpus: vcpus}
+		f.tenants[id] = &tenantRec{mem: mem, engineID: a.ID, w: w, vcpus: vcpus, assign: *a}
 		mem.tenants++
 		f.admitted++
 		f.mu.Unlock()
@@ -361,17 +489,26 @@ func (f *Fleet) Place(ctx context.Context, w perfsim.Workload, vcpus int) (*Admi
 	f.mu.Lock()
 	f.rejected++
 	f.mu.Unlock()
+	sentinels := []error{nperr.ErrFleetFull}
+	if len(cands) == 0 {
+		// Nothing was even tried: every machine is dead, suspect or
+		// draining. Callers back off on ErrNoHealthyBackend rather than
+		// treating the fleet as merely full.
+		sentinels = append(sentinels, nperr.ErrNoHealthyBackend)
+	}
 	return nil, fmt.Errorf("fleet: placing %d-vCPU %q: %w", vcpus, w.Name,
-		errors.Join(append(errs, nperr.ErrFleetFull)...))
+		errors.Join(append(errs, sentinels...)...))
 }
 
-// rank orders the accepting members per the routing policy. BestPredicted
-// previews the container on every candidate (sequentially, in add order,
-// so results are deterministic); preview failures exclude the backend and
-// are reported back for the rejection message. A context cancellation
-// aborts with its error.
+// rank orders the accepting members per the routing policy, then applies
+// the domain-spread preference when configured (machines whose failure
+// domain does not yet host this workload come first, policy order kept
+// within each partition). BestPredicted previews the container on every
+// candidate (sequentially, in add order, so results are deterministic);
+// preview failures exclude the backend and are reported back for the
+// rejection message. A context cancellation aborts with its error.
 func (f *Fleet) rank(ctx context.Context, w perfsim.Workload, vcpus int) ([]*member, []error, error) {
-	mems := f.accepting()
+	mems, occupied := f.admissionView(w)
 	switch f.cfg.Policy {
 	case LeastLoaded:
 		utils := make(map[*member]float64, len(mems))
@@ -379,11 +516,12 @@ func (f *Fleet) rank(ctx context.Context, w perfsim.Workload, vcpus int) ([]*mem
 			utils[m] = m.utilization()
 		}
 		sort.SliceStable(mems, func(i, j int) bool { return utils[mems[i]] < utils[mems[j]] })
-		return mems, nil, nil
+		return spreadOrder(mems, occupied), nil, nil
 	case BestPredicted:
-		return rankByPreview(ctx, mems, w, vcpus)
+		ranked, errs, err := rankByPreview(ctx, mems, w, vcpus)
+		return spreadOrder(ranked, occupied), errs, err
 	default: // FirstFit
-		return mems, nil, nil
+		return spreadOrder(mems, occupied), nil, nil
 	}
 }
 
@@ -413,13 +551,17 @@ func rankByPreview(ctx context.Context, mems []*member, w perfsim.Workload, vcpu
 
 // Release evicts the container with the given fleet ID from whichever
 // backend currently serves it. Unknown IDs fail with ErrUnknownContainer.
+// Releasing a tenant stranded on a dead machine succeeds by dropping the
+// fleet record alone — the dead backend receives no call (its books are
+// fenced when it is revived), so stranded records are never leaked.
 //
 // The mapping is claimed (removed) under the fleet lock before the
-// backend eviction runs: Rebalance and Drain move only mapped tenants
-// under the same lock, so a claimed container can no longer migrate out
-// from under the eviction, and the captured backend/ID pair stays valid.
-// If the backend eviction itself fails (cancellation), the claim is
-// rolled back so the container is not leaked off the fleet's books.
+// backend eviction runs: Rebalance, Drain and Failover move only mapped
+// tenants under the same lock, so a claimed container can no longer
+// migrate out from under the eviction, and the captured backend/ID pair
+// stays valid. If the backend eviction itself fails (cancellation), the
+// claim is rolled back so the container is not leaked off the fleet's
+// books.
 func (f *Fleet) Release(ctx context.Context, id int) error {
 	f.mu.Lock()
 	rec, ok := f.tenants[id]
@@ -429,6 +571,11 @@ func (f *Fleet) Release(ctx context.Context, id int) error {
 	}
 	delete(f.tenants, id)
 	rec.mem.tenants--
+	if rec.mem.health == Dead {
+		f.released++
+		f.mu.Unlock()
+		return nil
+	}
 	mem, engineID := rec.mem, rec.engineID
 	f.mu.Unlock()
 
@@ -446,7 +593,10 @@ func (f *Fleet) Release(ctx context.Context, id int) error {
 }
 
 // Assignments snapshots every container served fleet-wide, in ascending
-// fleet-ID order.
+// fleet-ID order. Tenants stranded on a dead machine are included with
+// their last recorded assignment — the fleet map is the authoritative
+// record, so a machine death never makes a tenant disappear from the
+// snapshot.
 func (f *Fleet) Assignments() []Admission {
 	// Snapshot the mapping values under the lock (tenantRec fields are
 	// mutated in place by cross-machine moves, so the raw recs must not
@@ -455,29 +605,27 @@ func (f *Fleet) Assignments() []Admission {
 		id       int
 		mem      *member
 		engineID int
+		assign   sched.Assignment
+		dead     bool
 	}
 	f.mu.Lock()
 	entries := make([]entry, 0, len(f.tenants))
 	for id, rec := range f.tenants {
-		entries = append(entries, entry{id, rec.mem, rec.engineID})
+		entries = append(entries, entry{id, rec.mem, rec.engineID, rec.assign, rec.mem.health == Dead})
 	}
 	f.mu.Unlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
 
-	// Resolve backend-local assignments without Fleet.mu (one snapshot per
-	// distinct backend).
-	byBackend := map[*member]map[int]sched.Assignment{}
+	// Resolve live backend-local assignments without Fleet.mu; dead
+	// backends answer no queries, so their tenants resolve from the
+	// recorded snapshot.
 	out := make([]Admission, 0, len(entries))
 	for _, e := range entries {
-		assigns, ok := byBackend[e.mem]
-		if !ok {
-			assigns = map[int]sched.Assignment{}
-			for _, a := range e.mem.b.Assignments() {
-				assigns[a.ID] = a
-			}
-			byBackend[e.mem] = assigns
+		if e.dead {
+			out = append(out, Admission{ID: e.id, Backend: e.mem.name, Assignment: e.assign})
+			continue
 		}
-		a, ok := assigns[e.engineID]
+		a, ok := e.mem.b.Assignment(e.engineID)
 		if !ok {
 			continue // released or moved concurrently
 		}
@@ -486,7 +634,10 @@ func (f *Fleet) Assignments() []Admission {
 	return out
 }
 
-// Stats aggregates the fleet's counters and per-backend occupancy.
+// Stats aggregates the fleet's counters, per-backend occupancy and
+// per-failure-domain occupancy. Dead machines contribute their health
+// state and tenant (stranded-record) count but no capacity: their nodes
+// are written off until revived.
 func (f *Fleet) Stats() Stats {
 	f.mu.Lock()
 	mems := append([]*member(nil), f.members...)
@@ -496,32 +647,74 @@ func (f *Fleet) Stats() Stats {
 		Rejected:         f.rejected,
 		Released:         f.released,
 		Moves:            f.moves,
+		Failovers:        f.failovers,
+		FailedOver:       f.failedOver,
 		MigrationSeconds: f.migrationSeconds,
 	}
-	drained := make(map[*member]bool, len(mems))
-	tenants := make(map[*member]int, len(mems))
+	type memSnap struct {
+		drained bool
+		health  Health
+		domain  string
+		tenants int
+	}
+	snaps := make(map[*member]memSnap, len(mems))
 	for _, m := range mems {
-		drained[m], tenants[m] = m.drained, m.tenants
+		snaps[m] = memSnap{m.drained, m.health, m.domain, m.tenants}
 	}
 	f.mu.Unlock()
 
+	domains := map[string]*DomainStats{}
+	var domainNames []string
 	var usedNodes, totalNodes int
 	for _, m := range mems {
-		free := m.b.FreeNodes().Len()
-		st.Backends = append(st.Backends, BackendStats{
-			Name:        m.name,
-			Machine:     m.b.Machine().Topo.Name,
-			Draining:    drained[m],
-			Tenants:     tenants[m],
-			FreeNodes:   free,
-			TotalNodes:  m.total,
-			Utilization: 1 - float64(free)/float64(m.total),
-		})
-		usedNodes += m.total - free
-		totalNodes += m.total
+		s := snaps[m]
+		free, used := 0, 0
+		if s.health != Dead {
+			free = m.b.FreeNodes().Len()
+			used = m.total - free
+		}
+		bs := BackendStats{
+			Name:       m.name,
+			Machine:    m.b.Machine().Topo.Name,
+			Domain:     s.domain,
+			Health:     s.health,
+			Draining:   s.drained,
+			Tenants:    s.tenants,
+			FreeNodes:  free,
+			TotalNodes: m.total,
+		}
+		if s.health != Dead {
+			bs.Utilization = 1 - float64(free)/float64(m.total)
+			usedNodes += used
+			totalNodes += m.total
+		}
+		st.Backends = append(st.Backends, bs)
+
+		d, ok := domains[s.domain]
+		if !ok {
+			d = &DomainStats{Domain: s.domain}
+			domains[s.domain] = d
+			domainNames = append(domainNames, s.domain)
+		}
+		d.Backends++
+		d.Tenants += s.tenants
+		if s.health == Dead {
+			d.Dead++
+		} else {
+			d.FreeNodes += free
+			d.TotalNodes += m.total
+		}
 	}
 	if totalNodes > 0 {
 		st.Utilization = float64(usedNodes) / float64(totalNodes)
+	}
+	sort.Strings(domainNames)
+	for _, name := range domainNames {
+		d := domains[name]
+		if d.TotalNodes > 0 {
+			d.Utilization = 1 - float64(d.FreeNodes)/float64(d.TotalNodes)
+		}
+		st.Domains = append(st.Domains, *d)
 	}
 	return st
 }
@@ -538,10 +731,12 @@ func (f *Fleet) moveCost(ctx context.Context, rec *tenantRec) (float64, error) {
 
 // moveLocked migrates the identified tenant from its current backend onto
 // the first destination (tried in order) that admits it, remapping the
-// fleet ID and recording the move. Destination rejections are appended to
-// *destErrs when the caller collects them (Drain does, so an infra
-// failure — untrained size, pin source down — is distinguishable from a
-// full fleet); a nil destErrs discards them. Callers hold f.mu.
+// fleet ID and recording the move. A dead source receives no Release call
+// — its books are unreachable and are fenced on Revive; the fleet mapping
+// alone is authoritative. Destination rejections are appended to
+// *destErrs when the caller collects them (Drain and Failover do, so an
+// infra failure — untrained size, pin source down — is distinguishable
+// from a full fleet); a nil destErrs discards them. Callers hold f.mu.
 func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenantRec, cost float64, dests []*member, destErrs *[]error) (bool, error) {
 	for _, d := range dests {
 		a, err := d.b.Place(ctx, rec.w, rec.vcpus)
@@ -554,11 +749,13 @@ func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenant
 			}
 			continue
 		}
-		if err := rec.mem.b.Release(ctx, rec.engineID); err != nil {
-			// The tenant now runs on both machines' books — unreachable
-			// with a well-behaved backend (the fleet's mapping is the
-			// only release path). Surface it rather than guessing.
-			return false, fmt.Errorf("fleet: moving container %d off %s: %w", id, rec.mem.name, err)
+		if rec.mem.health != Dead {
+			if err := rec.mem.b.Release(ctx, rec.engineID); err != nil {
+				// The tenant now runs on both machines' books — unreachable
+				// with a well-behaved backend (the fleet's mapping is the
+				// only release path). Surface it rather than guessing.
+				return false, fmt.Errorf("fleet: moving container %d off %s: %w", id, rec.mem.name, err)
+			}
 		}
 		rep.Moves = append(rep.Moves, Move{
 			ID: id, Workload: rec.w.Name, VCPUs: rec.vcpus,
@@ -566,7 +763,7 @@ func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenant
 		})
 		rep.TotalSeconds += cost
 		rec.mem.tenants--
-		rec.mem, rec.engineID = d, a.ID
+		rec.mem, rec.engineID, rec.assign = d, a.ID, *a
 		d.tenants++
 		f.moves++
 		f.migrationSeconds += cost
@@ -576,16 +773,17 @@ func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenant
 }
 
 // eligibleDestsLocked filters the members able to receive a tenant moving
-// off src — every non-draining member other than src whose utilization
-// strictly exceeds minUtil (a negative minUtil disables the filter, as
-// Drain's callers do) — busiest first, the consolidation order. It runs
-// no previews, so callers can cheaply rule a move out (no destination,
-// over budget) before paying for policy ordering. Callers hold f.mu.
+// off src — every healthy, non-draining member other than src whose
+// utilization strictly exceeds minUtil (a negative minUtil disables the
+// filter, as Drain's and Failover's callers do) — busiest first, the
+// consolidation order. It runs no previews, so callers can cheaply rule a
+// move out (no destination, over budget) before paying for policy
+// ordering. Callers hold f.mu.
 func (f *Fleet) eligibleDestsLocked(src *member, minUtil float64) []*member {
 	var dests []*member
 	utils := map[*member]float64{}
 	for _, d := range f.members {
-		if d == src || d.drained {
+		if d == src || !d.accepting() {
 			continue
 		}
 		if u := d.utilization(); u > minUtil {
@@ -600,13 +798,22 @@ func (f *Fleet) eligibleDestsLocked(src *member, minUtil float64) []*member {
 // orderDestsLocked applies the routing policy's destination order to an
 // eligible set: BestPredicted previews rec on each candidate and ranks by
 // predicted performance (preview failures excluded); every other policy
-// keeps the busiest-first consolidation order. Callers hold f.mu.
-func (f *Fleet) orderDestsLocked(ctx context.Context, rec *tenantRec, dests []*member) ([]*member, error) {
-	if f.cfg.Policy != BestPredicted {
-		return dests, nil
+// keeps the busiest-first consolidation order. When domain spreading is
+// enabled, destinations in domains not hosting the tenant's workload come
+// first (the moving tenant's own record does not count). Callers hold
+// f.mu.
+func (f *Fleet) orderDestsLocked(ctx context.Context, id int, rec *tenantRec, dests []*member) ([]*member, error) {
+	if f.cfg.Policy == BestPredicted {
+		ranked, _, err := rankByPreview(ctx, dests, rec.w, rec.vcpus)
+		if err != nil {
+			return nil, err
+		}
+		dests = ranked
 	}
-	ranked, _, err := rankByPreview(ctx, dests, rec.w, rec.vcpus)
-	return ranked, err
+	if f.cfg.SpreadDomains {
+		dests = spreadOrder(dests, f.occupiedDomainsLocked(rec.w.Name, id))
+	}
+	return dests, nil
 }
 
 // tenantsOfLocked returns the fleet IDs currently mapped to m in ascending
@@ -639,9 +846,11 @@ func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, 
 	defer f.mu.Unlock()
 	rep := &Report{BudgetSeconds: budgetSeconds}
 
-	// Intra-machine passes, in add order.
+	// Intra-machine passes, in add order (healthy, accepting machines
+	// only: a suspect machine is left undisturbed until its probes settle,
+	// and a dead one receives no calls at all).
 	for _, m := range f.members {
-		if m.drained {
+		if !m.accepting() {
 			continue
 		}
 		if err := ctx.Err(); err != nil {
@@ -677,7 +886,14 @@ func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, 
 		}
 		// Draining members are sources regardless of utilization: a
 		// tenant admitted in the race window while its Drain pass ran is
-		// picked up here, as Place's commit comment promises.
+		// picked up here, as Place's commit comment promises. Dead
+		// members are sources too — tenants a failover pass left
+		// stranded (no capacity, exhausted budget) are retried here, and
+		// sort first (util -1) so recovery outranks consolidation.
+		if m.health == Dead {
+			sources = append(sources, srcCand{m, -1})
+			continue
+		}
 		if u := m.utilization(); u < low || m.drained {
 			sources = append(sources, srcCand{m, u})
 		}
@@ -693,13 +909,13 @@ func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, 
 			rep.Examined++
 			// Destinations: strictly busier machines only, so moves
 			// always go uphill and consolidation terminates — except off
-			// a draining source, which must empty wherever room exists.
-			// The cheap eligibility filter and the budget check both run
-			// before the policy ordering, so no preview observations are
-			// spent on a move that can never commit.
-			minUtil := src.m.utilization()
-			if src.m.drained {
-				minUtil = -1
+			// a draining or dead source, which must empty wherever room
+			// exists. The cheap eligibility filter and the budget check
+			// both run before the policy ordering, so no preview
+			// observations are spent on a move that can never commit.
+			minUtil := -1.0
+			if !src.m.drained && src.m.health != Dead {
+				minUtil = src.m.utilization()
 			}
 			dests := f.eligibleDestsLocked(src.m, minUtil)
 			if len(dests) == 0 {
@@ -712,14 +928,14 @@ func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, 
 			if rep.TotalSeconds+cost > budgetSeconds {
 				continue // a smaller tenant may still fit the budget
 			}
-			if dests, err = f.orderDestsLocked(ctx, rec, dests); err != nil {
+			if dests, err = f.orderDestsLocked(ctx, id, rec, dests); err != nil {
 				return rep, err
 			}
 			if _, err := f.moveLocked(ctx, rep, id, rec, cost, dests, nil); err != nil {
 				return rep, err
 			}
 		}
-		if src.m.tenants == 0 {
+		if src.m.tenants == 0 && src.m.health != Dead {
 			rep.Drained = append(rep.Drained, src.m.name)
 		}
 	}
@@ -740,9 +956,14 @@ func (f *Fleet) Drain(ctx context.Context, name string) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("fleet: draining %q: %w", name, nperr.ErrUnknownBackend)
 	}
+	if src.health == Dead {
+		// A dead machine cannot be gracefully emptied — its backend
+		// receives no calls. Failover (or the automatic pass that ran on
+		// the death transition) is the recovery path.
+		return nil, fmt.Errorf("fleet: draining %s: %w (use Failover)", name, nperr.ErrBackendDown)
+	}
 	src.drained = true
 	rep := &Report{}
-	var stranded int
 	var destErrs []error
 	for _, id := range f.tenantsOfLocked(src) {
 		if err := ctx.Err(); err != nil {
@@ -754,14 +975,14 @@ func (f *Fleet) Drain(ctx context.Context, name string) (*Report, error) {
 		// utilization (negative minUtil disables the uphill filter).
 		dests := f.eligibleDestsLocked(src, -1)
 		if len(dests) == 0 {
-			stranded++
+			rep.Stranded++
 			continue
 		}
 		cost, err := f.moveCost(ctx, rec)
 		if err != nil {
 			return rep, err
 		}
-		if dests, err = f.orderDestsLocked(ctx, rec, dests); err != nil {
+		if dests, err = f.orderDestsLocked(ctx, id, rec, dests); err != nil {
 			return rep, err
 		}
 		moved, err := f.moveLocked(ctx, rep, id, rec, cost, dests, &destErrs)
@@ -769,15 +990,15 @@ func (f *Fleet) Drain(ctx context.Context, name string) (*Report, error) {
 			return rep, err
 		}
 		if !moved {
-			stranded++
+			rep.Stranded++
 		}
 	}
-	if stranded > 0 {
+	if rep.Stranded > 0 {
 		// The per-destination rejections ride along so callers can tell
 		// a genuinely full fleet from an infra failure (untrained size,
 		// pin source down) via errors.Is.
 		return rep, fmt.Errorf("fleet: draining %s: %d of %d containers could not be rehomed: %w",
-			name, stranded, rep.Examined, errors.Join(append(destErrs, nperr.ErrFleetFull)...))
+			name, rep.Stranded, rep.Examined, errors.Join(append(destErrs, nperr.ErrFleetFull)...))
 	}
 	rep.Drained = append(rep.Drained, name)
 	return rep, nil

@@ -101,6 +101,13 @@ func (s *stubBackend) Assignments() []sched.Assignment {
 	return out
 }
 
+func (s *stubBackend) Assignment(id int) (sched.Assignment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.tenants[id]
+	return a, ok
+}
+
 func (s *stubBackend) FreeNodes() topology.NodeSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -54,4 +54,17 @@ var (
 	// ErrBackendNotEmpty marks removal of a fleet backend that still
 	// serves tenants; drain it first.
 	ErrBackendNotEmpty = errors.New("fleet backend still serving tenants")
+
+	// ErrBackendDown marks operations that need a live backend invoked on
+	// one the fleet has declared dead (its health state machine ran out of
+	// probe misses). The machine takes no admissions and receives no
+	// backend calls until it is revived.
+	ErrBackendDown = errors.New("fleet backend is down")
+
+	// ErrNoHealthyBackend marks placements — fresh admissions or failover
+	// re-placements off a dead machine — that no healthy, accepting
+	// backend could host. Tenants a failover pass reports stranded carry
+	// it; they stay on the fleet's books and are retried by later failover
+	// or rebalance passes.
+	ErrNoHealthyBackend = errors.New("no healthy fleet backend available")
 )

@@ -181,6 +181,20 @@ func (s *Scheduler) Assignments() []Assignment {
 	return out
 }
 
+// Assignment returns the current assignment of one admitted container by
+// ID, without snapshotting the whole tenant set. Routing layers resolving
+// many fleet-wide IDs against large backends use it instead of
+// Assignments; ok is false for IDs the scheduler is not serving.
+func (s *Scheduler) Assignment(id int) (Assignment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return Assignment{}, false
+	}
+	return s.assignment(t), true
+}
+
 // liveIDs returns the admitted container IDs in ascending (admission)
 // order. Callers hold s.mu. Iterating the live map rather than the whole
 // issued-ID range keeps long-lived engines O(live tenants) regardless of

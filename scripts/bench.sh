@@ -6,22 +6,25 @@
 #   1. In-run gates on the fresh numbers: the Engine warm/cold memoization
 #      ratio (>= 50x), the compiled-forest scoring paths
 #      (BenchmarkPredictLatency and BenchmarkPredictBatch must both report
-#      0 allocs/op), and every BenchmarkClusterAdmit policy admitting in
-#      under 1 ms on a warm fleet.
+#      0 allocs/op), every BenchmarkClusterAdmit policy admitting in
+#      under 1 ms on a warm fleet (with health tracking and domain-spread
+#      routing enabled — the failure-aware fleet must not slow the
+#      serving path), and BenchmarkFailover present (machine-death
+#      recovery is benchmarked, not just tested).
 #   2. Compare gates against the previous BENCH_*.json. Against a
 #      pre-PR-3 baseline (BENCH_0..2) the PR 3 ns/op floors apply; against
 #      BENCH_3 the PR 4 flat-data-plane floors apply: Figure4AMD/Intel at
 #      <= 0.75x ns/op AND <= 0.3x bytes/op, AblationForestSize/trees-100
-#      at <= 0.5x allocs/op. Against BENCH_4 (the PR 5 fleet-layer era,
-#      which adds a subsystem rather than a speedup) only the generic
-#      > 20% ns/op regression check applies — it covers every benchmark
-#      present in both reports.
+#      at <= 0.5x allocs/op. Against BENCH_4 (the PR 5 fleet layer) and
+#      BENCH_5 (the PR 6 failure-aware fleet) — eras that add subsystems
+#      rather than speedups — only the generic > 20% ns/op regression
+#      check applies; it covers every benchmark present in both reports.
 #
 # Usage:
 #   scripts/bench.sh [output.json]          run suite, write report, gate
 #   scripts/bench.sh --compare NEW OLD      compare two reports only
 #
-# Default output: BENCH_5.json. The comparison baseline is the
+# Default output: BENCH_6.json. The comparison baseline is the
 # highest-numbered BENCH_*.json other than the output file.
 set -eu
 
@@ -64,6 +67,7 @@ compare_reports() {
         BENCH_[012].json) era=pr3 ;;
         BENCH_3.json)     era=pr4 ;;
         BENCH_4.json)     era=pr5 ;;
+        BENCH_5.json)     era=pr6 ;;
     esac
     echo "comparing $new against $old (floor era: $era)"
     awk -v newfile="$new" -v oldfile="$old" -v era="$era" '
@@ -118,8 +122,9 @@ compare_reports() {
             bfloor["BenchmarkFigure4Intel"] = 0.3                  # >= 70% fewer bytes
             afloor["BenchmarkAblationForestSize/trees-100"] = 0.5  # >= 2x fewer allocs
         }
-        # era == "pr5" (fleet layer): no speedup floors — the generic
-        # regression gate below protects every earlier win.
+        # era == "pr5" (fleet layer) and era == "pr6" (failure-aware
+        # fleet): no speedup floors — the generic regression gate below
+        # protects every earlier win.
         regress = 1.2                                              # > 20% beyond drift fails
         minns = 100000                                             # regression gate floor: 100 us
         while ((getline line < newfile) > 0) record("new", line)
@@ -175,7 +180,7 @@ if [ "${1:-}" = "--compare" ]; then
     exit 0
 fi
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -234,7 +239,10 @@ END {
 
 # Gate: every fleet routing policy must admit on a warm cluster in under
 # 1 ms (the serving-path sanity bound; the measured path is observe twice,
-# predict, route, pin — BestPredicted adds two preview observations).
+# predict, route, pin — BestPredicted adds two preview observations, and
+# every policy now pays the health check and domain-spread partition).
+# BenchmarkFailover must be present: machine-death recovery is part of
+# the recorded surface.
 awk '
 /^BenchmarkClusterAdmit\// {
     name = $1
@@ -243,8 +251,14 @@ awk '
     printf "cluster admit %-50s %s ns/op\n", name, ns
     if (ns + 0 > 1000000) { printf "FAIL: %s admits slower than 1 ms\n", name; bad++ }
 }
+/^BenchmarkFailover/ {
+    for (i=3;i<NF;i++) if ($(i+1)=="ns/op") fns=$i
+    printf "failover recovery %-46s %s ns/op\n", $1, fns
+    failover++
+}
 END {
     if (seen == 0) { print "FAIL: BenchmarkClusterAdmit missing"; exit 1 }
+    if (failover == 0) { print "FAIL: BenchmarkFailover missing"; exit 1 }
     if (bad > 0) exit 1
 }' "$tmp"
 
