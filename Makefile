@@ -2,19 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke clustersmoke crashsmoke profile ci
+.PHONY: all build vet test race bench benchsmoke clustersmoke crashsmoke daemonsmoke profile ci
 
 all: build
 
 # go vet's default analyzer suite already includes copylocks and
 # structtag module-wide; the second, targeted pass pins exactly those two
 # analyzers on the lock-bearing packages (the Engine, the serving
-# Scheduler and the cluster Fleet must never be copied) so the guarantee
-# survives even if the default suite is ever narrowed via VETFLAGS or a
-# toolchain change.
+# Scheduler, the cluster Fleet and the wire Server must never be copied)
+# so the guarantee survives even if the default suite is ever narrowed
+# via VETFLAGS or a toolchain change.
 vet:
 	$(GO) vet ./...
-	$(GO) vet -copylocks -structtag . ./internal/sched/ ./internal/fleet/
+	$(GO) vet -copylocks -structtag . ./internal/sched/ ./internal/fleet/ ./internal/wire/
 
 build:
 	$(GO) build ./...
@@ -25,21 +25,24 @@ test:
 # Race coverage for every concurrent pipeline, including the root package
 # (Engine singleflight caches, concurrent Place/Release, concurrent
 # Cluster admissions), the serving scheduler in internal/sched, the
-# cluster fleet layer in internal/fleet (admissions racing machine death
-# and failover), the event kernel in internal/des and the workload
-# catalog in internal/workloads.
+# cluster fleet layer in internal/fleet (admissions racing machine death,
+# failover and event subscribers), the wire server and its typed client
+# (concurrent handlers, SSE fan-out, retry loops), the event kernel in
+# internal/des and the workload catalog in internal/workloads.
 race:
-	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/ ./internal/fleet/ ./internal/des/ ./internal/workloads/
+	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/ ./internal/fleet/ ./internal/wire/ ./client/ ./internal/des/ ./internal/workloads/
 
 # Runs the full benchmark suite with fixed -benchtime and emits
-# BENCH_6.json, then applies the gates: Engine warm-cache >= 50x, the
+# BENCH_7.json, then applies the gates: Engine warm-cache >= 50x, the
 # compiled-forest serving AND batch paths at 0 allocs/op, every fleet
 # routing policy admitting in < 1 ms with health tracking enabled, the
-# era-matched speedup floors (ns/op, bytes/op and allocs/op) and a > 20%
-# regression check against the previous BENCH_*.json. Override the
-# budget with BENCHTIME=200ms etc.
+# wire hot paths at 0 allocs/op (event publish, place-response and SSE
+# encoders), the client->daemon round trip and the live loadgen p99 both
+# under 1 ms, the era-matched speedup floors (ns/op, bytes/op and
+# allocs/op) and a > 20% regression check against the previous
+# BENCH_*.json. Override the budget with BENCHTIME=200ms etc.
 bench:
-	sh scripts/bench.sh BENCH_6.json
+	sh scripts/bench.sh BENCH_7.json
 
 # Deterministic fleet churn smoke: 200 containers over the AMD+Intel
 # cluster at reduced training fidelity. CI runs this on every push.
@@ -53,11 +56,19 @@ clustersmoke:
 crashsmoke:
 	$(GO) run ./cmd/clustersim -quick -crash amd-0@600
 
-# One-iteration pass over every benchmark: catches benchmark rot (setup
-# errors, API drift) without paying for stable timings. CI runs this on
-# every push.
+# Wire-level end-to-end smoke: build numaplaced and loadgen, start the
+# daemon on an ephemeral loopback port at reduced training fidelity,
+# drive it with `loadgen -quick`, and require a clean run (zero request
+# errors, zero dropped event frames) plus a graceful SIGTERM shutdown.
+# CI runs this on every push.
+daemonsmoke:
+	sh scripts/daemonsmoke.sh
+
+# One-iteration pass over every benchmark (root plus the wire-facing
+# packages): catches benchmark rot (setup errors, API drift) without
+# paying for stable timings. CI runs this on every push.
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime=1x -count 1 .
+	$(GO) test -run '^$$' -bench . -benchtime=1x -count 1 . ./internal/fleet/ ./internal/wire/
 
 # Emits a CPU profile of the heaviest training pipeline (the Figure 4
 # cross-validation grid) for `go tool pprof repro.test cpu.prof`.

@@ -1,0 +1,117 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/nperr"
+	"repro/internal/wire"
+)
+
+// flaky serves failures until succeedAfter attempts have been burned.
+func flaky(t *testing.T, status int, body string, succeedAfter int32) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= succeedAfter {
+			w.WriteHeader(status)
+			w.Write([]byte(body))
+			return
+		}
+		w.Write([]byte(`{"backends":null,"domains":null,"tenants":0}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &attempts
+}
+
+// TestRetryOn5xx: transient 5xx responses are retried with backoff until
+// success.
+func TestRetryOn5xx(t *testing.T) {
+	srv, attempts := flaky(t, http.StatusInternalServerError,
+		`{"error":{"code":"internal","status":500,"message":"transient"}}`, 2)
+	c := New(srv.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("stats after retries: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 failures + success)", got)
+	}
+}
+
+// TestRetryExhaustion: a persistent 5xx surfaces the decoded wire error
+// after retries run out.
+func TestRetryExhaustion(t *testing.T) {
+	srv, attempts := flaky(t, http.StatusServiceUnavailable,
+		`{"error":{"code":"no_healthy_backend","status":503,"message":"all dead"}}`, 1000)
+	c := New(srv.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	_, err := c.Stats(context.Background())
+	if !errors.Is(err, nperr.ErrNoHealthyBackend) {
+		t.Fatalf("exhausted retries: %v, want ErrNoHealthyBackend", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestNoRetryOn4xx: rejections are terminal — retrying an unchanged
+// request would just repeat the answer (and distort load-test rejection
+// accounting).
+func TestNoRetryOn4xx(t *testing.T) {
+	srv, attempts := flaky(t, http.StatusConflict,
+		`{"error":{"code":"fleet_full","status":409,"message":"full"}}`, 1000)
+	c := New(srv.URL, WithRetries(5), WithBackoff(time.Millisecond))
+	_, err := c.Place(context.Background(), "gcc", 4)
+	if !errors.Is(err, nperr.ErrFleetFull) {
+		t.Fatalf("rejection: %v, want ErrFleetFull", err)
+	}
+	var werr *Error
+	if !errors.As(err, &werr) || werr.Code != wire.CodeFleetFull {
+		t.Fatalf("wire detail: %+v", werr)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1 (no retry on 409)", got)
+	}
+}
+
+// TestRetryOnConnectionError: a refused connection is retried; pointing at
+// a dead port with a canceled deadline surfaces the transport error.
+func TestRetryOnConnectionError(t *testing.T) {
+	// Grab a port and close it so connections are refused.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	addr := srv.URL
+	srv.Close()
+
+	c := New(addr, WithRetries(2), WithBackoff(time.Millisecond))
+	start := time.Now()
+	err := c.Release(context.Background(), 1)
+	if err == nil {
+		t.Fatal("release against a closed port should fail")
+	}
+	// 2 retries with 1ms/2ms backoff: the elapsed time shows the backoff
+	// loop actually ran rather than bailing on the first dial failure.
+	if time.Since(start) < 3*time.Millisecond {
+		t.Fatalf("returned too fast for 2 backoff rounds: %v (%v)", time.Since(start), err)
+	}
+}
+
+// TestRetryHonorsContext: cancellation cuts the backoff loop short.
+func TestRetryHonorsContext(t *testing.T) {
+	srv, _ := flaky(t, http.StatusInternalServerError,
+		`{"error":{"code":"internal","status":500,"message":"transient"}}`, 1000)
+	c := New(srv.URL, WithRetries(100), WithBackoff(50*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Stats(ctx)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("context cancellation ignored: took %v", time.Since(start))
+	}
+}

@@ -1,0 +1,89 @@
+// Streaming decoder for the /v1/events Server-Sent-Events feed.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Event re-exports the wire event for callers that only import client.
+type Event = wire.Event
+
+// EventStream is one open /v1/events subscription. Next decodes frames in
+// order; Close tears the stream down (also unblocking a concurrent Next).
+type EventStream struct {
+	body io.ReadCloser
+	br   *bufio.Reader
+}
+
+// Events opens the daemon's event stream. Events published before the
+// stream opens are not replayed. The stream ends — Next returns an error —
+// when ctx is done, Close is called, or the daemon shuts down. Opening is
+// not retried: a streaming subscription that silently reconnected would
+// hide the gap in the event sequence.
+func (c *Client) Events(ctx context.Context) (*EventStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: opening event stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: opening event stream: http %d", resp.StatusCode)
+	}
+	return &EventStream{body: resp.Body, br: bufio.NewReader(resp.Body)}, nil
+}
+
+// Next blocks for the next event frame. The synthetic backpressure frame
+// arrives as Type "dropped" with the Dropped count set — the daemon-side
+// subscription lost that many events to a slow read loop. io.EOF (possibly
+// wrapped) reports a cleanly closed stream.
+func (s *EventStream) Next() (Event, error) {
+	var ev Event
+	var evType string
+	var data []byte
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && line == "" && data == nil && evType == "" {
+				return ev, io.EOF
+			}
+			return ev, fmt.Errorf("client: reading event stream: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if data == nil {
+				continue // heartbeat or comment-only frame: keep reading
+			}
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return ev, fmt.Errorf("client: decoding event %q: %w", data, err)
+			}
+			if ev.Type == "" {
+				ev.Type = evType
+			}
+			return ev, nil
+		case strings.HasPrefix(line, ":"):
+			// comment frame (stream hello)
+		case strings.HasPrefix(line, "event: "):
+			evType = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+}
+
+// Close tears down the stream.
+func (s *EventStream) Close() error { return s.body.Close() }

@@ -80,6 +80,27 @@ type (
 	SimTimers = fleet.SimTimers
 	// WallTimers schedules monitor ticks on the wall clock.
 	WallTimers = fleet.WallTimers
+	// ClusterEvent is one serving-plane happening (admission, release,
+	// move, health transition, pass summary) from the event feed.
+	ClusterEvent = fleet.Event
+	// ClusterEventType discriminates ClusterEvents.
+	ClusterEventType = fleet.EventType
+	// ClusterSubscription is one bounded subscriber of the event feed:
+	// events buffer in a fixed ring, the oldest dropped (and counted) when
+	// the subscriber falls behind — publishing never blocks admissions.
+	ClusterSubscription = fleet.Subscription
+)
+
+// Event types for ClusterEvent.Type.
+const (
+	EventPlace     = fleet.EvPlace
+	EventRelease   = fleet.EvRelease
+	EventMove      = fleet.EvMove
+	EventHealth    = fleet.EvHealth
+	EventFailover  = fleet.EvFailover
+	EventRebalance = fleet.EvRebalance
+	EventDrain     = fleet.EvDrain
+	EventRevive    = fleet.EvRevive
 )
 
 // Routing policies for ClusterConfig.Policy.
@@ -247,6 +268,17 @@ func (c *Cluster) Failover(ctx context.Context, name string, budgetSeconds float
 func (c *Cluster) Revive(ctx context.Context, name string) (int, error) {
 	return c.f.Revive(ctx, name)
 }
+
+// Subscribe opens a bounded subscription to the cluster's event feed
+// (admissions, releases, moves, health transitions, pass summaries). The
+// ring holds up to buf events; a subscriber that falls behind loses its
+// oldest events — counted, never blocking the admission path. Close the
+// subscription when done.
+func (c *Cluster) Subscribe(buf int) *ClusterSubscription { return c.f.Subscribe(buf) }
+
+// Fleet exposes the underlying fleet for serving layers (the wire daemon)
+// that operate on it directly.
+func (c *Cluster) Fleet() *fleet.Fleet { return c.f }
 
 // Monitor builds a health monitor that drives the state machine from
 // periodic liveness probes — deterministic on a simulation clock

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -185,7 +186,16 @@ func abs64(x int64) int64 {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "debug" {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [debug]\n", os.Args[0])
+		fmt.Fprintln(os.Stderr, "  debug: report the checked-in parameter set instead of searching")
+	}
+	flag.Parse()
+	if flag.NArg() > 1 || (flag.NArg() == 1 && flag.Arg(0) != "debug") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
 		p := params{wa: 4200, wb: 3400, wc: 3700,
 			e02: 3000, e04: 2500, e06: 1200, e24: 3200, e26: 2600, e46: 2900,
 			o13: 2800, o15: 2400, o17: 1000, o35: 3100, o37: 2300, o57: 3000}

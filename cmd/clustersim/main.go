@@ -156,6 +156,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
 		os.Exit(2)
 	}
+	if *n < 0 || *vcpus <= 0 || *arrival <= 0 || *life <= 0 {
+		fmt.Fprintln(os.Stderr, "-n must be non-negative; -vcpus, -arrival and -life positive")
+		flag.Usage()
+		os.Exit(2)
+	}
 	cfg := simConfig{
 		machines:       strings.Split(*machineList, ","),
 		policy:         policy,

@@ -4,7 +4,11 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 	"repro/internal/migrate"
@@ -20,24 +24,51 @@ var paper = map[string][2]float64{ // fast, default linux (seconds)
 }
 
 func main() {
-	ctx := context.Background()
+	vcpus := flag.Int("vcpus", 16, "vCPUs per migrated container")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "unexpected arguments")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *vcpus <= 0 {
+		fmt.Fprintln(os.Stderr, "-vcpus must be positive")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *vcpus); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, vcpus int) error {
 	eng := numaplace.New(numaplace.AMD())
 	fmt.Printf("%-14s %8s %8s | %8s %8s | %8s\n", "workload", "fast", "paper", "linux", "paper", "ratio")
 	for _, w := range numaplace.PaperWorkloads() {
-		p := numaplace.MigrationProfileFor(w, 16)
+		p := numaplace.MigrationProfileFor(w, vcpus)
 		fast, err := eng.Migrate(ctx, p, numaplace.MigrateFast, migrate.Config{})
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("fast migration of %s: %w", w.Name, err)
 		}
 		linux, err := eng.Migrate(ctx, p, numaplace.MigrateDefaultLinux, migrate.Config{})
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("default-linux migration of %s: %w", w.Name, err)
 		}
 		fmt.Printf("%-14s %8.1f %8.1f | %8.1f %8.1f | %8.1f\n",
 			w.Name, fast.Seconds, paper[w.Name][0], linux.Seconds, paper[w.Name][1],
 			linux.Seconds/fast.Seconds)
 	}
-	wt, _ := numaplace.WorkloadByName("WTbtree")
-	th, _ := eng.Migrate(ctx, numaplace.MigrationProfileFor(wt, 16), numaplace.MigrateThrottled, migrate.Config{})
+	wt, ok := numaplace.WorkloadByName("WTbtree")
+	if !ok {
+		return fmt.Errorf("paper catalog missing WTbtree")
+	}
+	th, err := eng.Migrate(ctx, numaplace.MigrationProfileFor(wt, vcpus), numaplace.MigrateThrottled, migrate.Config{})
+	if err != nil {
+		return fmt.Errorf("throttled migration of WTbtree: %w", err)
+	}
 	fmt.Printf("throttled WTbtree: %.1fs overhead %.1f%% (paper: 60s, 3-6%%)\n", th.Seconds, th.OverheadPct)
+	return nil
 }

@@ -1,0 +1,172 @@
+// Command numaplaced serves a numaplace.Cluster over the wire protocol:
+// an HTTP/JSON daemon remote callers drive through repro/client (or plain
+// curl). On startup it builds one Engine per -machines entry, trains each
+// on the paper catalog plus a synthetic corpus, assembles the cluster
+// under the chosen routing policy, and listens.
+//
+// Routes live under /v1 (see DESIGN.md "Wire protocol"): place, release,
+// rebalance, drain, resume, heartbeat, missprobe, fail, failover, revive,
+// stats, assignments, health/{backend}, healthz, and the events stream
+// (Server-Sent Events).
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: event streams are
+// closed, in-flight requests drain within -shutdown-timeout, and the
+// process exits 0. Bad flags exit 2 with usage.
+//
+// Usage:
+//
+//	numaplaced -listen 127.0.0.1:7070 -machines amd,intel -policy best-predicted
+//	numaplaced -listen 127.0.0.1:0 -quick     # ephemeral port, CI training budget
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/mlearn"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "listen address (host:port; port 0 picks an ephemeral port)")
+	machineList := flag.String("machines", "amd,intel", "comma-separated machine models forming the fleet")
+	policyName := flag.String("policy", "best-predicted", "routing policy: first-fit, least-loaded or best-predicted")
+	vcpus := flag.Int("vcpus", 16, "vCPUs per container the engines are trained for")
+	drainBelow := flag.Float64("drain-below", 0.5, "consolidate machines below this utilization during rebalance")
+	spread := flag.Bool("spread", false, "spread replicas of a workload across failure domains (racks)")
+	eventsBuffer := flag.Int("events-buffer", 1024, "per-subscriber event ring size on /v1/events")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	quick := flag.Bool("quick", false, "reduced training fidelity (CI smoke)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *vcpus <= 0 || *eventsBuffer <= 0 {
+		fmt.Fprintln(os.Stderr, "-vcpus and -events-buffer must be positive")
+		flag.Usage()
+		os.Exit(2)
+	}
+	policy, ok := numaplace.ClusterPolicyByName(*policyName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, config{
+		listen:       *listen,
+		machines:     strings.Split(*machineList, ","),
+		policy:       policy,
+		vcpus:        *vcpus,
+		drainBelow:   *drainBelow,
+		spread:       *spread,
+		eventsBuffer: *eventsBuffer,
+		shutdown:     *shutdownTimeout,
+		quick:        *quick,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	listen       string
+	machines     []string
+	policy       numaplace.ClusterPolicy
+	vcpus        int
+	drainBelow   float64
+	spread       bool
+	eventsBuffer int
+	shutdown     time.Duration
+	quick        bool
+}
+
+func run(ctx context.Context, cfg config) error {
+	trials, trees, corpus := 3, 60, 30
+	if cfg.quick {
+		trials, trees, corpus = 2, 10, 10
+	}
+
+	// Build and train one Engine per machine (same recipe as clustersim:
+	// paper catalog + synthetic corpus, machines alternating racks).
+	cl := numaplace.NewCluster(numaplace.ClusterConfig{
+		Policy: cfg.policy, DrainBelow: cfg.drainBelow, SpreadDomains: cfg.spread,
+	})
+	for i, mname := range cfg.machines {
+		m, ok := numaplace.MachineByName(mname)
+		if !ok {
+			return fmt.Errorf("unknown machine %q", mname)
+		}
+		eng := numaplace.New(m,
+			numaplace.WithCollectConfig(numaplace.CollectConfig{Trials: trials}),
+			numaplace.WithTrainConfig(numaplace.TrainConfig{
+				Seed: 1, Forest: mlearn.ForestConfig{Trees: trees},
+				SelectionTrees: 4, SelectionFolds: 3,
+			}),
+		)
+		ws := append(workloads.Paper(),
+			workloads.CorpusFrom(corpus, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
+		ds, err := eng.Collect(ctx, ws, cfg.vcpus)
+		if err != nil {
+			return fmt.Errorf("collecting on %s: %w", mname, err)
+		}
+		if _, err := eng.Train(ctx, ds); err != nil {
+			return fmt.Errorf("training on %s: %w", mname, err)
+		}
+		name := fmt.Sprintf("%s-%d", mname, i)
+		if err := cl.Add(name, eng, numaplace.InDomain(fmt.Sprintf("rack-%d", i%2))); err != nil {
+			return err
+		}
+		fmt.Printf("numaplaced: trained %s (%s)\n", name, m.Topo.Name)
+	}
+
+	ws := wire.NewServer(cl.Fleet(), wire.Config{EventBuffer: cfg.eventsBuffer})
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", cfg.listen, err)
+	}
+	srv := &http.Server{Handler: ws}
+
+	// The readiness line load generators and the smoke test poll for.
+	fmt.Printf("numaplaced: serving on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: Stop ends the never-returning SSE handlers first
+	// (Shutdown waits for active handlers), then Shutdown drains the rest.
+	fmt.Println("numaplaced: shutting down")
+	ws.Stop()
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdown)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("draining in-flight requests: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("numaplaced: bye")
+	return nil
+}

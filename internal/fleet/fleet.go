@@ -285,6 +285,11 @@ type Fleet struct {
 	nextID  int
 	tenants map[int]*tenantRec
 
+	// Event fan-out (see events.go). Both fields are guarded by mu, which
+	// is what gives the published sequence its total order.
+	subs     []*Subscription
+	eventSeq uint64
+
 	admitted, rejected, released, moves int64
 	failovers, failedOver               int64
 	migrationSeconds                    float64
@@ -483,6 +488,7 @@ func (f *Fleet) Place(ctx context.Context, w perfsim.Workload, vcpus int) (*Admi
 		f.tenants[id] = &tenantRec{mem: mem, engineID: a.ID, w: w, vcpus: vcpus, assign: *a}
 		mem.tenants++
 		f.admitted++
+		f.publish(Event{Type: EvPlace, ID: id, Backend: mem.name, Workload: w.Name, VCPUs: vcpus})
 		f.mu.Unlock()
 		return &Admission{ID: id, Backend: mem.name, Assignment: *a}, nil
 	}
@@ -573,6 +579,7 @@ func (f *Fleet) Release(ctx context.Context, id int) error {
 	rec.mem.tenants--
 	if rec.mem.health == Dead {
 		f.released++
+		f.publish(Event{Type: EvRelease, ID: id, Backend: rec.mem.name, Workload: rec.w.Name, VCPUs: rec.vcpus})
 		f.mu.Unlock()
 		return nil
 	}
@@ -588,6 +595,7 @@ func (f *Fleet) Release(ctx context.Context, id int) error {
 	}
 	f.mu.Lock()
 	f.released++
+	f.publish(Event{Type: EvRelease, ID: id, Backend: mem.name, Workload: rec.w.Name, VCPUs: rec.vcpus})
 	f.mu.Unlock()
 	return nil
 }
@@ -763,6 +771,8 @@ func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenant
 		})
 		rep.TotalSeconds += cost
 		rec.mem.tenants--
+		f.publish(Event{Type: EvMove, ID: id, Backend: rec.mem.name, Dest: d.name,
+			Workload: rec.w.Name, VCPUs: rec.vcpus, Seconds: cost})
 		rec.mem, rec.engineID, rec.assign = d, a.ID, *a
 		d.tenants++
 		f.moves++
@@ -845,6 +855,17 @@ func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, 
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	rep := &Report{BudgetSeconds: budgetSeconds}
+	// The pass summary publishes whatever was committed, error or not —
+	// subscribers watching the stream see the same partial work the
+	// returned report carries.
+	defer func() {
+		intra := 0
+		for _, ip := range rep.Intra {
+			intra += len(ip.Report.Moves)
+		}
+		f.publish(Event{Type: EvRebalance, ID: -1, Moves: len(rep.Moves), Intra: intra,
+			Examined: rep.Examined, Seconds: rep.TotalSeconds})
+	}()
 
 	// Intra-machine passes, in add order (healthy, accepting machines
 	// only: a suspect machine is left undisturbed until its probes settle,
@@ -964,6 +985,10 @@ func (f *Fleet) Drain(ctx context.Context, name string) (*Report, error) {
 	}
 	src.drained = true
 	rep := &Report{}
+	defer func() {
+		f.publish(Event{Type: EvDrain, ID: -1, Backend: name, Moves: len(rep.Moves),
+			Examined: rep.Examined, Stranded: rep.Stranded, Seconds: rep.TotalSeconds})
+	}()
 	var destErrs []error
 	for _, id := range f.tenantsOfLocked(src) {
 		if err := ctx.Err(); err != nil {

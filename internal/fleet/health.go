@@ -132,6 +132,9 @@ func (f *Fleet) Heartbeat(name string) (Health, error) {
 		return Dead, fmt.Errorf("fleet: heartbeat from %s: %w (Revive to rejoin)", name, nperr.ErrBackendDown)
 	}
 	m.misses = 0
+	if m.health != Healthy {
+		f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: m.health, ToHealth: Healthy})
+	}
 	m.health = Healthy
 	return Healthy, nil
 }
@@ -156,10 +159,14 @@ func (f *Fleet) MissProbe(ctx context.Context, name string) (Health, *Report, er
 	m.misses++
 	switch {
 	case m.misses >= f.cfg.Health.deadAfter():
+		f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: m.health, ToHealth: Dead})
 		m.health = Dead
 		rep, err := f.failoverLocked(ctx, m, f.cfg.Health.failoverBudget())
 		return Dead, rep, err
 	case m.misses >= f.cfg.Health.suspectAfter():
+		if m.health != Suspect {
+			f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: m.health, ToHealth: Suspect})
+		}
 		m.health = Suspect
 	}
 	return m.health, nil, nil
@@ -180,6 +187,7 @@ func (f *Fleet) Fail(ctx context.Context, name string) (*Report, error) {
 	if m.health == Dead {
 		return nil, fmt.Errorf("fleet: failing %s: already %w", name, nperr.ErrBackendDown)
 	}
+	f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: m.health, ToHealth: Dead})
 	m.health = Dead
 	m.misses = f.cfg.Health.deadAfter()
 	return f.failoverLocked(ctx, m, f.cfg.Health.failoverBudget())
@@ -219,6 +227,10 @@ func (f *Fleet) Failover(ctx context.Context, name string, budgetSeconds float64
 func (f *Fleet) failoverLocked(ctx context.Context, src *member, budgetSeconds float64) (*Report, error) {
 	rep := &Report{BudgetSeconds: budgetSeconds}
 	f.failovers++
+	defer func() {
+		f.publish(Event{Type: EvFailover, ID: -1, Backend: src.name, Moves: len(rep.Moves),
+			Examined: rep.Examined, Stranded: rep.Stranded, Seconds: rep.TotalSeconds})
+	}()
 	var destErrs []error
 	for _, id := range f.tenantsOfLocked(src) {
 		if err := ctx.Err(); err != nil {
@@ -298,6 +310,8 @@ func (f *Fleet) Revive(ctx context.Context, name string) (int, error) {
 		}
 		fenced++
 	}
+	f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: Dead, ToHealth: Healthy})
+	f.publish(Event{Type: EvRevive, ID: -1, Backend: name, Fenced: fenced})
 	m.health = Healthy
 	m.misses = 0
 	return fenced, nil

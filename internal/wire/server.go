@@ -1,0 +1,467 @@
+// The numaplaced HTTP server: thin JSON handlers over a fleet.Fleet.
+//
+// Request routing uses net/http method patterns; every mutating route
+// bumps an epoch counter that invalidates the pre-marshaled stats
+// snapshot, so GET /v1/stats under a read-heavy load serves a cached
+// []byte. Request bodies and the Place response travel through one pooled
+// buffer per request; /v1/events frames are encoded with the zero-alloc
+// appenders in wire.go.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fleet"
+	"repro/internal/nperr"
+	"repro/internal/perfsim"
+	"repro/internal/workloads"
+)
+
+// Config tunes the server; the zero value is serviceable.
+type Config struct {
+	// Lookup resolves a workload name from a PlaceRequest. Defaults to the
+	// paper catalog (workloads.ByName).
+	Lookup func(name string) (perfsim.Workload, bool)
+	// EventBuffer is the per-/v1/events-subscriber ring size (default
+	// 1024). A subscriber that falls further behind than this loses its
+	// oldest events and is told so via a synthetic "dropped" frame.
+	EventBuffer int
+}
+
+func (c Config) lookup() func(string) (perfsim.Workload, bool) {
+	if c.Lookup != nil {
+		return c.Lookup
+	}
+	return workloads.ByName
+}
+
+func (c Config) eventBuffer() int {
+	if c.EventBuffer <= 0 {
+		return 1024
+	}
+	return c.EventBuffer
+}
+
+// maxBody bounds request bodies; every request in the protocol is tiny.
+const maxBody = 1 << 20
+
+// Server serves the numaplaced wire protocol over a fleet.
+type Server struct {
+	f   *fleet.Fleet
+	cfg Config
+	mux *http.ServeMux
+
+	// stop ends the open /v1/events streams so http.Server.Shutdown can
+	// complete (Shutdown waits for active handlers; an SSE stream never
+	// returns on its own).
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// epoch counts mutations; statsBuf caches the marshaled stats snapshot
+	// for the epoch it was built at.
+	epoch      atomic.Uint64
+	statsMu    sync.Mutex
+	statsEpoch uint64
+	statsBuf   []byte
+
+	// bufPool recycles per-request scratch buffers (body read + hot-path
+	// response encode).
+	bufPool sync.Pool
+}
+
+// NewServer wires the protocol handlers over f.
+func NewServer(f *fleet.Fleet, cfg Config) *Server {
+	s := &Server{
+		f:    f,
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		stop: make(chan struct{}),
+	}
+	s.bufPool.New = func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	}
+	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
+	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
+	s.mux.HandleFunc("POST /v1/rebalance", s.handleRebalance)
+	s.mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	s.mux.HandleFunc("POST /v1/resume", s.handleResume)
+	s.mux.HandleFunc("POST /v1/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /v1/missprobe", s.handleMissProbe)
+	s.mux.HandleFunc("POST /v1/fail", s.handleFail)
+	s.mux.HandleFunc("POST /v1/failover", s.handleFailover)
+	s.mux.HandleFunc("POST /v1/revive", s.handleRevive)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/assignments", s.handleAssignments)
+	s.mux.HandleFunc("GET /v1/health/{backend}", s.handleHealthOf)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stop ends all open event streams. Call it before http.Server.Shutdown —
+// Shutdown waits for handlers, and SSE handlers only exit on client
+// disconnect or Stop.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// readBody drains the request body into a pooled buffer. The returned
+// put function recycles the buffer; data is only valid until then.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (data []byte, put func(), err error) {
+	bp := s.bufPool.Get().(*[]byte)
+	put = func() { *bp = (*bp)[:0]; s.bufPool.Put(bp) }
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	buf := (*bp)[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, rerr := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if rerr == io.EOF {
+			*bp = buf
+			return buf, put, nil
+		}
+		if rerr != nil {
+			put()
+			return nil, func() {}, rerr
+		}
+	}
+}
+
+// decode unmarshals a request body into v, classifying failures as
+// bad_request.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) (func(), bool) {
+	data, put, err := s.readBody(w, r)
+	if err != nil {
+		s.writeError(w, CodeBadRequest, fmt.Errorf("reading body: %w", err), nil)
+		return put, false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		s.writeError(w, CodeBadRequest, fmt.Errorf("decoding body: %w", err), nil)
+		return put, false
+	}
+	return put, true
+}
+
+// writeJSON emits a cold-path JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"internal","status":500,"message":"encoding response"}}`,
+			http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+// writeError classifies err through the sentinel table (or uses the forced
+// code if non-empty) and emits the standard error body; rep, when
+// non-nil, is the partial pass report riding along with the failure.
+func (s *Server) writeError(w http.ResponseWriter, forced ErrCode, err error, rep *fleet.Report) {
+	code, status := CodeFor(err)
+	if forced != "" {
+		code, status = forced, StatusFor(forced)
+	}
+	s.writeJSON(w, status, ErrorBody{Error: ErrorDetail{
+		Code: code, Status: status, Message: err.Error(), Report: ReportFrom(rep),
+	}})
+}
+
+// handlePlace is the hot path: pooled body read, fleet admission, and a
+// hand-encoded response reusing the same pooled buffer.
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req PlaceRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	wl, ok := s.cfg.lookup()(req.Workload)
+	if !ok {
+		s.writeError(w, CodeBadRequest, fmt.Errorf("unknown workload %q", req.Workload), nil)
+		return
+	}
+	adm, err := s.f.Place(r.Context(), wl, req.VCPUs)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, nil)
+		return
+	}
+	bp := s.bufPool.Get().(*[]byte)
+	out := AppendPlace((*bp)[:0], adm)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+	*bp = out[:0]
+	s.bufPool.Put(bp)
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	err := s.f.Release(r.Context(), req.ID)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, nil)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReleaseResponse{ID: req.ID})
+}
+
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	var req RebalanceRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	rep, err := s.f.Rebalance(r.Context(), req.BudgetSeconds)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, rep)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReportFrom(rep))
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req BackendRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	rep, err := s.f.Drain(r.Context(), req.Backend)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, rep)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReportFrom(rep))
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	var req BackendRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	err := s.f.Resume(req.Backend)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, nil)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, BackendRequest{Backend: req.Backend})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req BackendRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	h, err := s.f.Heartbeat(req.Backend)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, nil)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, HealthResponse{Backend: req.Backend, Health: h.String()})
+}
+
+func (s *Server) handleMissProbe(w http.ResponseWriter, r *http.Request) {
+	var req BackendRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	h, rep, err := s.f.MissProbe(r.Context(), req.Backend)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, rep)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, HealthResponse{Backend: req.Backend, Health: h.String(), Report: ReportFrom(rep)})
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req BackendRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	rep, err := s.f.Fail(r.Context(), req.Backend)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, rep)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReportFrom(rep))
+}
+
+func (s *Server) handleFailover(w http.ResponseWriter, r *http.Request) {
+	var req FailoverRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	rep, err := s.f.Failover(r.Context(), req.Backend, req.BudgetSeconds)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, rep)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReportFrom(rep))
+}
+
+func (s *Server) handleRevive(w http.ResponseWriter, r *http.Request) {
+	var req BackendRequest
+	put, ok := s.decode(w, r, &req)
+	defer put()
+	if !ok {
+		return
+	}
+	fenced, err := s.f.Revive(r.Context(), req.Backend)
+	s.epoch.Add(1)
+	if err != nil {
+		s.writeError(w, "", err, nil)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReviveResponse{Backend: req.Backend, Fenced: fenced})
+}
+
+// handleStats serves the epoch-cached stats snapshot: the fleet is only
+// queried and re-marshaled after a mutation, so a stats-polling monitor
+// costs steady-state reads one atomic load and a buffer write.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e := s.epoch.Load()
+	s.statsMu.Lock()
+	if s.statsBuf == nil || s.statsEpoch != e {
+		b, err := json.Marshal(StatsFrom(s.f.Stats()))
+		if err != nil {
+			s.statsMu.Unlock()
+			s.writeError(w, CodeInternal, err, nil)
+			return
+		}
+		s.statsBuf, s.statsEpoch = b, e
+	}
+	buf := s.statsBuf // replaced wholesale, never mutated: safe to share
+	s.statsMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}
+
+func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
+	adms := s.f.Assignments()
+	resp := AssignmentsResponse{Assignments: make([]PlaceResponse, 0, len(adms))}
+	for i := range adms {
+		adm := &adms[i]
+		a := &adm.Assignment
+		nodes := make([]int, 0, a.Nodes.Len())
+		for _, id := range a.Nodes.IDs() {
+			nodes = append(nodes, int(id))
+		}
+		resp.Assignments = append(resp.Assignments, PlaceResponse{
+			ID: adm.ID, Backend: adm.Backend,
+			Assignment: Assignment{
+				ID: a.ID, Workload: a.Workload, VCPUs: a.VCPUs, Class: a.Class,
+				Nodes: nodes, BasePerf: a.BasePerf, PredictedPerf: a.PredictedPerf,
+			},
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthOf(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("backend")
+	h, ok := s.f.HealthOf(name)
+	if !ok {
+		s.writeError(w, "", fmt.Errorf("wire: health of %q: %w", name, nperr.ErrUnknownBackend), nil)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, HealthResponse{Backend: name, Health: h.String()})
+}
+
+// handleEvents streams the fleet event feed as Server-Sent Events. Each
+// stream owns a bounded fleet subscription; when the client reads slower
+// than the fleet publishes, the oldest events are dropped and announced
+// with a synthetic "dropped" frame (the drop happens subscription-side —
+// the fleet's admission path is never throttled by a slow watcher).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, CodeInternal, errors.New("wire: response writer cannot stream"), nil)
+		return
+	}
+	sub := s.f.Subscribe(s.cfg.eventBuffer())
+	defer sub.Close()
+
+	ctx := r.Context()
+	// End the stream on server Stop as well as client disconnect.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-s.stop:
+			sub.Close() // wakes the Wait below
+		case <-done:
+		}
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	if _, err := io.WriteString(w, ": numaplaced event stream\n\n"); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	events := make([]fleet.Event, 64)
+	out := make([]byte, 0, 8192)
+	for {
+		if err := sub.Wait(ctx); err != nil {
+			return
+		}
+		n, dropped := sub.Drain(events)
+		out = out[:0]
+		if dropped > 0 {
+			out = AppendDroppedSSE(out, dropped)
+		}
+		for i := 0; i < n; i++ {
+			out = AppendSSE(out, &events[i])
+		}
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,431 @@
+// End-to-end tests of the wire protocol: a real wire.Server over a stub
+// fleet, driven through the typed client — the round trip the daemon and
+// remote callers actually run. External test package so it can import
+// repro/client (which imports wire) without a cycle.
+package wire_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/client"
+	"repro/internal/fleet"
+	"repro/internal/machines"
+	"repro/internal/nperr"
+	"repro/internal/perfsim"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// stubBackend is a minimal fleet.Backend: one NUMA node per admission,
+// fixed preview performance. Mirrors the fleet package's test stub.
+type stubBackend struct {
+	m    machines.Machine
+	perf float64
+
+	mu      sync.Mutex
+	nextID  int
+	free    topology.NodeSet
+	tenants map[int]sched.Assignment
+}
+
+func newStub(m machines.Machine, perf float64) *stubBackend {
+	return &stubBackend{
+		m: m, perf: perf,
+		free:    topology.FullNodeSet(m.Topo.NumNodes),
+		tenants: map[int]sched.Assignment{},
+	}
+}
+
+func (s *stubBackend) Machine() machines.Machine { return s.m }
+
+func (s *stubBackend) Preview(ctx context.Context, w perfsim.Workload, vcpus int) (*sched.Preview, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.free.Empty() {
+		return nil, nperr.ErrMachineFull
+	}
+	return &sched.Preview{PredictedPerf: s.perf, BasePerf: s.perf, Nodes: topology.NewNodeSet(s.free.Lowest())}, nil
+}
+
+func (s *stubBackend) Place(ctx context.Context, w perfsim.Workload, vcpus int) (*sched.Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.free.Empty() {
+		return nil, nperr.ErrMachineFull
+	}
+	node := s.free.Lowest()
+	s.free = s.free.Remove(node)
+	a := sched.Assignment{
+		ID: s.nextID, Workload: w.Name, VCPUs: vcpus,
+		Nodes: topology.NewNodeSet(node), BasePerf: s.perf, PredictedPerf: s.perf,
+	}
+	s.nextID++
+	s.tenants[a.ID] = a
+	return &a, nil
+}
+
+func (s *stubBackend) Release(ctx context.Context, id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.tenants[id]
+	if !ok {
+		return nperr.ErrUnknownContainer
+	}
+	s.free = s.free.Union(a.Nodes)
+	delete(s.tenants, id)
+	return nil
+}
+
+func (s *stubBackend) Rebalance(ctx context.Context) (*sched.RebalanceReport, error) {
+	return &sched.RebalanceReport{}, nil
+}
+
+func (s *stubBackend) Assignments() []sched.Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]sched.Assignment, 0, len(s.tenants))
+	for _, a := range s.tenants {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (s *stubBackend) Assignment(id int) (sched.Assignment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.tenants[id]
+	return a, ok
+}
+
+func (s *stubBackend) FreeNodes() topology.NodeSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.free
+}
+
+// testDaemon stands up a wire server over a two-stub fleet (AMD 8 nodes +
+// Intel 4 nodes = 12 single-node admissions) behind a real HTTP listener.
+func testDaemon(t *testing.T, cfg wire.Config) (*client.Client, *fleet.Fleet, *wire.Server) {
+	t.Helper()
+	f := fleet.New(fleet.Config{Policy: fleet.FirstFit})
+	if err := f.Add("m0", newStub(machines.AMD(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("m1", newStub(machines.Intel(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	ws := wire.NewServer(f, cfg)
+	srv := httptest.NewServer(ws)
+	t.Cleanup(func() { ws.Stop(); srv.Close() })
+	// No client-side retries: tests assert on first-response classification.
+	return client.New(srv.URL, client.WithRetries(0)), f, ws
+}
+
+func TestWirePlaceReleaseRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := testDaemon(t, wire.Config{})
+
+	pr, err := c.Place(ctx, "gcc", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Backend != "m0" || pr.Assignment.Workload != "gcc" || pr.Assignment.VCPUs != 16 {
+		t.Fatalf("place response %+v", pr)
+	}
+	if len(pr.Assignment.Nodes) != 1 {
+		t.Fatalf("stub admits one node, got %v", pr.Assignment.Nodes)
+	}
+
+	adms, err := c.Assignments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adms) != 1 || adms[0].ID != pr.ID {
+		t.Fatalf("assignments %+v", adms)
+	}
+
+	if err := c.Release(ctx, pr.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 1 || st.Released != 1 || st.Tenants != 0 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+}
+
+// TestWireErrorRoundTrip is the satellite acceptance: the client
+// re-materializes nperr sentinels from wire codes, so remote callers keep
+// their errors.Is logic.
+func TestWireErrorRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := testDaemon(t, wire.Config{})
+
+	// Fill the fleet (12 single-node stub admissions), then overflow.
+	for i := 0; i < 12; i++ {
+		if _, err := c.Place(ctx, "gcc", 1); err != nil {
+			t.Fatalf("place %d: %v", i, err)
+		}
+	}
+	_, err := c.Place(ctx, "gcc", 1)
+	if !errors.Is(err, nperr.ErrFleetFull) {
+		t.Fatalf("overflow place: %v, want errors.Is ErrFleetFull", err)
+	}
+	if !errors.Is(err, nperr.ErrMachineFull) {
+		// The sentinel chain is rebuilt from the single wire code: the
+		// member-level reasons are message-only. Pin that so nobody
+		// accidentally relies on them.
+		t.Logf("note: member-level sentinels not re-materialized (by design)")
+	}
+	var werr *client.Error
+	if !errors.As(err, &werr) || werr.Code != wire.CodeFleetFull || werr.Status != 409 {
+		t.Fatalf("wire error detail: %+v", werr)
+	}
+
+	if err := c.Release(ctx, 9999); !errors.Is(err, nperr.ErrUnknownContainer) {
+		t.Errorf("release unknown: %v, want ErrUnknownContainer", err)
+	}
+	if _, err := c.Drain(ctx, "nope"); !errors.Is(err, nperr.ErrUnknownBackend) {
+		t.Errorf("drain unknown: %v, want ErrUnknownBackend", err)
+	}
+	if _, err := c.HealthOf(ctx, "nope"); !errors.Is(err, nperr.ErrUnknownBackend) {
+		t.Errorf("health unknown: %v, want ErrUnknownBackend", err)
+	}
+
+	// Failing m0 on a full fleet strands all its tenants: the error rides
+	// the wire as 503 no_healthy_backend WITH the partial failover report.
+	_, err = c.Fail(ctx, "m0")
+	if !errors.Is(err, nperr.ErrNoHealthyBackend) {
+		t.Fatalf("failing m0 on a full fleet: %v, want ErrNoHealthyBackend", err)
+	}
+	if !errors.As(err, &werr) || werr.Report == nil || werr.Report.Stranded != 8 {
+		t.Fatalf("stranding failover must carry its partial report: %+v", werr)
+	}
+	if _, err := c.Fail(ctx, "m1"); !errors.Is(err, nperr.ErrNoHealthyBackend) {
+		t.Fatalf("failing last machine: %v, want ErrNoHealthyBackend in chain", err)
+	}
+	_, err = c.Place(ctx, "gcc", 1)
+	if !errors.Is(err, nperr.ErrNoHealthyBackend) {
+		t.Fatalf("place on dead fleet: %v, want ErrNoHealthyBackend", err)
+	}
+	if !errors.As(err, &werr) || werr.Status != 503 {
+		t.Fatalf("dead-fleet place should be 503: %+v", werr)
+	}
+
+	// Heartbeat from a dead machine: backend_down, and Revive restores.
+	if _, err := c.Heartbeat(ctx, "m0"); !errors.Is(err, nperr.ErrBackendDown) {
+		t.Errorf("heartbeat dead: %v, want ErrBackendDown", err)
+	}
+	if _, err := c.Revive(ctx, "m0"); err != nil {
+		t.Fatal(err)
+	}
+	if h, err := c.HealthOf(ctx, "m0"); err != nil || h != "healthy" {
+		t.Fatalf("after revive: %q, %v", h, err)
+	}
+}
+
+func TestWireHealthFlow(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := testDaemon(t, wire.Config{})
+
+	// Two missed probes turn m0 suspect; a heartbeat restores it.
+	for i := 0; i < 2; i++ {
+		if _, err := c.MissProbe(ctx, "m0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, _ := c.HealthOf(ctx, "m0"); h != "suspect" {
+		t.Fatalf("after 2 misses: %q, want suspect", h)
+	}
+	if h, err := c.Heartbeat(ctx, "m0"); err != nil || h != "healthy" {
+		t.Fatalf("heartbeat: %q, %v", h, err)
+	}
+
+	// Place a tenant on m0, fail m0: the wire report shows the failover.
+	pr, err := c.Place(ctx, "gcc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Fail(ctx, "m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) != 1 || rep.Moves[0].ID != pr.ID || rep.Moves[0].To != "m1" {
+		t.Fatalf("failover report %+v", rep)
+	}
+
+	// Drain/resume round-trip on the survivor: no live destination exists,
+	// so the drain strands its tenant and reports the fleet-full rejection.
+	if _, err := c.Drain(ctx, "m1"); err == nil {
+		t.Fatal("drain m1 with no destination should strand tenants")
+	} else if !errors.Is(err, nperr.ErrFleetFull) {
+		t.Fatalf("drain strand: %v", err)
+	}
+	if err := c.Resume(ctx, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Rebalance(ctx, 1e9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireEvents drives mutations and checks the SSE stream delivers them
+// decoded, in publish order, ending with a clean daemon-side shutdown.
+func TestWireEvents(t *testing.T) {
+	ctx := context.Background()
+	c, _, ws := testDaemon(t, wire.Config{})
+
+	es, err := c.Events(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+
+	pr, err := c.Place(ctx, "gcc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(ctx, pr.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fail(ctx, "m1"); err != nil {
+		t.Fatal(err)
+	}
+
+	wantTypes := []string{"place", "release", "health", "failover"}
+	var got []client.Event
+	for len(got) < len(wantTypes) {
+		ev, err := es.Next()
+		if err != nil {
+			t.Fatalf("after %d events: %v", len(got), err)
+		}
+		got = append(got, ev)
+	}
+	for i, ev := range got {
+		if ev.Type != wantTypes[i] {
+			t.Errorf("event %d: type %q, want %q (%+v)", i, ev.Type, wantTypes[i], ev)
+		}
+		if i > 0 && ev.Seq != got[i-1].Seq+1 {
+			t.Errorf("event %d: seq %d after %d", i, ev.Seq, got[i-1].Seq)
+		}
+	}
+	if got[0].ID != pr.ID || got[0].Backend != "m0" || got[0].Workload != "gcc" || got[0].VCPUs != 4 {
+		t.Errorf("place event %+v", got[0])
+	}
+	if got[2].FromHealth != "healthy" || got[2].ToHealth != "dead" {
+		t.Errorf("health event %+v", got[2])
+	}
+
+	// Server Stop ends the stream (the daemon's shutdown path); the client
+	// sees EOF, not a hang.
+	ws.Stop()
+	if _, err := es.Next(); err == nil {
+		t.Fatal("stream should end after server Stop")
+	}
+}
+
+// TestWireEventBytesDeterministic replays the same scenario under
+// GOMAXPROCS 1 and 4 and requires the raw SSE payload bytes to be
+// identical — the wire stream inherits the fleet's total event order and
+// the encoder is value-deterministic.
+func TestWireEventBytesDeterministic(t *testing.T) {
+	run := func() string {
+		ctx := context.Background()
+		c, _, _ := testDaemon(t, wire.Config{})
+		es, err := c.Events(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer es.Close()
+
+		var ids []int
+		for i := 0; i < 4; i++ {
+			pr, err := c.Place(ctx, "gcc", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, pr.ID)
+		}
+		c.Release(ctx, ids[1])
+		c.Fail(ctx, "m0")
+		c.Revive(ctx, "m0")
+
+		// place×4, release, health→dead, move×3, failover, health→healthy,
+		// revive = 12 events.
+		var b strings.Builder
+		for i := 0; i < 12; i++ {
+			ev, err := es.Next()
+			if err != nil {
+				t.Fatalf("event %d: %v", i, err)
+			}
+			fmt.Fprintf(&b, "%d %s %d %s %s %s %d %s %s %d %d %d %d %d %g\n",
+				ev.Seq, ev.Type, ev.ID, ev.Backend, ev.Dest, ev.Workload,
+				ev.VCPUs, ev.FromHealth, ev.ToHealth, ev.Moves, ev.IntraMoves,
+				ev.Examined, ev.Stranded, ev.Fenced, ev.Seconds)
+		}
+		return b.String()
+	}
+	old := runtime.GOMAXPROCS(1)
+	one := run()
+	runtime.GOMAXPROCS(4)
+	four := run()
+	runtime.GOMAXPROCS(old)
+	if one != four {
+		t.Fatalf("event bytes differ between GOMAXPROCS 1 and 4:\n--- 1:\n%s--- 4:\n%s", one, four)
+	}
+}
+
+// TestWireStatsCache checks the epoch cache: identical bytes between
+// mutations, fresh bytes after one.
+func TestWireStatsCache(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := testDaemon(t, wire.Config{})
+	s1, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Admitted != s2.Admitted || s1.Tenants != s2.Tenants {
+		t.Fatalf("stats drifted without mutations: %+v vs %+v", s1, s2)
+	}
+	if _, err := c.Place(ctx, "gcc", 1); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Admitted != s1.Admitted+1 || s3.Tenants != 1 {
+		t.Fatalf("stats cache went stale after mutation: %+v", s3)
+	}
+}
+
+// TestWireBadRequests: malformed bodies and unknown workloads are
+// bad_request (400), never 5xx (which the client would retry).
+func TestWireBadRequests(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := testDaemon(t, wire.Config{})
+	_, err := c.Place(ctx, "no-such-workload", 4)
+	var werr *client.Error
+	if !errors.As(err, &werr) || werr.Code != wire.CodeBadRequest || werr.Status != 400 {
+		t.Fatalf("unknown workload: %v", err)
+	}
+	// Sanity: the catalog the server resolves against is the paper's.
+	if _, ok := workloads.ByName("gcc"); !ok {
+		t.Fatal("paper catalog missing gcc")
+	}
+}

@@ -1,0 +1,362 @@
+// Wire DTOs and encoders for the numaplaced protocol.
+//
+// Everything crossing the wire is JSON. Cold paths (stats, assignments,
+// pass reports) go through encoding/json on mirror structs declared here.
+// The two hot paths — the Place response and the /v1/events SSE frames —
+// use hand-rolled append-style encoders (strconv.Append*) so a pooled
+// buffer serves the whole request with zero allocations; bench.sh gates
+// AppendPlace and AppendSSE at 0 allocs/op.
+package wire
+
+import (
+	"strconv"
+
+	"repro/internal/fleet"
+	"repro/internal/topology"
+)
+
+// PlaceRequest asks the daemon to admit one container.
+type PlaceRequest struct {
+	Workload string `json:"workload"`
+	VCPUs    int    `json:"vcpus"`
+}
+
+// Assignment mirrors the backend scheduler's assignment. Its ID is
+// backend-local (changes when the container migrates); the fleet-wide
+// handle is PlaceResponse.ID. Thread pinnings stay server-side — node IDs
+// are the placement-relevant facts.
+type Assignment struct {
+	ID            int     `json:"id"`
+	Workload      string  `json:"workload"`
+	VCPUs         int     `json:"vcpus"`
+	Class         int     `json:"class"`
+	Nodes         []int   `json:"nodes"`
+	BasePerf      float64 `json:"base_perf"`
+	PredictedPerf float64 `json:"predicted_perf"`
+}
+
+// PlaceResponse reports a successful admission.
+type PlaceResponse struct {
+	ID         int        `json:"id"` // fleet-wide container handle
+	Backend    string     `json:"backend"`
+	Assignment Assignment `json:"assignment"`
+}
+
+// ReleaseRequest evicts a placed container by fleet-wide ID.
+type ReleaseRequest struct {
+	ID int `json:"id"`
+}
+
+// ReleaseResponse acknowledges an eviction.
+type ReleaseResponse struct {
+	ID int `json:"id"`
+}
+
+// BackendRequest names a backend for drain/resume/health operations.
+type BackendRequest struct {
+	Backend string `json:"backend"`
+}
+
+// RebalanceRequest bounds a fleet-wide rebalance pass; BudgetSeconds <= 0
+// means unbudgeted.
+type RebalanceRequest struct {
+	BudgetSeconds float64 `json:"budget_seconds"`
+}
+
+// FailoverRequest retries stranded tenants of a dead backend.
+type FailoverRequest struct {
+	Backend       string  `json:"backend"`
+	BudgetSeconds float64 `json:"budget_seconds"`
+}
+
+// Move mirrors fleet.Move.
+type Move struct {
+	ID       int     `json:"id"`
+	Workload string  `json:"workload"`
+	VCPUs    int     `json:"vcpus"`
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// Report mirrors fleet.Report; per-backend intra passes are flattened to
+// their move count.
+type Report struct {
+	Moves         []Move   `json:"moves"`
+	IntraMoves    int      `json:"intra_moves"`
+	Drained       []string `json:"drained,omitempty"`
+	Examined      int      `json:"examined"`
+	Stranded      int      `json:"stranded"`
+	TotalSeconds  float64  `json:"total_seconds"`
+	BudgetSeconds float64  `json:"budget_seconds"`
+}
+
+// ReportFrom converts a fleet pass report to its wire mirror; nil maps to
+// nil.
+func ReportFrom(rep *fleet.Report) *Report {
+	if rep == nil {
+		return nil
+	}
+	out := &Report{
+		Moves:         make([]Move, 0, len(rep.Moves)),
+		Drained:       rep.Drained,
+		Examined:      rep.Examined,
+		Stranded:      rep.Stranded,
+		TotalSeconds:  rep.TotalSeconds,
+		BudgetSeconds: rep.BudgetSeconds,
+	}
+	for _, m := range rep.Moves {
+		out.Moves = append(out.Moves, Move{ID: m.ID, Workload: m.Workload, VCPUs: m.VCPUs,
+			From: m.From, To: m.To, Seconds: m.Seconds})
+	}
+	for _, ip := range rep.Intra {
+		out.IntraMoves += len(ip.Report.Moves)
+	}
+	return out
+}
+
+// HealthResponse reports one backend's health state (and, for transitions
+// that triggered a failover pass, its report).
+type HealthResponse struct {
+	Backend string  `json:"backend"`
+	Health  string  `json:"health"`
+	Report  *Report `json:"report,omitempty"`
+}
+
+// ReviveResponse reports a successful revive.
+type ReviveResponse struct {
+	Backend string `json:"backend"`
+	Fenced  int    `json:"fenced"`
+}
+
+// BackendStats mirrors fleet.BackendStats.
+type BackendStats struct {
+	Name        string  `json:"name"`
+	Machine     string  `json:"machine"`
+	Domain      string  `json:"domain,omitempty"`
+	Health      string  `json:"health"`
+	Draining    bool    `json:"draining"`
+	Tenants     int     `json:"tenants"`
+	FreeNodes   int     `json:"free_nodes"`
+	TotalNodes  int     `json:"total_nodes"`
+	Utilization float64 `json:"utilization"`
+}
+
+// DomainStats mirrors fleet.DomainStats.
+type DomainStats struct {
+	Domain      string  `json:"domain"`
+	Backends    int     `json:"backends"`
+	Dead        int     `json:"dead"`
+	Tenants     int     `json:"tenants"`
+	FreeNodes   int     `json:"free_nodes"`
+	TotalNodes  int     `json:"total_nodes"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Stats mirrors fleet.Stats.
+type Stats struct {
+	Backends         []BackendStats `json:"backends"`
+	Domains          []DomainStats  `json:"domains"`
+	Tenants          int            `json:"tenants"`
+	Admitted         int64          `json:"admitted"`
+	Rejected         int64          `json:"rejected"`
+	Released         int64          `json:"released"`
+	Moves            int64          `json:"moves"`
+	Failovers        int64          `json:"failovers"`
+	FailedOver       int64          `json:"failed_over"`
+	MigrationSeconds float64        `json:"migration_seconds"`
+	Utilization      float64        `json:"utilization"`
+}
+
+// StatsFrom converts fleet stats to the wire mirror.
+func StatsFrom(s fleet.Stats) Stats {
+	out := Stats{
+		Backends:         make([]BackendStats, 0, len(s.Backends)),
+		Domains:          make([]DomainStats, 0, len(s.Domains)),
+		Tenants:          s.Tenants,
+		Admitted:         s.Admitted,
+		Rejected:         s.Rejected,
+		Released:         s.Released,
+		Moves:            s.Moves,
+		Failovers:        s.Failovers,
+		FailedOver:       s.FailedOver,
+		MigrationSeconds: s.MigrationSeconds,
+		Utilization:      s.Utilization,
+	}
+	for _, b := range s.Backends {
+		out.Backends = append(out.Backends, BackendStats{
+			Name: b.Name, Machine: b.Machine, Domain: b.Domain,
+			Health: b.Health.String(), Draining: b.Draining, Tenants: b.Tenants,
+			FreeNodes: b.FreeNodes, TotalNodes: b.TotalNodes, Utilization: b.Utilization,
+		})
+	}
+	for _, d := range s.Domains {
+		out.Domains = append(out.Domains, DomainStats{
+			Domain: d.Domain, Backends: d.Backends, Dead: d.Dead, Tenants: d.Tenants,
+			FreeNodes: d.FreeNodes, TotalNodes: d.TotalNodes, Utilization: d.Utilization,
+		})
+	}
+	return out
+}
+
+// AssignmentsResponse lists every live admission.
+type AssignmentsResponse struct {
+	Assignments []PlaceResponse `json:"assignments"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the stable code (see errors.go), the HTTP status it
+// shipped with, the server's error text, and — for failover-style
+// operations that fail partway — the partial pass report.
+type ErrorDetail struct {
+	Code    ErrCode `json:"code"`
+	Status  int     `json:"status"`
+	Message string  `json:"message"`
+	Report  *Report `json:"report,omitempty"`
+}
+
+// Event is the decode-side mirror of a fleet event as framed on
+// /v1/events. The encode side is AppendEvent (hand-rolled); this struct
+// exists for clients. Optional fields keep their zero value when the frame
+// omitted them; ID is always present (-1 for non-container events).
+type Event struct {
+	Seq        uint64  `json:"seq"`
+	Type       string  `json:"type"`
+	ID         int     `json:"id"`
+	Backend    string  `json:"backend,omitempty"`
+	Dest       string  `json:"dest,omitempty"`
+	Workload   string  `json:"workload,omitempty"`
+	VCPUs      int     `json:"vcpus,omitempty"`
+	FromHealth string  `json:"from_health,omitempty"`
+	ToHealth   string  `json:"to_health,omitempty"`
+	Moves      int     `json:"moves,omitempty"`
+	IntraMoves int     `json:"intra_moves,omitempty"`
+	Examined   int     `json:"examined,omitempty"`
+	Stranded   int     `json:"stranded,omitempty"`
+	Fenced     int     `json:"fenced,omitempty"`
+	Seconds    float64 `json:"seconds,omitempty"`
+	// Dropped is the payload of the synthetic "dropped" frame the server
+	// injects when a slow consumer lost events (backpressure policy).
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// AppendPlace appends the PlaceResponse JSON for one admission to dst and
+// returns the extended slice. Allocation-free for dst with spare capacity:
+// node IDs are walked straight off the NodeSet bitmask.
+func AppendPlace(dst []byte, adm *fleet.Admission) []byte {
+	a := &adm.Assignment
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendInt(dst, int64(adm.ID), 10)
+	dst = append(dst, `,"backend":`...)
+	dst = strconv.AppendQuote(dst, adm.Backend)
+	dst = append(dst, `,"assignment":{"id":`...)
+	dst = strconv.AppendInt(dst, int64(a.ID), 10)
+	dst = append(dst, `,"workload":`...)
+	dst = strconv.AppendQuote(dst, a.Workload)
+	dst = append(dst, `,"vcpus":`...)
+	dst = strconv.AppendInt(dst, int64(a.VCPUs), 10)
+	dst = append(dst, `,"class":`...)
+	dst = strconv.AppendInt(dst, int64(a.Class), 10)
+	dst = append(dst, `,"nodes":[`...)
+	first := true
+	for id := topology.NodeID(0); id < 64; id++ {
+		if !a.Nodes.Contains(id) {
+			continue
+		}
+		if !first {
+			dst = append(dst, ',')
+		}
+		first = false
+		dst = strconv.AppendInt(dst, int64(id), 10)
+	}
+	dst = append(dst, `],"base_perf":`...)
+	dst = strconv.AppendFloat(dst, a.BasePerf, 'g', -1, 64)
+	dst = append(dst, `,"predicted_perf":`...)
+	dst = strconv.AppendFloat(dst, a.PredictedPerf, 'g', -1, 64)
+	dst = append(dst, `}}`...)
+	return dst
+}
+
+// AppendEvent appends one fleet event as a JSON object. Field set varies
+// by type but is a pure function of the event value, so identical event
+// streams encode to identical bytes (the determinism tests rely on this).
+func AppendEvent(dst []byte, ev *fleet.Event) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, ev.Seq, 10)
+	dst = append(dst, `,"type":`...)
+	dst = strconv.AppendQuote(dst, ev.Type.String())
+	dst = append(dst, `,"id":`...)
+	dst = strconv.AppendInt(dst, int64(ev.ID), 10)
+	if ev.Backend != "" {
+		dst = append(dst, `,"backend":`...)
+		dst = strconv.AppendQuote(dst, ev.Backend)
+	}
+	if ev.Dest != "" {
+		dst = append(dst, `,"dest":`...)
+		dst = strconv.AppendQuote(dst, ev.Dest)
+	}
+	if ev.Workload != "" {
+		dst = append(dst, `,"workload":`...)
+		dst = strconv.AppendQuote(dst, ev.Workload)
+	}
+	if ev.VCPUs != 0 {
+		dst = append(dst, `,"vcpus":`...)
+		dst = strconv.AppendInt(dst, int64(ev.VCPUs), 10)
+	}
+	if ev.Type == fleet.EvHealth {
+		dst = append(dst, `,"from_health":`...)
+		dst = strconv.AppendQuote(dst, ev.FromHealth.String())
+		dst = append(dst, `,"to_health":`...)
+		dst = strconv.AppendQuote(dst, ev.ToHealth.String())
+	}
+	if ev.Moves != 0 {
+		dst = append(dst, `,"moves":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Moves), 10)
+	}
+	if ev.Intra != 0 {
+		dst = append(dst, `,"intra_moves":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Intra), 10)
+	}
+	if ev.Examined != 0 {
+		dst = append(dst, `,"examined":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Examined), 10)
+	}
+	if ev.Stranded != 0 {
+		dst = append(dst, `,"stranded":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Stranded), 10)
+	}
+	if ev.Fenced != 0 {
+		dst = append(dst, `,"fenced":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Fenced), 10)
+	}
+	if ev.Seconds != 0 {
+		dst = append(dst, `,"seconds":`...)
+		dst = strconv.AppendFloat(dst, ev.Seconds, 'g', -1, 64)
+	}
+	return append(dst, '}')
+}
+
+// AppendSSE appends one fleet event as a complete Server-Sent-Events frame:
+//
+//	event: <type>\n
+//	data: <AppendEvent JSON>\n
+//	\n
+func AppendSSE(dst []byte, ev *fleet.Event) []byte {
+	dst = append(dst, `event: `...)
+	dst = append(dst, ev.Type.String()...)
+	dst = append(dst, "\ndata: "...)
+	dst = AppendEvent(dst, ev)
+	return append(dst, "\n\n"...)
+}
+
+// AppendDroppedSSE appends the synthetic backpressure frame announcing n
+// events were dropped between the previous frame and the next one.
+func AppendDroppedSSE(dst []byte, n uint64) []byte {
+	dst = append(dst, "event: dropped\ndata: {\"dropped\":"...)
+	dst = strconv.AppendUint(dst, n, 10)
+	return append(dst, "}\n\n"...)
+}

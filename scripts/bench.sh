@@ -1,7 +1,12 @@
 #!/bin/sh
 # Runs the benchmark suite with a fixed -benchtime and converts the output
 # to a JSON report: one record per benchmark with ns/op, B/op and
-# allocs/op. Two gate layers run after the suite:
+# allocs/op. The suite spans the root package plus the wire-facing
+# packages (internal/fleet event publication, internal/wire encoders) and
+# one live end-to-end measurement: a real numaplaced daemon on loopback
+# driven by `loadgen -quick`, whose place-latency p99 is recorded as the
+# synthetic benchmark LoadgenQuickP99. Two gate layers run after the
+# suite:
 #
 #   1. In-run gates on the fresh numbers: the Engine warm/cold memoization
 #      ratio (>= 50x), the compiled-forest scoring paths
@@ -9,22 +14,28 @@
 #      0 allocs/op), every BenchmarkClusterAdmit policy admitting in
 #      under 1 ms on a warm fleet (with health tracking and domain-spread
 #      routing enabled — the failure-aware fleet must not slow the
-#      serving path), and BenchmarkFailover present (machine-death
-#      recovery is benchmarked, not just tested).
+#      serving path), BenchmarkFailover present (machine-death
+#      recovery is benchmarked, not just tested), the wire hot paths
+#      allocation-free (BenchmarkEventPublish, BenchmarkWireAppendPlace
+#      and BenchmarkWireAppendSSE all at 0 allocs/op — event fan-out and
+#      response encoding must not tax admissions), BenchmarkWirePlace
+#      (full client→HTTP→fleet place+release round trip) present and
+#      under 1 ms, and the live loadgen p99 under 1 ms.
 #   2. Compare gates against the previous BENCH_*.json. Against a
 #      pre-PR-3 baseline (BENCH_0..2) the PR 3 ns/op floors apply; against
 #      BENCH_3 the PR 4 flat-data-plane floors apply: Figure4AMD/Intel at
 #      <= 0.75x ns/op AND <= 0.3x bytes/op, AblationForestSize/trees-100
-#      at <= 0.5x allocs/op. Against BENCH_4 (the PR 5 fleet layer) and
-#      BENCH_5 (the PR 6 failure-aware fleet) — eras that add subsystems
-#      rather than speedups — only the generic > 20% ns/op regression
-#      check applies; it covers every benchmark present in both reports.
+#      at <= 0.5x allocs/op. Against BENCH_4 (the PR 5 fleet layer),
+#      BENCH_5 (the PR 6 failure-aware fleet) and BENCH_6 (the PR 7 wire
+#      daemon) — eras that add subsystems rather than speedups — only the
+#      generic > 20% ns/op regression check applies; it covers every
+#      benchmark present in both reports.
 #
 # Usage:
 #   scripts/bench.sh [output.json]          run suite, write report, gate
 #   scripts/bench.sh --compare NEW OLD      compare two reports only
 #
-# Default output: BENCH_6.json. The comparison baseline is the
+# Default output: BENCH_7.json. The comparison baseline is the
 # highest-numbered BENCH_*.json other than the output file.
 set -eu
 
@@ -68,6 +79,7 @@ compare_reports() {
         BENCH_3.json)     era=pr4 ;;
         BENCH_4.json)     era=pr5 ;;
         BENCH_5.json)     era=pr6 ;;
+        BENCH_6.json)     era=pr7 ;;
     esac
     echo "comparing $new against $old (floor era: $era)"
     awk -v newfile="$new" -v oldfile="$old" -v era="$era" '
@@ -122,19 +134,23 @@ compare_reports() {
             bfloor["BenchmarkFigure4Intel"] = 0.3                  # >= 70% fewer bytes
             afloor["BenchmarkAblationForestSize/trees-100"] = 0.5  # >= 2x fewer allocs
         }
-        # era == "pr5" (fleet layer) and era == "pr6" (failure-aware
-        # fleet): no speedup floors — the generic regression gate below
-        # protects every earlier win.
+        # era == "pr5" (fleet layer), era == "pr6" (failure-aware fleet)
+        # and era == "pr7" (wire daemon): no speedup floors — the generic
+        # regression gate below protects every earlier win.
         regress = 1.2                                              # > 20% beyond drift fails
         minns = 100000                                             # regression gate floor: 100 us
         while ((getline line < newfile) > 0) record("new", line)
         while ((getline line < oldfile) > 0) record("old", line)
         # Hardware-drift estimate: median ns/op ratio over the gated
-        # (>= 100 us) benchmarks present in both reports.
+        # (>= 100 us) benchmarks present in both reports. LoadgenQuickP99
+        # is excluded everywhere in this function: a closed-loop loopback
+        # tail latency mixes kernel scheduling and socket noise that
+        # swings far past 20% between machines — its in-run 1 ms ceiling
+        # is the gate that matters.
         nratios = 0
         for (name in newns) {
             o = oldfor(name)
-            if (o == "" || oldns[o]+0 < minns) continue
+            if (o == "" || oldns[o]+0 < minns || name ~ /^LoadgenQuick/) continue
             ratios[nratios++] = newns[name] / oldns[o]
         }
         drift = 1
@@ -151,7 +167,7 @@ compare_reports() {
         fails = 0
         for (name in newns) {
             o = oldfor(name)
-            if (o == "") continue
+            if (o == "" || name ~ /^LoadgenQuick/) continue
             # Floor lookup: raw name first, then with any -GOMAXPROCS
             # suffix stripped (new reports recorded on multi-core machines
             # carry one; the floor keys never do).
@@ -180,12 +196,70 @@ if [ "${1:-}" = "--compare" ]; then
     exit 0
 fi
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+bindir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -f "$tmp"
+    rm -rf "$bindir"
+}
+trap cleanup EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp"
+
+# The wire-facing hot paths live outside the root package: event
+# publication under Fleet.mu (internal/fleet) and the pooled response /
+# SSE encoders (internal/wire). Their lines land in the same report.
+go test -run '^$' -bench 'BenchmarkEventPublish' -benchmem -benchtime "$benchtime" -count 1 ./internal/fleet/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkWireAppend' -benchmem -benchtime "$benchtime" -count 1 ./internal/wire/ | tee -a "$tmp"
+
+# Live end-to-end measurement: a real daemon on an ephemeral loopback
+# port, driven by loadgen — one warm-up pass (first requests after
+# training pay cold caches and fresh connections), then three measured
+# single-worker passes whose best place-latency p99 is recorded as the
+# synthetic benchmark LoadgenQuickP99 and gated below at < 1 ms. Single
+# worker because on few-core CI runners a closed loop with concurrency
+# measures kernel scheduling of the generator's own goroutines, not the
+# wire; min-of-3 because external noise only ever inflates a latency
+# tail, so the minimum is the sound estimator for a ceiling gate.
+echo "starting numaplaced for the loopback e2e measurement..."
+go build -o "$bindir/numaplaced" ./cmd/numaplaced
+go build -o "$bindir/loadgen" ./cmd/loadgen
+"$bindir/numaplaced" -listen 127.0.0.1:0 -quick > "$bindir/daemon.log" 2>&1 &
+daemon_pid=$!
+addr=""
+i=0
+while [ $i -lt 600 ]; do
+    addr="$(sed -n 's|^numaplaced: serving on \(http://[^ ]*\)$|\1|p' "$bindir/daemon.log")"
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "FAIL: daemon died during startup"; cat "$bindir/daemon.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || { echo "FAIL: daemon not ready after 60s"; cat "$bindir/daemon.log"; exit 1; }
+"$bindir/loadgen" -addr "$addr" -quick > /dev/null
+p99=""
+nreq=""
+for pass in 1 2 3; do
+    "$bindir/loadgen" -addr "$addr" -quick -c 1 -json > "$bindir/loadgen.json"
+    p="$(sed -n 's/.*"p99_ns":\([0-9]*\).*/\1/p' "$bindir/loadgen.json")"
+    [ -n "$p" ] || { echo "FAIL: loadgen emitted no p99_ns"; cat "$bindir/loadgen.json"; exit 1; }
+    echo "loadgen pass $pass: p99 $p ns"
+    if [ -z "$p99" ] || [ "$p" -lt "$p99" ]; then
+        p99="$p"
+        nreq="$(sed -n 's/.*"n":\([0-9]*\).*/\1/p' "$bindir/loadgen.json")"
+    fi
+done
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "FAIL: daemon exited non-zero"; cat "$bindir/daemon.log"; exit 1; }
+daemon_pid=""
+printf 'BenchmarkLoadgenQuickP99 %s %s ns/op\n' "$nreq" "$p99" | tee -a "$tmp"
 
 awk -v benchtime="$benchtime" '
 BEGIN { n = 0 }
@@ -260,6 +334,40 @@ END {
     if (seen == 0) { print "FAIL: BenchmarkClusterAdmit missing"; exit 1 }
     if (failover == 0) { print "FAIL: BenchmarkFailover missing"; exit 1 }
     if (bad > 0) exit 1
+}' "$tmp"
+
+# Gate: the wire hot paths must be allocation-free — event publication
+# under Fleet.mu with an active subscriber (BenchmarkEventPublish), the
+# pooled Place response encoder (BenchmarkWireAppendPlace) and the SSE
+# frame encoder (BenchmarkWireAppendSSE). An allocating publish would tax
+# every admission on a daemon with subscribers attached.
+awk '
+/^BenchmarkEventPublish/   { for (i=3;i<NF;i++) if ($(i+1)=="allocs/op") pub=$i }
+/^BenchmarkWireAppendPlace/ { for (i=3;i<NF;i++) if ($(i+1)=="allocs/op") enc=$i }
+/^BenchmarkWireAppendSSE/  { for (i=3;i<NF;i++) if ($(i+1)=="allocs/op") sse=$i }
+END {
+    if (pub == "") { print "FAIL: BenchmarkEventPublish missing"; exit 1 }
+    if (enc == "") { print "FAIL: BenchmarkWireAppendPlace missing"; exit 1 }
+    if (sse == "") { print "FAIL: BenchmarkWireAppendSSE missing"; exit 1 }
+    printf "wire allocations: publish %s, place-encode %s, sse-encode %s allocs/op\n", pub, enc, sse
+    if (pub + 0 != 0) { print "FAIL: event publish allocates on the admission hot path"; exit 1 }
+    if (enc + 0 != 0) { print "FAIL: AppendPlace response encoding allocates"; exit 1 }
+    if (sse + 0 != 0) { print "FAIL: AppendSSE event framing allocates"; exit 1 }
+}' "$tmp"
+
+# Gate: the full wire round trip must stay under the same 1 ms admission
+# bound the in-process fleet path honors — BenchmarkWirePlace (typed
+# client -> HTTP -> fleet place+release over loopback, with an active SSE
+# subscriber) and the live closed-loop p99 from the loadgen run.
+awk '
+/^BenchmarkWirePlace/      { for (i=3;i<NF;i++) if ($(i+1)=="ns/op") rt=$i }
+/^BenchmarkLoadgenQuickP99/ { p99=$3 }
+END {
+    if (rt == "") { print "FAIL: BenchmarkWirePlace missing"; exit 1 }
+    if (p99 == "") { print "FAIL: LoadgenQuickP99 missing"; exit 1 }
+    printf "wire place round trip: %s ns/op, live loadgen p99: %s ns\n", rt, p99
+    if (rt + 0 > 1000000) { print "FAIL: wire place round trip slower than 1 ms"; exit 1 }
+    if (p99 + 0 > 1000000) { print "FAIL: live loadgen place p99 above 1 ms"; exit 1 }
 }' "$tmp"
 
 # Compare against the previous report, if one exists.
