@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchsmoke clustersmoke crashsmoke daemonsmoke profile ci
+.PHONY: all build vet test race bench benchsmoke clustersmoke crashsmoke daemonsmoke walsmoke profile ci
 
 all: build
 
@@ -27,22 +27,25 @@ test:
 # Cluster admissions), the serving scheduler in internal/sched, the
 # cluster fleet layer in internal/fleet (admissions racing machine death,
 # failover and event subscribers), the wire server and its typed client
-# (concurrent handlers, SSE fan-out, retry loops), the event kernel in
+# (concurrent handlers, SSE fan-out, retry loops), the write-ahead log in
+# internal/wal (group commit racing appends, snapshot racing mutations),
+# the restart-scenario simulator in cmd/clustersim, the event kernel in
 # internal/des and the workload catalog in internal/workloads.
 race:
-	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/ ./internal/fleet/ ./internal/wire/ ./client/ ./internal/des/ ./internal/workloads/
+	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/ ./internal/fleet/ ./internal/wal/ ./internal/wire/ ./client/ ./cmd/clustersim/ ./internal/des/ ./internal/workloads/
 
 # Runs the full benchmark suite with fixed -benchtime and emits
-# BENCH_7.json, then applies the gates: Engine warm-cache >= 50x, the
+# BENCH_8.json, then applies the gates: Engine warm-cache >= 50x, the
 # compiled-forest serving AND batch paths at 0 allocs/op, every fleet
 # routing policy admitting in < 1 ms with health tracking enabled, the
 # wire hot paths at 0 allocs/op (event publish, place-response and SSE
 # encoders), the client->daemon round trip and the live loadgen p99 both
-# under 1 ms, the era-matched speedup floors (ns/op, bytes/op and
+# under 1 ms, the WAL append at 0 allocs/op with a 10k-record recovery
+# under 100 ms, the era-matched speedup floors (ns/op, bytes/op and
 # allocs/op) and a > 20% regression check against the previous
 # BENCH_*.json. Override the budget with BENCHTIME=200ms etc.
 bench:
-	sh scripts/bench.sh BENCH_7.json
+	sh scripts/bench.sh BENCH_8.json
 
 # Deterministic fleet churn smoke: 200 containers over the AMD+Intel
 # cluster at reduced training fidelity. CI runs this on every push.
@@ -64,11 +67,18 @@ crashsmoke:
 daemonsmoke:
 	sh scripts/daemonsmoke.sh
 
+# Crash-recovery smoke: a live daemon with -data-dir is loaded, killed
+# with SIGKILL while tenants are resident, and restarted on the same log;
+# /v1/assignments must be byte-identical across the crash and the
+# recovered state must accept a release. CI runs this on every push.
+walsmoke:
+	sh scripts/walsmoke.sh
+
 # One-iteration pass over every benchmark (root plus the wire-facing
 # packages): catches benchmark rot (setup errors, API drift) without
 # paying for stable timings. CI runs this on every push.
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime=1x -count 1 . ./internal/fleet/ ./internal/wire/
+	$(GO) test -run '^$$' -bench . -benchtime=1x -count 1 . ./internal/fleet/ ./internal/wal/ ./internal/wire/
 
 # Emits a CPU profile of the heaviest training pipeline (the Figure 4
 # cross-validation grid) for `go tool pprof repro.test cpu.prof`.

@@ -288,6 +288,28 @@ func (c *Client) Assignments(ctx context.Context) ([]wire.PlaceResponse, error) 
 	return out.Assignments, nil
 }
 
+// LogHead reads the daemon's durability position: last logged sequence,
+// newest snapshot, and what boot-time recovery replayed. Persistent is
+// false when the daemon runs without a write-ahead log.
+func (c *Client) LogHead(ctx context.Context) (*wire.LogHead, error) {
+	var out wire.LogHead
+	if err := c.do(ctx, http.MethodGet, "/v1/log/head", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot forces a checkpoint and returns the sequence it covers.
+// Against a daemon without persistence the error satisfies
+// errors.Is(err, nperr.ErrLogClosed).
+func (c *Client) Snapshot(ctx context.Context) (uint64, error) {
+	var out wire.SnapshotResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/snapshot", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.Seq, nil
+}
+
 // HealthOf reads one backend's health state.
 func (c *Client) HealthOf(ctx context.Context, backend string) (string, error) {
 	var out wire.HealthResponse

@@ -101,6 +101,7 @@ const (
 	EventRebalance = fleet.EvRebalance
 	EventDrain     = fleet.EvDrain
 	EventRevive    = fleet.EvRevive
+	EventResume    = fleet.EvResume
 )
 
 // Routing policies for ClusterConfig.Policy.

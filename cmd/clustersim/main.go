@@ -22,11 +22,22 @@
 //
 // Usage:
 //
+// The restart scenario exercises the durability layer end to end inside
+// the simulation: the control plane logs every mutation to a write-ahead
+// log, "crashes" at sim time t (the cluster object and its engines are
+// discarded), rebuilds the engines from scratch with the same seeds, and
+// recovers the fleet by replaying the log. The recovered state must be
+// byte-identical to the pre-crash state — the simulator verifies it and
+// the report says so deterministically.
+//
+// Usage:
+//
 //	clustersim -machines amd,intel -policy best-predicted -n 240 -seed 1
 //	clustersim -quick            # smaller training budget, CI smoke
 //	clustersim -quick -crash amd-0@600          # kill amd-0 at t=600s
 //	clustersim -quick -slow intel-1@300         # flaky probes from t=300s
 //	clustersim -quick -partition amd-0@400:900  # unreachable in [400,900)
+//	clustersim -quick -restart 800              # crash+recover control plane at t=800s
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,6 +59,7 @@ import (
 	"repro"
 	"repro/internal/des"
 	"repro/internal/mlearn"
+	"repro/internal/wal"
 	"repro/internal/workloads"
 	"repro/internal/xrand"
 )
@@ -68,6 +81,8 @@ type simConfig struct {
 	crash      []eventSpec // machines that stop answering probes at t
 	slow       []eventSpec // machines answering every 3rd probe from t
 	partition  []spanSpec  // machines unreachable in [from, to)
+	restart    []float64   // control-plane crash+recover times
+	dataDir    string      // WAL directory for -restart ("" = fresh temp dir)
 	spread     bool        // spread workload replicas across racks
 
 	trials, trees, corpus int // training fidelity
@@ -100,6 +115,22 @@ func parseEvents(flagName, s string) ([]eventSpec, error) {
 			return nil, fmt.Errorf("-%s %q: bad time: %w", flagName, part, err)
 		}
 		out = append(out, eventSpec{name: name, at: at})
+	}
+	return out, nil
+}
+
+// parseTimes parses a comma-separated list of simulated times.
+func parseTimes(flagName, s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		at, err := strconv.ParseFloat(part, 64)
+		if err != nil || at <= 0 {
+			return nil, fmt.Errorf("-%s %q: want a positive sim time", flagName, part)
+		}
+		out = append(out, at)
 	}
 	return out, nil
 }
@@ -144,6 +175,7 @@ func main() {
 	crash := flag.String("crash", "", "crash scenario: machine@t[,...] — stops answering probes at sim time t, never recovers")
 	slow := flag.String("slow", "", "slow-node scenario: machine@t[,...] — answers only every third probe from sim time t")
 	partition := flag.String("partition", "", "partition scenario: machine@t1:t2[,...] — unreachable in [t1,t2), then rejoins")
+	restart := flag.String("restart", "", "restart scenario: t[,...] — crash the control plane at sim time t and recover it from its write-ahead log")
 	spread := flag.Bool("spread", false, "spread replicas of a workload across failure domains (racks)")
 	quick := flag.Bool("quick", false, "reduced training fidelity and a 200-container trace (CI smoke)")
 	flag.Parse()
@@ -189,6 +221,8 @@ func main() {
 	scenarioErr(err)
 	cfg.partition, err = parseSpans("partition", *partition)
 	scenarioErr(err)
+	cfg.restart, err = parseTimes("restart", *restart)
+	scenarioErr(err)
 	if *quick {
 		cfg.trials, cfg.trees, cfg.corpus = 2, 10, 10
 		if !flagSet("n") {
@@ -212,6 +246,50 @@ func flagSet(name string) bool {
 	return set
 }
 
+// buildCluster builds and trains one Engine per configured machine and
+// assembles them into a cluster. Training is fully seeded, so calling this
+// twice (initial boot and a -restart recovery) yields engines whose
+// predictions agree decision for decision — the property WAL replay needs.
+// Machines alternate between two racks — the failure domains the -spread
+// routing preference and the per-domain stats report against.
+func buildCluster(ctx context.Context, cfg simConfig, out io.Writer) (*numaplace.Cluster, []string, error) {
+	cl := numaplace.NewCluster(numaplace.ClusterConfig{
+		Policy: cfg.policy, DrainBelow: cfg.drainBelow, SpreadDomains: cfg.spread,
+	})
+	names := make([]string, 0, len(cfg.machines))
+	for i, mname := range cfg.machines {
+		m, ok := numaplace.MachineByName(mname)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown machine %q", mname)
+		}
+		eng := numaplace.New(m,
+			numaplace.WithCollectConfig(numaplace.CollectConfig{Trials: cfg.trials}),
+			numaplace.WithTrainConfig(numaplace.TrainConfig{
+				Seed: 1, Forest: mlearn.ForestConfig{Trees: cfg.trees},
+				SelectionTrees: 4, SelectionFolds: 3,
+			}),
+		)
+		ws := append(workloads.Paper(),
+			workloads.CorpusFrom(cfg.corpus, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
+		ds, err := eng.Collect(ctx, ws, cfg.vcpus)
+		if err != nil {
+			return nil, nil, fmt.Errorf("collecting on %s: %w", mname, err)
+		}
+		pred, err := eng.Train(ctx, ds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("training on %s: %w", mname, err)
+		}
+		name := fmt.Sprintf("%s-%d", mname, i)
+		if err := cl.Add(name, eng, numaplace.InDomain(fmt.Sprintf("rack-%d", i%2))); err != nil {
+			return nil, nil, err
+		}
+		names = append(names, name)
+		fmt.Fprintf(out, "trained %-8s %-22s %3d workloads x %2d placements, base/probe %d/%d\n",
+			name, m.Topo.Name, len(ws), pred.NumPlacements, pred.Base, pred.Probe)
+	}
+	return cl, names, nil
+}
+
 // run executes the churn trace and writes the deterministic report to out;
 // wall-clock admission latencies go to errw.
 func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
@@ -228,43 +306,36 @@ func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
 	for _, p := range cfg.partition {
 		fmt.Fprintf(out, "scenario: %s partitioned in t=[%g,%g)s (probes every %gs)\n", p.name, p.from, p.to, cfg.probeEvery)
 	}
+	for _, rt := range cfg.restart {
+		fmt.Fprintf(out, "scenario: control plane crashes and recovers from its log at t=%gs\n", rt)
+	}
 
-	// Build and train one Engine per machine, then assemble the cluster.
-	// Machines alternate between two racks — the failure domains the
-	// -spread routing preference and the per-domain stats report against.
-	cl := numaplace.NewCluster(numaplace.ClusterConfig{
-		Policy: cfg.policy, DrainBelow: cfg.drainBelow, SpreadDomains: cfg.spread,
-	})
-	names := make([]string, 0, len(cfg.machines))
-	for i, mname := range cfg.machines {
-		m, ok := numaplace.MachineByName(mname)
-		if !ok {
-			return fmt.Errorf("unknown machine %q", mname)
+	cl, names, err := buildCluster(ctx, cfg, out)
+	if err != nil {
+		return err
+	}
+
+	// The restart scenario persists every fleet mutation to a real
+	// write-ahead log so the mid-trace recovery replays exactly what a
+	// restarted daemon would see.
+	var wlog *wal.Log
+	walDir := cfg.dataDir
+	if len(cfg.restart) > 0 {
+		if walDir == "" {
+			d, err := os.MkdirTemp("", "clustersim-wal")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(d)
+			walDir = d
 		}
-		eng := numaplace.New(m,
-			numaplace.WithCollectConfig(numaplace.CollectConfig{Trials: cfg.trials}),
-			numaplace.WithTrainConfig(numaplace.TrainConfig{
-				Seed: 1, Forest: mlearn.ForestConfig{Trees: cfg.trees},
-				SelectionTrees: 4, SelectionFolds: 3,
-			}),
-		)
-		ws := append(workloads.Paper(),
-			workloads.CorpusFrom(cfg.corpus, 42, []string{"flat", "bw", "lat", "smt-averse", "cache"})...)
-		ds, err := eng.Collect(ctx, ws, cfg.vcpus)
+		l, _, _, err := wal.Open(wal.Options{Dir: walDir, Fsync: wal.FsyncNone})
 		if err != nil {
-			return fmt.Errorf("collecting on %s: %w", mname, err)
+			return fmt.Errorf("opening write-ahead log in %s: %w", walDir, err)
 		}
-		pred, err := eng.Train(ctx, ds)
-		if err != nil {
-			return fmt.Errorf("training on %s: %w", mname, err)
-		}
-		name := fmt.Sprintf("%s-%d", mname, i)
-		if err := cl.Add(name, eng, numaplace.InDomain(fmt.Sprintf("rack-%d", i%2))); err != nil {
-			return err
-		}
-		names = append(names, name)
-		fmt.Fprintf(out, "trained %-8s %-22s %3d workloads x %2d placements, base/probe %d/%d\n",
-			name, m.Topo.Name, len(ws), pred.NumPlacements, pred.Base, pred.Probe)
+		defer func() { wlog.Close() }()
+		wlog = l
+		cl.Fleet().SetPersister(wlog)
 	}
 
 	// Pre-generate the whole trace so the rng stream is independent of
@@ -386,23 +457,13 @@ func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
 	// partition rejoins via Revive (fencing records failed over in its
 	// absence). All transitions are logged with their simulated times.
 	var failoverStranded int
-	if cfg.probeEvery > 0 {
-		for _, spec := range cfg.crash {
-			if _, ok := cl.Engine(spec.name); !ok {
-				return fmt.Errorf("-crash: unknown machine %q (have %s)", spec.name, strings.Join(names, ", "))
-			}
-		}
-		for _, spec := range cfg.slow {
-			if _, ok := cl.Engine(spec.name); !ok {
-				return fmt.Errorf("-slow: unknown machine %q (have %s)", spec.name, strings.Join(names, ", "))
-			}
-		}
-		for _, spec := range cfg.partition {
-			if _, ok := cl.Engine(spec.name); !ok {
-				return fmt.Errorf("-partition: unknown machine %q (have %s)", spec.name, strings.Join(names, ", "))
-			}
-		}
-		slowCount := map[string]int{}
+	var mon *numaplace.ClusterMonitor
+	slowCount := map[string]int{}
+	// startMonitor builds a monitor over the CURRENT cluster value: the
+	// restart scenario discards the cluster mid-trace, and a monitor wired
+	// to the dead one would probe the past. The slow-scenario probe counter
+	// deliberately lives outside so flakiness phase survives a restart.
+	startMonitor := func() error {
 		probe := func(name string) bool {
 			now := sim.Now()
 			for _, c := range cfg.crash {
@@ -427,7 +488,7 @@ func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
 			}
 			return true
 		}
-		mon, err := cl.Monitor(numaplace.SimTimers{Sim: &sim}, numaplace.ClusterMonitorConfig{
+		m, err := cl.Monitor(numaplace.SimTimers{Sim: &sim}, numaplace.ClusterMonitorConfig{
 			IntervalSeconds: cfg.probeEvery,
 			Probe:           probe,
 			Until:           func() bool { return runErr == nil && (remaining > 0 || cl.Len() > 0) },
@@ -454,8 +515,90 @@ func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
 		if err != nil {
 			return err
 		}
+		mon = m
 		mon.Start(ctx)
-		defer mon.Stop()
+		return nil
+	}
+	if cfg.probeEvery > 0 {
+		for _, spec := range cfg.crash {
+			if _, ok := cl.Engine(spec.name); !ok {
+				return fmt.Errorf("-crash: unknown machine %q (have %s)", spec.name, strings.Join(names, ", "))
+			}
+		}
+		for _, spec := range cfg.slow {
+			if _, ok := cl.Engine(spec.name); !ok {
+				return fmt.Errorf("-slow: unknown machine %q (have %s)", spec.name, strings.Join(names, ", "))
+			}
+		}
+		for _, spec := range cfg.partition {
+			if _, ok := cl.Engine(spec.name); !ok {
+				return fmt.Errorf("-partition: unknown machine %q (have %s)", spec.name, strings.Join(names, ", "))
+			}
+		}
+		if err := startMonitor(); err != nil {
+			return err
+		}
+		defer func() { mon.Stop() }()
+	}
+
+	// Restart scenario: at each configured time the control plane crashes —
+	// the cluster object and its engines are dropped on the floor — and a
+	// successor rebuilds the engines (same seeds, same training), replays
+	// the write-ahead log into them, and resumes the trace. Recovery is
+	// verified on the spot: the recovered assignments and stats must equal
+	// the pre-crash ones exactly, and the run fails loudly if they do not.
+	for _, rt := range cfg.restart {
+		rt := rt
+		sim.At(rt, func() {
+			if runErr != nil {
+				return
+			}
+			account()
+			prevAssign := cl.Assignments()
+			prevStats := cl.Stats()
+			fmt.Fprintf(out, "t=%8.1f  restart: control plane down with %d tenants at seq %d\n",
+				sim.Now(), len(prevAssign), cl.Fleet().WALSeq())
+			if mon != nil {
+				mon.Stop()
+				mon = nil
+			}
+			if err := wlog.Close(); err != nil {
+				runErr = err
+				return
+			}
+			cl2, _, err := buildCluster(ctx, cfg, io.Discard)
+			if err != nil {
+				runErr = fmt.Errorf("restart at t=%g: rebuilding engines: %w", rt, err)
+				return
+			}
+			l2, st, recs, err := wal.Open(wal.Options{Dir: walDir, Fsync: wal.FsyncNone})
+			if err != nil {
+				runErr = fmt.Errorf("restart at t=%g: reopening log: %w", rt, err)
+				return
+			}
+			if err := cl2.Fleet().Restore(ctx, st, recs, workloads.ByName); err != nil {
+				runErr = fmt.Errorf("restart at t=%g: replaying log: %w", rt, err)
+				return
+			}
+			cl2.Fleet().SetPersister(l2)
+			wlog = l2
+			identical := reflect.DeepEqual(prevAssign, cl2.Assignments()) &&
+				reflect.DeepEqual(prevStats, cl2.Stats())
+			fmt.Fprintf(out, "t=%8.1f  restart: recovered %d tenants at seq %d, state identical: %v\n",
+				sim.Now(), len(cl2.Assignments()), l2.Head().RecoveredSeq, identical)
+			if !identical {
+				runErr = fmt.Errorf("restart at t=%g: recovered state diverged from pre-crash state", rt)
+				return
+			}
+			cl = cl2
+			if cfg.probeEvery > 0 {
+				if err := startMonitor(); err != nil {
+					runErr = err
+					return
+				}
+			}
+			account()
+		})
 	}
 
 	end := sim.Run()

@@ -72,6 +72,58 @@ func TestClustersimPolicies(t *testing.T) {
 	}
 }
 
+// TestClustersimRestart runs the control-plane crash scenario — mid-trace
+// the cluster is discarded, engines are rebuilt from scratch, and the
+// write-ahead log is replayed into them — and asserts (a) the in-sim
+// identity check passes (recovered assignments and stats equal the
+// pre-crash ones exactly), (b) the whole trace, recovery included, is
+// byte-identical across GOMAXPROCS 1 and 4, and (c) nothing leaks. The
+// second restart replays a log that already spans a failover, so the
+// health-transition records are exercised too.
+func TestClustersimRestart(t *testing.T) {
+	ctx := context.Background()
+	mk := func() simConfig {
+		cfg := quickCfg("best-predicted", 120)
+		cfg.probeEvery = 10
+		cfg.crash = []eventSpec{{name: "amd-0", at: 400}}
+		cfg.restart = []float64{300, 700}
+		cfg.dataDir = t.TempDir()
+		return cfg
+	}
+	outputs := make([][]byte, 0, 2)
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		var out bytes.Buffer
+		err := run(ctx, mk(), &out, io.Discard)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("run at GOMAXPROCS %d: %v", procs, err)
+		}
+		outputs = append(outputs, out.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Fatalf("restart trace differs between GOMAXPROCS 1 and 4:\n--- procs=1 ---\n%s\n--- procs=4 ---\n%s",
+			outputs[0], outputs[1])
+	}
+	got := outputs[0]
+	if n := bytes.Count(got, []byte("restart: recovered")); n != 2 {
+		t.Errorf("want 2 recovery lines, got %d:\n%s", n, got)
+	}
+	if bytes.Contains(got, []byte("state identical: false")) {
+		t.Errorf("recovered state diverged from pre-crash state:\n%s", got)
+	}
+	for _, want := range []string{
+		"state identical: true",
+		"leaked tenants          0",
+		"unfenced records        0 on live machines",
+		"suspect -> dead",
+	} {
+		if !bytes.Contains(got, []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
 // TestClustersimFailureScenarios runs each failure-injection scenario and
 // asserts (a) byte-identical output across GOMAXPROCS 1 and 4 — recovery
 // must ride the deterministic event stream — and (b) the recovery

@@ -35,6 +35,7 @@ import (
 
 	"repro/client"
 	"repro/internal/nperr"
+	"repro/internal/wire"
 	"repro/internal/workloads"
 	"repro/internal/xrand"
 )
@@ -110,6 +111,14 @@ type result struct {
 	MaxNs         int64   `json:"max_ns"`
 	EventsSeen    int64   `json:"events_seen"`
 	EventsDropped uint64  `json:"events_dropped"`
+	// Durability posture of the daemon under test, read from /v1/log/head
+	// at readiness: whether it persists at all, what boot-time recovery
+	// replayed, and how many tenants it woke up with. walsmoke diffs
+	// RecoveredTenants/RecoveredSeq across a kill -9 restart.
+	Persistent       bool   `json:"persistent"`
+	RecoveredSeq     uint64 `json:"recovered_seq"`
+	RecoveredTenants int    `json:"recovered_tenants"`
+	LogSeq           uint64 `json:"log_seq"`
 }
 
 func run(ctx context.Context, addr string, n, workers, vcpus int, seed uint64,
@@ -131,6 +140,15 @@ func run(ctx context.Context, addr string, n, workers, vcpus int, seed uint64,
 			return ctx.Err()
 		case <-time.After(100 * time.Millisecond):
 		}
+	}
+
+	// Durability metadata: which sequence the daemon recovered to and how
+	// many tenants it woke up with. Best-effort against older daemons —
+	// the endpoint always exists on current ones, persistent=false when
+	// the daemon runs without -data-dir.
+	var head *wire.LogHead
+	if h, err := c.LogHead(ctx); err == nil {
+		head = h
 	}
 
 	// Event watcher: counts every frame this subscriber sees and every
@@ -264,6 +282,17 @@ func run(ctx context.Context, addr string, n, workers, vcpus int, seed uint64,
 		EventsSeen:    atomic.LoadInt64(&eventsSeen),
 		EventsDropped: atomic.LoadUint64(&eventsDropped),
 	}
+	if head != nil {
+		res.Persistent = head.Persistent
+		res.RecoveredSeq = head.RecoveredSeq
+		res.RecoveredTenants = head.RecoveredTenants
+		// Re-read at the end so LogSeq reflects the run's own writes.
+		if h, err := c.LogHead(ctx); err == nil {
+			res.LogSeq = h.Seq
+		} else {
+			res.LogSeq = head.Seq
+		}
+	}
 	if len(latencies) > 0 {
 		res.MaxNs = latencies[len(latencies)-1].Nanoseconds()
 	}
@@ -299,4 +328,8 @@ func report(w io.Writer, r result) {
 		time.Duration(r.P50Ns), time.Duration(r.P90Ns), time.Duration(r.P99Ns),
 		time.Duration(r.P999Ns), time.Duration(r.MaxNs))
 	fmt.Fprintf(w, "events: %d seen, %d dropped\n", r.EventsSeen, r.EventsDropped)
+	if r.Persistent {
+		fmt.Fprintf(w, "durability: log seq %d (daemon recovered %d tenants at seq %d)\n",
+			r.LogSeq, r.RecoveredTenants, r.RecoveredSeq)
+	}
 }

@@ -9,14 +9,25 @@
 // stats, assignments, health/{backend}, healthz, and the events stream
 // (Server-Sent Events).
 //
+// With -data-dir the daemon is crash-recoverable: every fleet mutation is
+// appended to a write-ahead log under the directory before the response
+// leaves, and on the next boot the daemon replays the log (plus the newest
+// snapshot) into freshly rebuilt engines, so live admissions survive a
+// kill -9. A log that fails structural validation refuses the boot with a
+// non-zero exit — serving from silently wrong state is worse than not
+// serving. GET /v1/log/head reports the durability position; POST
+// /v1/snapshot forces a checkpoint.
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: event streams are
-// closed, in-flight requests drain within -shutdown-timeout, and the
-// process exits 0. Bad flags exit 2 with usage.
+// closed, in-flight requests drain within -shutdown-timeout, the fleet is
+// checkpointed, the log is flushed and closed, and the process exits 0.
+// Bad flags exit 2 with usage.
 //
 // Usage:
 //
 //	numaplaced -listen 127.0.0.1:7070 -machines amd,intel -policy best-predicted
 //	numaplaced -listen 127.0.0.1:0 -quick     # ephemeral port, CI training budget
+//	numaplaced -listen 127.0.0.1:7070 -data-dir /var/lib/numaplaced -fsync interval
 package main
 
 import (
@@ -34,6 +45,8 @@ import (
 
 	"repro"
 	"repro/internal/mlearn"
+	"repro/internal/nperr"
+	"repro/internal/wal"
 	"repro/internal/wire"
 	"repro/internal/workloads"
 )
@@ -48,6 +61,10 @@ func main() {
 	eventsBuffer := flag.Int("events-buffer", 1024, "per-subscriber event ring size on /v1/events")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	quick := flag.Bool("quick", false, "reduced training fidelity (CI smoke)")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty: no persistence)")
+	fsync := flag.String("fsync", "always", "log durability policy: always, interval or none (with -data-dir)")
+	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "flush cadence under -fsync interval")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "periodic checkpoint cadence (0: only on shutdown and POST /v1/snapshot)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
@@ -65,36 +82,56 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fsyncPolicy, ok := wal.PolicyByName(*fsync)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown fsync policy %q\n", *fsync)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if err := run(ctx, config{
-		listen:       *listen,
-		machines:     strings.Split(*machineList, ","),
-		policy:       policy,
-		vcpus:        *vcpus,
-		drainBelow:   *drainBelow,
-		spread:       *spread,
-		eventsBuffer: *eventsBuffer,
-		shutdown:     *shutdownTimeout,
-		quick:        *quick,
+		listen:        *listen,
+		machines:      strings.Split(*machineList, ","),
+		policy:        policy,
+		vcpus:         *vcpus,
+		drainBelow:    *drainBelow,
+		spread:        *spread,
+		eventsBuffer:  *eventsBuffer,
+		shutdown:      *shutdownTimeout,
+		quick:         *quick,
+		dataDir:       *dataDir,
+		fsync:         fsyncPolicy,
+		fsyncInterval: *fsyncInterval,
+		snapshotEvery: *snapshotEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, nperr.ErrLogCorrupt) {
+			// Refusing to serve from damaged durable state is deliberate;
+			// exit 3 so supervisors can tell "operator must inspect
+			// -data-dir" from ordinary startup failures.
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
 
 type config struct {
-	listen       string
-	machines     []string
-	policy       numaplace.ClusterPolicy
-	vcpus        int
-	drainBelow   float64
-	spread       bool
-	eventsBuffer int
-	shutdown     time.Duration
-	quick        bool
+	listen        string
+	machines      []string
+	policy        numaplace.ClusterPolicy
+	vcpus         int
+	drainBelow    float64
+	spread        bool
+	eventsBuffer  int
+	shutdown      time.Duration
+	quick         bool
+	dataDir       string
+	fsync         wal.FsyncPolicy
+	fsyncInterval time.Duration
+	snapshotEvery time.Duration
 }
 
 func run(ctx context.Context, cfg config) error {
@@ -136,12 +173,65 @@ func run(ctx context.Context, cfg config) error {
 		fmt.Printf("numaplaced: trained %s (%s)\n", name, m.Topo.Name)
 	}
 
-	ws := wire.NewServer(cl.Fleet(), wire.Config{EventBuffer: cfg.eventsBuffer})
+	// Recovery happens after training and before serving: the engines are
+	// rebuilt deterministically (fixed seeds, same flags), so replaying the
+	// log against them reconstructs the pre-crash placements exactly.
+	f := cl.Fleet()
+	wcfg := wire.Config{EventBuffer: cfg.eventsBuffer}
+	var wlog *wal.Log
+	recovered := 0
+	if cfg.dataDir != "" {
+		l, st, recs, err := wal.Open(wal.Options{
+			Dir: cfg.dataDir, Fsync: cfg.fsync, Interval: cfg.fsyncInterval,
+		})
+		if err != nil {
+			return fmt.Errorf("opening write-ahead log in %s: %w", cfg.dataDir, err)
+		}
+		if err := f.Restore(ctx, st, recs, workloads.ByName); err != nil {
+			l.Close()
+			return fmt.Errorf("replaying write-ahead log in %s: %w", cfg.dataDir, err)
+		}
+		wlog = l
+		recovered = len(f.Assignments())
+		f.SetPersister(wlog)
+		defer wlog.Close()
+		head := wlog.Head()
+		fmt.Printf("numaplaced: recovered %d tenants at seq %d (snapshot %d) from %s\n",
+			recovered, head.RecoveredSeq, head.SnapshotSeq, cfg.dataDir)
+		wcfg.LogHead = func() wire.LogHead {
+			h := wlog.Head()
+			return wire.LogHead{
+				Seq: h.Seq, SnapshotSeq: h.SnapshotSeq, RecoveredSeq: h.RecoveredSeq,
+				RecoveredTenants: recovered, Persistent: true,
+			}
+		}
+		wcfg.Snapshot = func() (uint64, error) { return f.Checkpoint() }
+	}
+
+	ws := wire.NewServer(f, wcfg)
 	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", cfg.listen, err)
 	}
 	srv := &http.Server{Handler: ws}
+
+	// Periodic checkpoints bound the log tail a restart must replay.
+	if wlog != nil && cfg.snapshotEvery > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.snapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if _, err := f.Checkpoint(); err != nil {
+						fmt.Fprintf(os.Stderr, "numaplaced: periodic snapshot: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
 
 	// The readiness line load generators and the smoke test poll for.
 	fmt.Printf("numaplaced: serving on http://%s\n", ln.Addr())
@@ -157,6 +247,9 @@ func run(ctx context.Context, cfg config) error {
 
 	// Graceful shutdown: Stop ends the never-returning SSE handlers first
 	// (Shutdown waits for active handlers), then Shutdown drains the rest.
+	// Only after the last request has drained is the fleet checkpointed and
+	// the log flushed and closed — a mutation racing the final snapshot
+	// would otherwise be stranded in the buffer.
 	fmt.Println("numaplaced: shutting down")
 	ws.Stop()
 	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdown)
@@ -166,6 +259,16 @@ func run(ctx context.Context, cfg config) error {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if wlog != nil {
+		if seq, err := f.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "numaplaced: final snapshot: %v (log retained)\n", err)
+		} else {
+			fmt.Printf("numaplaced: checkpointed at seq %d\n", seq)
+		}
+		if err := wlog.Close(); err != nil {
+			return fmt.Errorf("closing write-ahead log: %w", err)
+		}
 	}
 	fmt.Println("numaplaced: bye")
 	return nil

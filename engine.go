@@ -85,6 +85,9 @@ type (
 	RebalanceMove = sched.RebalanceMove
 	// PlacePreview estimates the admission Place would make right now.
 	PlacePreview = sched.Preview
+	// RestoreRecord is one committed admission as recorded by a fleet
+	// write-ahead log, replayed through Adopt.
+	RestoreRecord = sched.Restore
 )
 
 // Option configures an Engine at construction.
@@ -447,6 +450,22 @@ func (e *Engine) Assignment(id int) (Assignment, bool) {
 // FreeNodes returns the node set not allocated to any placed container.
 func (e *Engine) FreeNodes() topology.NodeSet {
 	return e.serving().Free()
+}
+
+// Adopt installs one previously committed admission during recovery
+// replay: the recorded placement decision is taken as decided and the
+// derived artifacts (prediction vector, goal, thread pinning) are
+// recomputed deterministically, so the adopted tenant is bit-identical to
+// the one the original Place produced. See sched.Scheduler.Adopt.
+func (e *Engine) Adopt(ctx context.Context, r RestoreRecord) (*Assignment, error) {
+	return e.serving().Adopt(ctx, r)
+}
+
+// ApplyMove re-pins an admitted container to a previously committed
+// intra-machine rebalance decision without re-running the move search.
+// See sched.Scheduler.ApplyMove.
+func (e *Engine) ApplyMove(ctx context.Context, id, classID int, nodes topology.NodeSet) error {
+	return e.serving().ApplyMove(ctx, id, classID, nodes)
 }
 
 // NewPackingExperiment builds a §7 packing experiment (Figure 5) for one

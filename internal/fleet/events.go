@@ -59,6 +59,8 @@ const (
 	// EvRevive: Backend rejoined; Fenced stale engine-side records were
 	// released during fencing.
 	EvRevive
+	// EvResume: Backend reopened for admissions after a drain.
+	EvResume
 )
 
 func (t EventType) String() string {
@@ -79,6 +81,8 @@ func (t EventType) String() string {
 		return "drain"
 	case EvRevive:
 		return "revive"
+	case EvResume:
+		return "resume"
 	default:
 		return fmt.Sprintf("event(%d)", int(t))
 	}

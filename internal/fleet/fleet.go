@@ -52,6 +52,12 @@ type Backend interface {
 	Assignments() []sched.Assignment
 	Assignment(id int) (sched.Assignment, bool)
 	FreeNodes() topology.NodeSet
+	// Adopt installs one previously committed admission (recovery replay:
+	// the recorded decision is installed without re-observing) and
+	// ApplyMove one committed intra-machine rebalance move. See
+	// sched.Scheduler.Adopt / ApplyMove.
+	Adopt(ctx context.Context, r sched.Restore) (*sched.Assignment, error)
+	ApplyMove(ctx context.Context, id, classID int, nodes topology.NodeSet) error
 }
 
 // Policy selects how Place routes an admission across the fleet.
@@ -290,6 +296,13 @@ type Fleet struct {
 	subs     []*Subscription
 	eventSeq uint64
 
+	// Durability (see record.go). The write-ahead sequence is separate
+	// from eventSeq — events are only sequenced while subscribers exist,
+	// records always — and both are guarded by mu, so record order is
+	// commit order.
+	persister Persister
+	walSeq    uint64
+
 	admitted, rejected, released, moves int64
 	failovers, failedOver               int64
 	migrationSeconds                    float64
@@ -437,7 +450,12 @@ func spreadOrder(ranked []*member, occupied map[string]bool) []*member {
 // candidate ranking when a backend rejects. It fails with ErrFleetFull
 // (with every backend's rejection joined in) when no backend admits the
 // container.
-func (f *Fleet) Place(ctx context.Context, w perfsim.Workload, vcpus int) (*Admission, error) {
+func (f *Fleet) Place(ctx context.Context, w perfsim.Workload, vcpus int) (adm *Admission, err error) {
+	// Durability commit runs after the fleet lock is released (defers run
+	// LIFO against the per-branch unlocks below, so the order holds). A
+	// durability failure rides along WITH the admission: the in-memory
+	// commit stands either way, and hiding it would leak the container.
+	defer func() { err = f.joinDurable(err) }()
 	cands, errs, err := f.rank(ctx, w, vcpus)
 	if err != nil {
 		return nil, err
@@ -489,11 +507,15 @@ func (f *Fleet) Place(ctx context.Context, w perfsim.Workload, vcpus int) (*Admi
 		mem.tenants++
 		f.admitted++
 		f.publish(Event{Type: EvPlace, ID: id, Backend: mem.name, Workload: w.Name, VCPUs: vcpus})
+		f.persistLocked(Record{Type: RecPlace, ID: id, Backend: mem.name,
+			Workload: w.Name, VCPUs: vcpus, EngineID: a.ID, ClassID: a.Class,
+			Nodes: a.Nodes, BasePerf: a.BasePerf, ProbePerf: a.ProbePerf})
 		f.mu.Unlock()
 		return &Admission{ID: id, Backend: mem.name, Assignment: *a}, nil
 	}
 	f.mu.Lock()
 	f.rejected++
+	f.persistLocked(Record{Type: RecReject, ID: -1, Workload: w.Name, VCPUs: vcpus})
 	f.mu.Unlock()
 	sentinels := []error{nperr.ErrFleetFull}
 	if len(cands) == 0 {
@@ -568,7 +590,8 @@ func rankByPreview(ctx context.Context, mems []*member, w perfsim.Workload, vcpu
 // stays valid. If the backend eviction itself fails (cancellation), the
 // claim is rolled back so the container is not leaked off the fleet's
 // books.
-func (f *Fleet) Release(ctx context.Context, id int) error {
+func (f *Fleet) Release(ctx context.Context, id int) (err error) {
+	defer func() { err = f.joinDurable(err) }()
 	f.mu.Lock()
 	rec, ok := f.tenants[id]
 	if !ok {
@@ -580,22 +603,26 @@ func (f *Fleet) Release(ctx context.Context, id int) error {
 	if rec.mem.health == Dead {
 		f.released++
 		f.publish(Event{Type: EvRelease, ID: id, Backend: rec.mem.name, Workload: rec.w.Name, VCPUs: rec.vcpus})
+		f.persistLocked(Record{Type: RecRelease, ID: id, Backend: rec.mem.name,
+			Workload: rec.w.Name, VCPUs: rec.vcpus})
 		f.mu.Unlock()
 		return nil
 	}
 	mem, engineID := rec.mem, rec.engineID
 	f.mu.Unlock()
 
-	if err := mem.b.Release(ctx, engineID); err != nil {
+	if rerr := mem.b.Release(ctx, engineID); rerr != nil {
 		f.mu.Lock()
 		f.tenants[id] = rec
 		rec.mem.tenants++
 		f.mu.Unlock()
-		return fmt.Errorf("fleet: releasing container %d from %s: %w", id, mem.name, err)
+		return fmt.Errorf("fleet: releasing container %d from %s: %w", id, mem.name, rerr)
 	}
 	f.mu.Lock()
 	f.released++
 	f.publish(Event{Type: EvRelease, ID: id, Backend: mem.name, Workload: rec.w.Name, VCPUs: rec.vcpus})
+	f.persistLocked(Record{Type: RecRelease, ID: id, Backend: mem.name,
+		Workload: rec.w.Name, VCPUs: rec.vcpus})
 	f.mu.Unlock()
 	return nil
 }
@@ -744,8 +771,10 @@ func (f *Fleet) moveCost(ctx context.Context, rec *tenantRec) (float64, error) {
 // alone is authoritative. Destination rejections are appended to
 // *destErrs when the caller collects them (Drain and Failover do, so an
 // infra failure — untrained size, pin source down — is distinguishable
-// from a full fleet); a nil destErrs discards them. Callers hold f.mu.
-func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenantRec, cost float64, dests []*member, destErrs *[]error) (bool, error) {
+// from a full fleet); a nil destErrs discards them. failover marks moves
+// committed by a failover pass in the durable record (replay reconstructs
+// the FailedOver counter from the flag). Callers hold f.mu.
+func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenantRec, cost float64, dests []*member, destErrs *[]error, failover bool) (bool, error) {
 	for _, d := range dests {
 		a, err := d.b.Place(ctx, rec.w, rec.vcpus)
 		if err != nil {
@@ -773,6 +802,10 @@ func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenant
 		rec.mem.tenants--
 		f.publish(Event{Type: EvMove, ID: id, Backend: rec.mem.name, Dest: d.name,
 			Workload: rec.w.Name, VCPUs: rec.vcpus, Seconds: cost})
+		f.persistLocked(Record{Type: RecMove, ID: id, Backend: rec.mem.name, Dest: d.name,
+			Workload: rec.w.Name, VCPUs: rec.vcpus, EngineID: a.ID, ClassID: a.Class,
+			Nodes: a.Nodes, BasePerf: a.BasePerf, ProbePerf: a.ProbePerf,
+			Seconds: cost, Failover: failover})
 		rec.mem, rec.engineID, rec.assign = d, a.ID, *a
 		d.tenants++
 		f.moves++
@@ -780,6 +813,43 @@ func (f *Fleet) moveLocked(ctx context.Context, rep *Report, id int, rec *tenant
 		return true, nil
 	}
 	return false, nil
+}
+
+// logIntraLocked appends the durable records of one backend's intra-machine
+// rebalance pass: one RecIntraMove per committed move (the destination
+// class and nodes, replayed via ApplyMove) followed by one RecIntraPass
+// carrying the pass total, so replay reproduces MigrationSeconds with the
+// same single float addition the live pass made. It also refreshes each
+// moved tenant's recorded assignment from the backend's live books — the
+// snapshot a dead machine's tenants later resolve from must show where a
+// container runs NOW, not where it was first admitted. Callers hold f.mu.
+func (f *Fleet) logIntraLocked(m *member, intra *sched.RebalanceReport) {
+	if len(intra.Moves) == 0 {
+		return
+	}
+	type mapped struct {
+		fleetID int
+		rec     *tenantRec
+	}
+	byEngine := make(map[int]mapped, m.tenants)
+	for fid, rec := range f.tenants {
+		if rec.mem == m {
+			byEngine[rec.engineID] = mapped{fid, rec}
+		}
+	}
+	for _, mv := range intra.Moves {
+		fleetID := -1
+		if e, ok := byEngine[mv.ID]; ok {
+			fleetID = e.fleetID
+			if a, aok := m.b.Assignment(mv.ID); aok {
+				e.rec.assign = a
+			}
+		}
+		f.persistLocked(Record{Type: RecIntraMove, ID: fleetID, Backend: m.name,
+			EngineID: mv.ID, ClassID: mv.ToClass, Nodes: mv.ToNodes, Seconds: mv.Seconds})
+	}
+	f.persistLocked(Record{Type: RecIntraPass, ID: -1, Backend: m.name,
+		Moves: len(intra.Moves), Seconds: intra.TotalSeconds})
 }
 
 // eligibleDestsLocked filters the members able to receive a tenant moving
@@ -851,13 +921,15 @@ func (f *Fleet) tenantsOfLocked(m *member) []int {
 //
 // On error the report of work already committed is returned alongside the
 // error (migration seconds already spent are never discarded).
-func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, error) {
+func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (rep *Report, err error) {
+	defer func() { err = f.joinDurable(err) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	rep := &Report{BudgetSeconds: budgetSeconds}
+	rep = &Report{BudgetSeconds: budgetSeconds}
 	// The pass summary publishes whatever was committed, error or not —
 	// subscribers watching the stream see the same partial work the
-	// returned report carries.
+	// returned report carries. The matching durable summary is audit-only:
+	// every state change was already logged per-move.
 	defer func() {
 		intra := 0
 		for _, ip := range rep.Intra {
@@ -865,6 +937,8 @@ func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, 
 		}
 		f.publish(Event{Type: EvRebalance, ID: -1, Moves: len(rep.Moves), Intra: intra,
 			Examined: rep.Examined, Seconds: rep.TotalSeconds})
+		f.persistLocked(Record{Type: RecRebalance, ID: -1, Moves: len(rep.Moves),
+			Intra: intra, Examined: rep.Examined, Seconds: rep.TotalSeconds})
 	}()
 
 	// Intra-machine passes, in add order (healthy, accepting machines
@@ -885,6 +959,7 @@ func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, 
 			rep.Intra = append(rep.Intra, IntraPass{Backend: m.name, Report: intra})
 			rep.TotalSeconds += intra.TotalSeconds
 			f.migrationSeconds += intra.TotalSeconds
+			f.logIntraLocked(m, intra)
 		}
 		if err != nil {
 			return rep, fmt.Errorf("fleet: intra-machine rebalance on %s: %w", m.name, err)
@@ -952,7 +1027,7 @@ func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, 
 			if dests, err = f.orderDestsLocked(ctx, id, rec, dests); err != nil {
 				return rep, err
 			}
-			if _, err := f.moveLocked(ctx, rep, id, rec, cost, dests, nil); err != nil {
+			if _, err := f.moveLocked(ctx, rep, id, rec, cost, dests, nil, false); err != nil {
 				return rep, err
 			}
 		}
@@ -970,7 +1045,8 @@ func (f *Fleet) Rebalance(ctx context.Context, budgetSeconds float64) (*Report, 
 // error wrapping ErrFleetFull; the backend remains draining either way
 // (Resume reopens it). Draining an unknown backend fails with
 // ErrUnknownBackend.
-func (f *Fleet) Drain(ctx context.Context, name string) (*Report, error) {
+func (f *Fleet) Drain(ctx context.Context, name string) (rep *Report, err error) {
+	defer func() { err = f.joinDurable(err) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	src, ok := f.byName[name]
@@ -984,10 +1060,17 @@ func (f *Fleet) Drain(ctx context.Context, name string) (*Report, error) {
 		return nil, fmt.Errorf("fleet: draining %s: %w (use Failover)", name, nperr.ErrBackendDown)
 	}
 	src.drained = true
-	rep := &Report{}
+	// The flag set is durable at the point it takes effect — before the
+	// pass's moves, unlike the Subscribe feed's end-of-pass summary — so a
+	// crash mid-pass recovers a backend that is already closed.
+	f.persistLocked(Record{Type: RecDrainStart, ID: -1, Backend: name})
+	rep = &Report{}
 	defer func() {
 		f.publish(Event{Type: EvDrain, ID: -1, Backend: name, Moves: len(rep.Moves),
 			Examined: rep.Examined, Stranded: rep.Stranded, Seconds: rep.TotalSeconds})
+		f.persistLocked(Record{Type: RecDrainPass, ID: -1, Backend: name,
+			Moves: len(rep.Moves), Examined: rep.Examined, Stranded: rep.Stranded,
+			Seconds: rep.TotalSeconds})
 	}()
 	var destErrs []error
 	for _, id := range f.tenantsOfLocked(src) {
@@ -1010,7 +1093,7 @@ func (f *Fleet) Drain(ctx context.Context, name string) (*Report, error) {
 		if dests, err = f.orderDestsLocked(ctx, id, rec, dests); err != nil {
 			return rep, err
 		}
-		moved, err := f.moveLocked(ctx, rep, id, rec, cost, dests, &destErrs)
+		moved, err := f.moveLocked(ctx, rep, id, rec, cost, dests, &destErrs, false)
 		if err != nil {
 			return rep, err
 		}
@@ -1030,7 +1113,8 @@ func (f *Fleet) Drain(ctx context.Context, name string) (*Report, error) {
 }
 
 // Resume reopens a drained backend for admissions.
-func (f *Fleet) Resume(name string) error {
+func (f *Fleet) Resume(name string) (err error) {
+	defer func() { err = f.joinDurable(err) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	m, ok := f.byName[name]
@@ -1038,6 +1122,8 @@ func (f *Fleet) Resume(name string) error {
 		return fmt.Errorf("fleet: resuming %q: %w", name, nperr.ErrUnknownBackend)
 	}
 	m.drained = false
+	f.publish(Event{Type: EvResume, ID: -1, Backend: name})
+	f.persistLocked(Record{Type: RecResume, ID: -1, Backend: name})
 	return nil
 }
 

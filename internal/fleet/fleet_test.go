@@ -114,6 +114,48 @@ func (s *stubBackend) FreeNodes() topology.NodeSet {
 	return s.free
 }
 
+// Adopt installs a recorded admission verbatim: the stub has no model to
+// recompute from, so the assignment is reconstructed from the record (the
+// shape replay relies on — Adopt must land exactly what was logged).
+func (s *stubBackend) Adopt(ctx context.Context, r sched.Restore) (*sched.Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[r.ID]; dup {
+		return nil, fmt.Errorf("stub: adopting container %d: ID already admitted: %w", r.ID, nperr.ErrLogCorrupt)
+	}
+	if r.Nodes.Minus(s.free) != 0 {
+		return nil, fmt.Errorf("stub: adopting container %d: nodes not free: %w", r.ID, nperr.ErrLogCorrupt)
+	}
+	s.free = s.free.Minus(r.Nodes)
+	a := sched.Assignment{
+		ID: r.ID, Workload: r.Workload.Name, VCPUs: r.VCPUs, Class: r.ClassID,
+		Nodes: r.Nodes, BasePerf: r.BasePerf, ProbePerf: r.ProbePerf,
+		PredictedPerf: s.perf,
+	}
+	s.tenants[r.ID] = a
+	if r.ID >= s.nextID {
+		s.nextID = r.ID + 1
+	}
+	return &a, nil
+}
+
+func (s *stubBackend) ApplyMove(ctx context.Context, id, classID int, nodes topology.NodeSet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.tenants[id]
+	if !ok {
+		return nperr.ErrUnknownContainer
+	}
+	avail := s.free.Union(a.Nodes)
+	if nodes.Minus(avail) != 0 {
+		return fmt.Errorf("stub: applying move of container %d: nodes not free: %w", id, nperr.ErrLogCorrupt)
+	}
+	s.free = avail.Minus(nodes)
+	a.Class, a.Nodes = classID, nodes
+	s.tenants[id] = a
+	return nil
+}
+
 func testWorkload(t *testing.T, name string) perfsim.Workload {
 	t.Helper()
 	w, ok := workloads.ByName(name)

@@ -121,7 +121,8 @@ func (f *Fleet) HealthOf(name string) (Health, bool) {
 // member stays dead and fails with ErrBackendDown — a machine the fleet
 // has already failed over must be explicitly Revived (which fences its
 // stale state) before it serves again.
-func (f *Fleet) Heartbeat(name string) (Health, error) {
+func (f *Fleet) Heartbeat(name string) (h Health, err error) {
+	defer func() { err = f.joinDurable(err) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	m, ok := f.byName[name]
@@ -134,6 +135,8 @@ func (f *Fleet) Heartbeat(name string) (Health, error) {
 	m.misses = 0
 	if m.health != Healthy {
 		f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: m.health, ToHealth: Healthy})
+		f.persistLocked(Record{Type: RecHealth, ID: -1, Backend: name,
+			FromHealth: m.health, ToHealth: Healthy})
 	}
 	m.health = Healthy
 	return Healthy, nil
@@ -146,7 +149,8 @@ func (f *Fleet) Heartbeat(name string) (Health, error) {
 // under Config.Health.FailoverBudgetSeconds and returns its report; the
 // error then carries ErrNoHealthyBackend if any tenant was stranded.
 // Missed probes on an already-dead member are no-ops.
-func (f *Fleet) MissProbe(ctx context.Context, name string) (Health, *Report, error) {
+func (f *Fleet) MissProbe(ctx context.Context, name string) (h Health, rep *Report, err error) {
+	defer func() { err = f.joinDurable(err) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	m, ok := f.byName[name]
@@ -160,12 +164,16 @@ func (f *Fleet) MissProbe(ctx context.Context, name string) (Health, *Report, er
 	switch {
 	case m.misses >= f.cfg.Health.deadAfter():
 		f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: m.health, ToHealth: Dead})
+		f.persistLocked(Record{Type: RecHealth, ID: -1, Backend: name,
+			FromHealth: m.health, ToHealth: Dead, Misses: m.misses})
 		m.health = Dead
 		rep, err := f.failoverLocked(ctx, m, f.cfg.Health.failoverBudget())
 		return Dead, rep, err
 	case m.misses >= f.cfg.Health.suspectAfter():
 		if m.health != Suspect {
 			f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: m.health, ToHealth: Suspect})
+			f.persistLocked(Record{Type: RecHealth, ID: -1, Backend: name,
+				FromHealth: m.health, ToHealth: Suspect, Misses: m.misses})
 		}
 		m.health = Suspect
 	}
@@ -177,7 +185,8 @@ func (f *Fleet) MissProbe(ctx context.Context, name string) (Health, *Report, er
 // failover pass under Config.Health.FailoverBudgetSeconds. An already-dead
 // backend fails with ErrBackendDown; the partial failover report is
 // returned alongside any error, like Rebalance.
-func (f *Fleet) Fail(ctx context.Context, name string) (*Report, error) {
+func (f *Fleet) Fail(ctx context.Context, name string) (rep *Report, err error) {
+	defer func() { err = f.joinDurable(err) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	m, ok := f.byName[name]
@@ -188,6 +197,8 @@ func (f *Fleet) Fail(ctx context.Context, name string) (*Report, error) {
 		return nil, fmt.Errorf("fleet: failing %s: already %w", name, nperr.ErrBackendDown)
 	}
 	f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: m.health, ToHealth: Dead})
+	f.persistLocked(Record{Type: RecHealth, ID: -1, Backend: name,
+		FromHealth: m.health, ToHealth: Dead, Misses: f.cfg.Health.deadAfter()})
 	m.health = Dead
 	m.misses = f.cfg.Health.deadAfter()
 	return f.failoverLocked(ctx, m, f.cfg.Health.failoverBudget())
@@ -198,7 +209,8 @@ func (f *Fleet) Fail(ctx context.Context, name string) (*Report, error) {
 // automatic pass). budgetSeconds bounds the migration time spent; a
 // non-positive budget removes the bound. Failing over a live backend is
 // an error — Drain is the graceful path.
-func (f *Fleet) Failover(ctx context.Context, name string, budgetSeconds float64) (*Report, error) {
+func (f *Fleet) Failover(ctx context.Context, name string, budgetSeconds float64) (rep *Report, err error) {
+	defer func() { err = f.joinDurable(err) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	m, ok := f.byName[name]
@@ -230,6 +242,9 @@ func (f *Fleet) failoverLocked(ctx context.Context, src *member, budgetSeconds f
 	defer func() {
 		f.publish(Event{Type: EvFailover, ID: -1, Backend: src.name, Moves: len(rep.Moves),
 			Examined: rep.Examined, Stranded: rep.Stranded, Seconds: rep.TotalSeconds})
+		f.persistLocked(Record{Type: RecFailover, ID: -1, Backend: src.name,
+			Moves: len(rep.Moves), Examined: rep.Examined, Stranded: rep.Stranded,
+			Seconds: rep.TotalSeconds})
 	}()
 	var destErrs []error
 	for _, id := range f.tenantsOfLocked(src) {
@@ -257,7 +272,7 @@ func (f *Fleet) failoverLocked(ctx context.Context, src *member, budgetSeconds f
 		if dests, err = f.orderDestsLocked(ctx, id, rec, dests); err != nil {
 			return rep, err
 		}
-		moved, err := f.moveLocked(ctx, rep, id, rec, cost, dests, &destErrs)
+		moved, err := f.moveLocked(ctx, rep, id, rec, cost, dests, &destErrs, true)
 		if err != nil {
 			return rep, err
 		}
@@ -284,7 +299,8 @@ func (f *Fleet) failoverLocked(ctx context.Context, src *member, budgetSeconds f
 // partitioned machine all along. Returns the number of fenced orphans.
 // Reviving a live backend is an error; a fencing failure leaves the
 // backend dead so the next Revive retries a clean fence.
-func (f *Fleet) Revive(ctx context.Context, name string) (int, error) {
+func (f *Fleet) Revive(ctx context.Context, name string) (fencedOut int, err error) {
+	defer func() { err = f.joinDurable(err) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	m, ok := f.byName[name]
@@ -312,6 +328,10 @@ func (f *Fleet) Revive(ctx context.Context, name string) (int, error) {
 	}
 	f.publish(Event{Type: EvHealth, ID: -1, Backend: name, FromHealth: Dead, ToHealth: Healthy})
 	f.publish(Event{Type: EvRevive, ID: -1, Backend: name, Fenced: fenced})
+	// One record covers both publishes: replay re-runs the fencing pass
+	// against the reconstructed engine books (Fenced kept for audit) and
+	// restores health itself.
+	f.persistLocked(Record{Type: RecRevive, ID: -1, Backend: name, Fenced: fenced})
 	m.health = Healthy
 	m.misses = 0
 	return fenced, nil

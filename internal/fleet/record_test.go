@@ -1,0 +1,333 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/machines"
+	"repro/internal/nperr"
+	"repro/internal/perfsim"
+	"repro/internal/workloads"
+)
+
+// memPersister is an in-memory Persister: appends accumulate, Commit
+// tracks the highest committed sequence (and can be made to fail), and
+// Snapshot stores the last State handed to it.
+type memPersister struct {
+	mu        sync.Mutex
+	recs      []Record
+	committed uint64
+	commitErr error
+	snap      *State
+	snapErr   error
+}
+
+func (p *memPersister) Append(r Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.recs = append(p.recs, r)
+}
+
+func (p *memPersister) Commit(seq uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.commitErr != nil {
+		return p.commitErr
+	}
+	if seq > p.committed {
+		p.committed = seq
+	}
+	return nil
+}
+
+func (p *memPersister) Snapshot(st State) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.snapErr != nil {
+		return p.snapErr
+	}
+	p.snap = &st
+	return nil
+}
+
+func (p *memPersister) records() []Record {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Record(nil), p.recs...)
+}
+
+func lookupWorkload(name string) (perfsim.Workload, bool) { return workloads.ByName(name) }
+
+// stubFleet builds a three-stub fleet (two AMD + one Intel) under cfg.
+func stubFleet(t *testing.T, cfg Config) (*Fleet, map[string]*stubBackend) {
+	t.Helper()
+	stubs := map[string]*stubBackend{
+		"a": newStub(machines.AMD(), 1),
+		"b": newStub(machines.AMD(), 2),
+		"c": newStub(machines.Intel(), 3),
+	}
+	f := New(cfg)
+	for _, name := range []string{"a", "b", "c"} {
+		if err := f.Add(name, stubs[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, stubs
+}
+
+// churn drives a representative mutation mix through f: admissions across
+// all machines, releases, a drain/resume cycle, a crash with automatic
+// failover, a revive, a stranded-release, and a rebalance pass.
+func churn(t *testing.T, ctx context.Context, f *Fleet) {
+	t.Helper()
+	w := testWorkload(t, "swaptions")
+	var ids []int
+	for i := 0; i < 10; i++ {
+		adm, err := f.Place(ctx, w, 4)
+		if err != nil {
+			t.Fatalf("place %d: %v", i, err)
+		}
+		ids = append(ids, adm.ID)
+	}
+	if err := f.Release(ctx, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Drain(ctx, "b"); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := f.Resume("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fail(ctx, "a"); err != nil {
+		t.Fatalf("fail: %v", err)
+	}
+	// One admission lands while "a" is dead, then the machine rejoins.
+	if _, err := f.Place(ctx, w, 4); err != nil {
+		t.Fatalf("place while dead: %v", err)
+	}
+	if _, err := f.Revive(ctx, "a"); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	// Health churn that ends mid-state: leave "c" suspect.
+	if _, _, err := f.MissProbe(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.MissProbe(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Release(ctx, ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Rebalance(ctx, 1e9); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+}
+
+// requireFleetEqual asserts the externally observable state of two fleets
+// matches exactly: assignments, stats, health, and the write-ahead seq.
+func requireFleetEqual(t *testing.T, want, got *Fleet) {
+	t.Helper()
+	if w, g := want.Assignments(), got.Assignments(); !reflect.DeepEqual(g, w) {
+		t.Fatalf("Assignments diverged:\n got %+v\nwant %+v", g, w)
+	}
+	if w, g := want.Stats(), got.Stats(); !reflect.DeepEqual(g, w) {
+		t.Fatalf("Stats diverged:\n got %+v\nwant %+v", g, w)
+	}
+	for _, name := range want.Names() {
+		wh, _ := want.HealthOf(name)
+		gh, _ := got.HealthOf(name)
+		if wh != gh {
+			t.Fatalf("health of %s diverged: got %s, want %s", name, gh, wh)
+		}
+	}
+	if want.WALSeq() != got.WALSeq() {
+		t.Fatalf("WALSeq diverged: got %d, want %d", got.WALSeq(), want.WALSeq())
+	}
+}
+
+func TestRestoreReplaysLog(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Policy: LeastLoaded, Health: HealthConfig{FailoverBudgetSeconds: -1}}
+	f, _ := stubFleet(t, cfg)
+	p := &memPersister{}
+	f.SetPersister(p)
+	churn(t, ctx, f)
+
+	twin, _ := stubFleet(t, cfg)
+	if err := twin.Restore(ctx, nil, p.records(), lookupWorkload); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	requireFleetEqual(t, f, twin)
+
+	// The recovered fleet keeps serving identically: attach a persister
+	// and verify the next admission commits on the same backend with the
+	// same fleet ID.
+	w := testWorkload(t, "swaptions")
+	a1, err1 := f.Place(ctx, w, 4)
+	a2, err2 := twin.Place(ctx, w, 4)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("post-restore places: %v, %v", err1, err2)
+	}
+	if a1.ID != a2.ID || a1.Backend != a2.Backend {
+		t.Fatalf("post-restore admission diverged: got %d@%s, want %d@%s",
+			a2.ID, a2.Backend, a1.ID, a1.Backend)
+	}
+}
+
+func TestRestoreFromSnapshotAndTail(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Policy: FirstFit, Health: HealthConfig{FailoverBudgetSeconds: -1}}
+	f, _ := stubFleet(t, cfg)
+	p := &memPersister{}
+	f.SetPersister(p)
+
+	w := testWorkload(t, "swaptions")
+	for i := 0; i < 6; i++ {
+		if _, err := f.Place(ctx, w, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := f.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.snap == nil || p.snap.Seq != seq {
+		t.Fatalf("snapshot seq = %+v, want %d", p.snap, seq)
+	}
+	// Mutations after the checkpoint form the replay tail.
+	if err := f.Release(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fail(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore from snapshot + the FULL record history: records at or below
+	// the snapshot seq must be skipped (the crash-between-snapshot-and-
+	// truncate case), the rest replayed.
+	twin, _ := stubFleet(t, cfg)
+	if err := twin.Restore(ctx, p.snap, p.records(), lookupWorkload); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	requireFleetEqual(t, f, twin)
+
+	// Snapshot alone reconstructs the fleet as of the checkpoint.
+	asOf, _ := stubFleet(t, cfg)
+	if err := asOf.Restore(ctx, p.snap, nil, lookupWorkload); err != nil {
+		t.Fatalf("Restore(snapshot only): %v", err)
+	}
+	if got := len(asOf.Assignments()); got != 6 {
+		t.Fatalf("snapshot-only tenants = %d, want 6", got)
+	}
+	if asOf.WALSeq() != seq {
+		t.Fatalf("snapshot-only WALSeq = %d, want %d", asOf.WALSeq(), seq)
+	}
+}
+
+func TestRestoreRejectsBadLogs(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{}
+	f, _ := stubFleet(t, cfg)
+	p := &memPersister{}
+	f.SetPersister(p)
+	w := testWorkload(t, "swaptions")
+	for i := 0; i < 3; i++ {
+		if _, err := f.Place(ctx, w, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := p.records()
+
+	// A sequence gap is corruption.
+	twin, _ := stubFleet(t, cfg)
+	gapped := []Record{recs[0], recs[2]}
+	if err := twin.Restore(ctx, nil, gapped, lookupWorkload); !errors.Is(err, nperr.ErrLogCorrupt) {
+		t.Errorf("gapped Restore err = %v, want ErrLogCorrupt", err)
+	}
+
+	// A record naming an unconfigured backend is corruption.
+	twin2, _ := stubFleet(t, cfg)
+	renamed := append([]Record(nil), recs...)
+	renamed[0].Backend = "zz"
+	if err := twin2.Restore(ctx, nil, renamed, lookupWorkload); !errors.Is(err, nperr.ErrLogCorrupt) {
+		t.Errorf("unknown-backend Restore err = %v, want ErrLogCorrupt", err)
+	}
+
+	// A workload missing from the catalog is corruption.
+	twin3, _ := stubFleet(t, cfg)
+	missing := append([]Record(nil), recs...)
+	missing[0].Workload = "no-such-workload"
+	if err := twin3.Restore(ctx, nil, missing, lookupWorkload); !errors.Is(err, nperr.ErrLogCorrupt) {
+		t.Errorf("unknown-workload Restore err = %v, want ErrLogCorrupt", err)
+	}
+
+	// Restore refuses a fleet that already served, and one with a
+	// persister attached.
+	if err := f.Restore(ctx, nil, recs, lookupWorkload); err == nil {
+		t.Error("Restore on a served fleet succeeded, want error")
+	}
+	twin4, _ := stubFleet(t, cfg)
+	twin4.SetPersister(&memPersister{})
+	if err := twin4.Restore(ctx, nil, recs, lookupWorkload); err == nil {
+		t.Error("Restore with persister attached succeeded, want error")
+	}
+}
+
+func TestDurabilityErrorRidesAlong(t *testing.T) {
+	ctx := context.Background()
+	f, _ := stubFleet(t, Config{})
+	sticky := errors.New("disk gone")
+	p := &memPersister{commitErr: sticky}
+	f.SetPersister(p)
+	w := testWorkload(t, "swaptions")
+
+	// The in-memory admission stands; the durability failure rides along
+	// with it rather than hiding either.
+	adm, err := f.Place(ctx, w, 4)
+	if adm == nil {
+		t.Fatal("Place returned no admission")
+	}
+	if !errors.Is(err, sticky) {
+		t.Fatalf("Place err = %v, want the commit error", err)
+	}
+	if got := len(f.Assignments()); got != 1 {
+		t.Fatalf("tenants = %d, want 1", got)
+	}
+	if err := f.Release(ctx, adm.ID); !errors.Is(err, sticky) {
+		t.Fatalf("Release err = %v, want the commit error", err)
+	}
+}
+
+func TestRecordTaxonomy(t *testing.T) {
+	// Every mutation appends the record its commit point promises; the
+	// record stream is the ground truth walsmoke and recovery build on, so
+	// pin the mapping.
+	ctx := context.Background()
+	cfg := Config{Policy: LeastLoaded, Health: HealthConfig{FailoverBudgetSeconds: -1}}
+	f, _ := stubFleet(t, cfg)
+	p := &memPersister{}
+	f.SetPersister(p)
+	churn(t, ctx, f)
+
+	counts := map[RecordType]int{}
+	var lastSeq uint64
+	for _, r := range p.records() {
+		counts[r.Type]++
+		if r.Seq != lastSeq+1 {
+			t.Fatalf("record seq %d follows %d: not contiguous", r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+	}
+	for _, want := range []RecordType{RecPlace, RecRelease, RecMove, RecHealth,
+		RecFailover, RecRebalance, RecDrainStart, RecDrainPass, RecResume, RecRevive} {
+		if counts[want] == 0 {
+			t.Errorf("churn produced no %s record", want)
+		}
+	}
+	if f.WALSeq() != lastSeq {
+		t.Fatalf("WALSeq = %d, last record = %d", f.WALSeq(), lastSeq)
+	}
+}

@@ -67,4 +67,17 @@ var (
 	// it; they stay on the fleet's books and are retried by later failover
 	// or rebalance passes.
 	ErrNoHealthyBackend = errors.New("no healthy fleet backend available")
+
+	// ErrLogCorrupt marks durable fleet state that cannot be recovered:
+	// a snapshot or log frame whose checksum verifies but whose contents
+	// are structurally invalid, or replay records inconsistent with the
+	// machines they name (unknown backend, occupied nodes, duplicate IDs).
+	// A torn log tail is NOT corruption — recovery truncates it to the
+	// last valid frame; ErrLogCorrupt means the prefix itself is unusable
+	// and a daemon must refuse to start rather than serve wrong state.
+	ErrLogCorrupt = errors.New("fleet log corrupt")
+
+	// ErrLogClosed marks appends or commits against a write-ahead log that
+	// has been closed (daemon shutdown already flushed and sealed it).
+	ErrLogClosed = errors.New("fleet log closed")
 )

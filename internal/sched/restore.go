@@ -1,0 +1,165 @@
+// Replay primitives for durable recovery: Adopt and ApplyMove install
+// state the scheduler once committed — recorded by the fleet's write-ahead
+// log — without re-running admission's observation phase. Observation
+// noise streams are keyed by engine-local container IDs, and failed
+// admissions consume IDs, so re-executing Admit against a recovered log
+// would draw different streams and diverge; adoption instead replays the
+// committed decision (class, nodes, both model inputs) and recomputes the
+// derived artifacts (prediction vector, goal, thread pinning), all of
+// which are deterministic functions of the recorded values. A tenant
+// adopted from an admission record is therefore bit-identical to the
+// tenant the original Admit produced — same Assignment, same rebalancing
+// behavior afterwards.
+package sched
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/nperr"
+	"repro/internal/perfsim"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// Restore is one committed admission as recorded at its commit point:
+// the identity Admit reserved, the class and concrete nodes it chose, and
+// the two observations the model consumed. Everything else an admitted
+// tenant carries is recomputed deterministically from these.
+type Restore struct {
+	// ID is the engine-local container ID the original admission reserved.
+	ID       int
+	Workload perfsim.Workload
+	VCPUs    int
+	// ClassID is the 1-based important-placement ID of the chosen class
+	// (Assignment.Class).
+	ClassID int
+	// Nodes is the concrete node set the container was pinned to.
+	Nodes topology.NodeSet
+	// BasePerf and ProbePerf are the admission's two observations (the
+	// model inputs).
+	BasePerf, ProbePerf float64
+}
+
+// classIndex resolves a recorded 1-based important-placement ID to its
+// index in the enumeration for one container size.
+func classIndex(imps []placement.Important, classID int) (int, bool) {
+	for i := range imps {
+		if imps[i].ID == classID {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Adopt installs one previously committed admission: the recorded class
+// and nodes are taken as decided, the prediction vector is recomputed
+// from the recorded observations, and the container is pinned exactly as
+// Admit would have pinned it. The free set shrinks by r.Nodes and nextID
+// advances past r.ID so post-recovery admissions never reuse a logged
+// identity. Records inconsistent with the machine — unknown class,
+// nodes already allocated, duplicate ID — fail with nperr.ErrLogCorrupt;
+// a missing predictor fails with nperr.ErrUntrained like Admit.
+func (s *Scheduler) Adopt(ctx context.Context, r Restore) (*Assignment, error) {
+	imps, err := s.imps(ctx, r.VCPUs)
+	if err != nil {
+		return nil, err
+	}
+	p := s.pred(r.VCPUs)
+	if p == nil {
+		return nil, fmt.Errorf("sched: adopting %d-vCPU container %d: %w", r.VCPUs, r.ID, nperr.ErrUntrained)
+	}
+	if p.NumPlacements != len(imps) {
+		return nil, fmt.Errorf("sched: predictor has %d placements, machine yields %d for %d vCPUs: %w",
+			p.NumPlacements, len(imps), r.VCPUs, nperr.ErrMachineMismatch)
+	}
+	choice, ok := classIndex(imps, r.ClassID)
+	if !ok {
+		return nil, fmt.Errorf("sched: adopting container %d: class %d not in the %d-vCPU enumeration: %w",
+			r.ID, r.ClassID, r.VCPUs, nperr.ErrLogCorrupt)
+	}
+	vec := make([]float64, p.NumPlacements)
+	if err := p.PredictInto(vec, r.BasePerf, r.ProbePerf); err != nil {
+		return nil, fmt.Errorf("sched: adopting container %d: %w", r.ID, err)
+	}
+	goal := s.cfg.goalFrac() * r.BasePerf * (1 + s.cfg.headroom())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if _, exists := s.tenants[r.ID]; exists {
+		return nil, fmt.Errorf("sched: adopting container %d: ID already admitted: %w", r.ID, nperr.ErrLogCorrupt)
+	}
+	if r.Nodes.Minus(s.free) != 0 {
+		return nil, fmt.Errorf("sched: adopting container %d: nodes %v not free: %w", r.ID, r.Nodes, nperr.ErrLogCorrupt)
+	}
+	threads, err := s.pin(ctx, placement.Placement{
+		Nodes:         r.Nodes,
+		PerNodeScores: imps[choice].PerNodeScores,
+	}, r.VCPUs)
+	if err != nil {
+		return nil, err
+	}
+	c := container.New(r.ID, r.Workload, r.VCPUs)
+	if err := c.Place(threads, true); err != nil {
+		return nil, s.discard(c, err)
+	}
+	s.free = s.free.Minus(r.Nodes)
+	t := &tenant{
+		c: c, class: choice, classID: r.ClassID, nodes: r.Nodes,
+		basePerf: r.BasePerf, probePerf: r.ProbePerf, vec: vec, goal: goal,
+	}
+	s.tenants[r.ID] = t
+	if r.ID >= s.nextID {
+		s.nextID = r.ID + 1
+	}
+	a := s.assignment(t)
+	return &a, nil
+}
+
+// ApplyMove re-pins an admitted container to a previously committed
+// intra-machine rebalance decision: the recorded destination class and
+// node set are installed without re-running the move search or the
+// migration simulation (the cost was recorded at commit time). Unknown
+// IDs fail with nperr.ErrUnknownContainer; a class or node set
+// inconsistent with the machine fails with nperr.ErrLogCorrupt.
+func (s *Scheduler) ApplyMove(ctx context.Context, id, classID int, nodes topology.NodeSet) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return fmt.Errorf("sched: applying move of container %d: %w", id, nperr.ErrUnknownContainer)
+	}
+	imps, err := s.imps(ctx, t.c.VCPUs())
+	if err != nil {
+		return err
+	}
+	choice, ok := classIndex(imps, classID)
+	if !ok {
+		return fmt.Errorf("sched: applying move of container %d: class %d not in the %d-vCPU enumeration: %w",
+			id, classID, t.c.VCPUs(), nperr.ErrLogCorrupt)
+	}
+	avail := s.free.Union(t.nodes)
+	if nodes.Minus(avail) != 0 {
+		return fmt.Errorf("sched: applying move of container %d: nodes %v not free: %w", id, nodes, nperr.ErrLogCorrupt)
+	}
+	threads, err := s.pin(ctx, placement.Placement{
+		Nodes:         nodes,
+		PerNodeScores: imps[choice].PerNodeScores,
+	}, t.c.VCPUs())
+	if err != nil {
+		return err
+	}
+	if err := t.c.Place(threads, true); err != nil {
+		return err
+	}
+	s.free = avail.Minus(nodes)
+	t.class, t.classID, t.nodes = choice, classID, nodes
+	return nil
+}

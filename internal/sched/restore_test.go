@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/concern"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/mlearn"
+	"repro/internal/nperr"
+	"repro/internal/placement"
+	"repro/internal/workloads"
+)
+
+// twinSchedulers trains one predictor and wraps it in two independent
+// Schedulers sharing the same artifact sources — the shape of recovery,
+// where a fresh scheduler is rebuilt over the same trained engine state
+// and must adopt its way back to the original's exact books.
+func twinSchedulers(t *testing.T, m machines.Machine, v int, cfg ServeConfig) (*Scheduler, *Scheduler) {
+	t.Helper()
+	spec := concern.FromMachine(m)
+	imps, err := placement.Enumerate(spec, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := append(workloads.Paper(), workloads.CorpusFrom(8, 3, []string{"flat", "bw", "lat"})...)
+	ds, err := core.CollectPrepared(context.Background(), spec, imps, ws, v, core.CollectConfig{Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.Train(ds, core.TrainConfig{
+		Seed: 1, Forest: mlearn.ForestConfig{Trees: 10},
+		SelectionTrees: 4, SelectionFolds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Scheduler {
+		return NewScheduler(spec,
+			func(ctx context.Context, vv int) ([]placement.Important, error) {
+				if vv != v {
+					return placement.EnumerateCtx(ctx, spec, vv)
+				}
+				return imps, nil
+			},
+			func(vv int) *core.Predictor {
+				if vv != v {
+					return nil
+				}
+				return pred
+			},
+			nil, cfg)
+	}
+	return mk(), mk()
+}
+
+// restoreOf captures the replay record Adopt needs from a live assignment.
+func restoreOf(a *Assignment) Restore {
+	wl, _ := workloads.ByName(a.Workload)
+	return Restore{
+		ID: a.ID, Workload: wl, VCPUs: a.VCPUs, ClassID: a.Class,
+		Nodes: a.Nodes, BasePerf: a.BasePerf, ProbePerf: a.ProbePerf,
+	}
+}
+
+func TestAdoptReproducesAdmit(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	s1, s2 := twinSchedulers(t, m, 16, ServeConfig{GoalFrac: 0.5})
+	wt, _ := workloads.ByName("WTbtree")
+
+	// Admit a fixed count — deliberately short of full, because a FAILED
+	// admission consumes an engine ID that is never recorded (adoption
+	// does not replicate ID gaps; DESIGN.md documents the consequence).
+	var admitted []*Assignment
+	for i := 0; i < 3; i++ {
+		a, err := s1.Admit(ctx, wt, 16)
+		if err != nil {
+			t.Skipf("machine packed only %d of 3 admissions: %v", i, err)
+		}
+		admitted = append(admitted, a)
+	}
+
+	// Adopt every committed admission onto the twin: each adopted
+	// assignment must equal the original byte for byte (threads and
+	// predicted performance included — both are recomputed, not copied).
+	for _, a := range admitted {
+		got, err := s2.Adopt(ctx, restoreOf(a))
+		if err != nil {
+			t.Fatalf("Adopt(%d): %v", a.ID, err)
+		}
+		if !reflect.DeepEqual(got, a) {
+			t.Fatalf("adopted assignment diverged:\n got %+v\nwant %+v", got, a)
+		}
+	}
+	if !reflect.DeepEqual(s2.Assignments(), s1.Assignments()) {
+		t.Fatal("Assignments() diverged after adoption")
+	}
+	if s2.Free() != s1.Free() {
+		t.Fatalf("free sets diverged: %s vs %s", s2.Free(), s1.Free())
+	}
+
+	// nextID advanced past every adopted identity: the next real admission
+	// on either scheduler draws the same ID and the same noise streams, so
+	// post-recovery behavior stays aligned with the uncrashed original.
+	a1, err1 := s1.Admit(ctx, wt, 16)
+	a2, err2 := s2.Admit(ctx, wt, 16)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("post-adoption admissions: %v, %v", err1, err2)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("post-adoption admission diverged:\n got %+v\nwant %+v", a2, a1)
+	}
+	admitted = append(admitted, a1)
+
+	// The recomputed prediction vectors drive rebalancing identically.
+	if err := s1.Release(ctx, admitted[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Release(ctx, admitted[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	r1, err1 := s1.Rebalance(ctx)
+	r2, err2 := s2.Rebalance(ctx)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("rebalances: %v, %v", err1, err2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("rebalance reports diverged:\n got %+v\nwant %+v", r2, r1)
+	}
+	if !reflect.DeepEqual(s2.Assignments(), s1.Assignments()) {
+		t.Fatal("Assignments() diverged after rebalance")
+	}
+}
+
+func TestAdoptRejectsInconsistentRecords(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	s1, s2 := twinSchedulers(t, m, 16, ServeConfig{})
+	wt, _ := workloads.ByName("WTbtree")
+
+	a, err := s1.Admit(ctx, wt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := restoreOf(a)
+	if _, err := s2.Adopt(ctx, r); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate identity.
+	if _, err := s2.Adopt(ctx, r); !errors.Is(err, nperr.ErrLogCorrupt) {
+		t.Errorf("duplicate Adopt err = %v, want ErrLogCorrupt", err)
+	}
+	// Nodes already allocated.
+	dup := r
+	dup.ID = r.ID + 100
+	if _, err := s2.Adopt(ctx, dup); !errors.Is(err, nperr.ErrLogCorrupt) {
+		t.Errorf("occupied-nodes Adopt err = %v, want ErrLogCorrupt", err)
+	}
+	// Class not in the enumeration.
+	bad := r
+	bad.ID, bad.ClassID, bad.Nodes = r.ID+101, 1<<20, s2.Free()
+	if _, err := s2.Adopt(ctx, bad); !errors.Is(err, nperr.ErrLogCorrupt) {
+		t.Errorf("unknown-class Adopt err = %v, want ErrLogCorrupt", err)
+	}
+	// Untrained size fails like Admit.
+	untr := r
+	untr.ID, untr.VCPUs = r.ID+102, 8
+	if _, err := s2.Adopt(ctx, untr); !errors.Is(err, nperr.ErrUntrained) {
+		t.Errorf("untrained Adopt err = %v, want ErrUntrained", err)
+	}
+
+	// ApplyMove: unknown ID, then unknown class.
+	if err := s2.ApplyMove(ctx, 9999, r.ClassID, r.Nodes); !errors.Is(err, nperr.ErrUnknownContainer) {
+		t.Errorf("ApplyMove(unknown) err = %v, want ErrUnknownContainer", err)
+	}
+	if err := s2.ApplyMove(ctx, r.ID, 1<<20, r.Nodes); !errors.Is(err, nperr.ErrLogCorrupt) {
+		t.Errorf("ApplyMove(bad class) err = %v, want ErrLogCorrupt", err)
+	}
+}
+
+func TestApplyMoveReplaysRebalance(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	s1, s2 := twinSchedulers(t, m, 16, ServeConfig{GoalFrac: 0.5})
+	wt, _ := workloads.ByName("WTbtree")
+
+	var admitted []*Assignment
+	for {
+		a, err := s1.Admit(ctx, wt, 16)
+		if err != nil {
+			break
+		}
+		admitted = append(admitted, a)
+		if _, err := s2.Adopt(ctx, restoreOf(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(admitted) < 3 {
+		t.Skipf("only %d admissions; need 3", len(admitted))
+	}
+	// Free a hole on s1 and rebalance it; replay the committed moves onto
+	// s2 without re-running the search.
+	if err := s1.Release(ctx, admitted[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s1.Rebalance(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) == 0 {
+		t.Skip("rebalance moved nothing; replay has nothing to prove")
+	}
+	if err := s2.Release(ctx, admitted[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range rep.Moves {
+		if err := s2.ApplyMove(ctx, mv.ID, mv.ToClass, mv.ToNodes); err != nil {
+			t.Fatalf("ApplyMove(%d): %v", mv.ID, err)
+		}
+	}
+	if !reflect.DeepEqual(s2.Assignments(), s1.Assignments()) {
+		t.Fatal("Assignments() diverged after move replay")
+	}
+	if s2.Free() != s1.Free() {
+		t.Fatalf("free sets diverged: %s vs %s", s2.Free(), s1.Free())
+	}
+}

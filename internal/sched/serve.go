@@ -66,6 +66,12 @@ type Assignment struct {
 	// PredictedPerf the model's prediction for the chosen class.
 	BasePerf      float64
 	PredictedPerf float64
+	// ProbePerf is the container's observed throughput in the predictor's
+	// probe placement (the second model input). Together with BasePerf it
+	// is everything the model consumed: recording both makes an admission
+	// replayable — Adopt reconstructs the full prediction vector, and with
+	// it the tenant's rebalancing behavior, bit-identically.
+	ProbePerf float64
 }
 
 // RebalanceMove records one container migration performed by Rebalance.
@@ -120,13 +126,14 @@ type Scheduler struct {
 }
 
 type tenant struct {
-	c        *container.Container
-	class    int // index into the enumeration for its vCPU count
-	classID  int // 1-based important-placement ID
-	nodes    topology.NodeSet
-	basePerf float64
-	vec      []float64
-	goal     float64
+	c         *container.Container
+	class     int // index into the enumeration for its vCPU count
+	classID   int // 1-based important-placement ID
+	nodes     topology.NodeSet
+	basePerf  float64
+	probePerf float64
+	vec       []float64
+	goal      float64
 }
 
 // NewScheduler builds an empty scheduler over the machine described by
@@ -218,6 +225,7 @@ func (s *Scheduler) assignment(t *tenant) Assignment {
 		Threads:       t.c.Threads(),
 		BasePerf:      t.basePerf,
 		PredictedPerf: predictedPerf(t.basePerf, t.vec, t.class),
+		ProbePerf:     t.probePerf,
 	}
 }
 
@@ -309,7 +317,7 @@ func (s *Scheduler) Admit(ctx context.Context, w perfsim.Workload, v int) (*Assi
 	s.free = s.free.Minus(nodes)
 	t := &tenant{
 		c: c, class: choice, classID: imps[choice].ID, nodes: nodes,
-		basePerf: obs[0], vec: vec, goal: goal,
+		basePerf: obs[0], probePerf: obs[1], vec: vec, goal: goal,
 	}
 	s.tenants[c.ID()] = t
 	a := s.assignment(t)

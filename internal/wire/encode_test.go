@@ -17,7 +17,7 @@ func sampleAdmission() fleet.Admission {
 		Assignment: sched.Assignment{
 			ID: 7, Workload: `lbm"x`, VCPUs: 16, Class: 3,
 			Nodes:    topology.NewNodeSet(1, 4, 6),
-			BasePerf: 1.25, PredictedPerf: 0.3333333333333333,
+			BasePerf: 1.25, ProbePerf: 0.75, PredictedPerf: 0.3333333333333333,
 		},
 	}
 }
@@ -34,7 +34,7 @@ func TestAppendPlace(t *testing.T) {
 	}
 	want := PlaceResponse{ID: 42, Backend: "rack1/m3", Assignment: Assignment{
 		ID: 7, Workload: `lbm"x`, VCPUs: 16, Class: 3, Nodes: []int{1, 4, 6},
-		BasePerf: 1.25, PredictedPerf: 0.3333333333333333,
+		BasePerf: 1.25, ProbePerf: 0.75, PredictedPerf: 0.3333333333333333,
 	}}
 	gj, _ := json.Marshal(got)
 	wj, _ := json.Marshal(want)
@@ -73,6 +73,10 @@ func TestAppendEvent(t *testing.T) {
 		{
 			fleet.Event{Seq: 6, Type: fleet.EvRevive, ID: -1, Backend: "m1", Fenced: 3},
 			Event{Seq: 6, Type: "revive", ID: -1, Backend: "m1", Fenced: 3},
+		},
+		{
+			fleet.Event{Seq: 7, Type: fleet.EvResume, ID: -1, Backend: "m1"},
+			Event{Seq: 7, Type: "resume", ID: -1, Backend: "m1"},
 		},
 	}
 	for _, tc := range cases {

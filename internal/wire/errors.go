@@ -30,6 +30,8 @@ const (
 	CodeUntrained        ErrCode = "untrained"
 	CodeBadObservation   ErrCode = "bad_observation"
 	CodeInfeasible       ErrCode = "infeasible"
+	CodeLogCorrupt       ErrCode = "log_corrupt"
+	CodeLogClosed        ErrCode = "log_closed"
 
 	// Generic codes with no sentinel behind them.
 	CodeBadRequest ErrCode = "bad_request" // malformed body / missing field
@@ -54,11 +56,15 @@ type mapping struct {
 //   - fleet_full next, ahead of the per-member codes it aggregates.
 //   - everything else is mutually exclusive in practice.
 //
-// Status choices: 503 only for no_healthy_backend (retryable by the
-// client); capacity and state conflicts are 409 (retrying unchanged is
-// pointless); unknown names are 404; semantically invalid requests 422.
+// Status choices: 503 for no_healthy_backend and log_closed (retryable by
+// the client — the daemon is overloaded or shutting down); capacity and
+// state conflicts are 409 (retrying unchanged is pointless); unknown names
+// are 404; semantically invalid requests 422; log_corrupt is the one 500 —
+// the daemon's durable state is damaged and no request can fix it.
 var Table = []mapping{
 	{CodeNoHealthyBackend, http.StatusServiceUnavailable, nperr.ErrNoHealthyBackend},
+	{CodeLogCorrupt, http.StatusInternalServerError, nperr.ErrLogCorrupt},
+	{CodeLogClosed, http.StatusServiceUnavailable, nperr.ErrLogClosed},
 	{CodeFleetFull, http.StatusConflict, nperr.ErrFleetFull},
 	{CodeBackendDown, http.StatusConflict, nperr.ErrBackendDown},
 	{CodeUnknownBackend, http.StatusNotFound, nperr.ErrUnknownBackend},

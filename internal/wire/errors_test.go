@@ -17,6 +17,7 @@ func TestErrorTableBijective(t *testing.T) {
 		nperr.ErrMachineFull, nperr.ErrNotPlaced, nperr.ErrUnknownContainer,
 		nperr.ErrBadObservation, nperr.ErrFleetFull, nperr.ErrUnknownBackend,
 		nperr.ErrBackendNotEmpty, nperr.ErrBackendDown, nperr.ErrNoHealthyBackend,
+		nperr.ErrLogCorrupt, nperr.ErrLogClosed,
 	}
 	if len(Table) != len(sentinels) {
 		t.Fatalf("table has %d entries, want one per sentinel (%d)", len(Table), len(sentinels))
@@ -94,14 +95,20 @@ func TestCodeForPriority(t *testing.T) {
 }
 
 // TestStatusChoices pins the status classes the protocol promises: 503
-// only for no_healthy_backend, 404 for unknown names, 409 for state/
-// capacity conflicts, 422 for semantically invalid requests.
+// for no_healthy_backend and log_closed (back off and retry), 404 for
+// unknown names, 409 for state/capacity conflicts, 422 for semantically
+// invalid requests, and 500 only for log_corrupt — damaged durable state
+// is the daemon's problem, not the request's.
 func TestStatusChoices(t *testing.T) {
 	for _, m := range Table {
 		switch m.Code {
-		case CodeNoHealthyBackend:
+		case CodeNoHealthyBackend, CodeLogClosed:
 			if m.Status != http.StatusServiceUnavailable {
 				t.Errorf("%s: status %d, want 503", m.Code, m.Status)
+			}
+		case CodeLogCorrupt:
+			if m.Status != http.StatusInternalServerError {
+				t.Errorf("%s: status %d, want 500", m.Code, m.Status)
 			}
 		case CodeUnknownBackend, CodeUnknownContainer, CodeNotPlaced:
 			if m.Status != http.StatusNotFound {
@@ -116,7 +123,8 @@ func TestStatusChoices(t *testing.T) {
 				t.Errorf("%s: status %d, want 409", m.Code, m.Status)
 			}
 		}
-		if m.Status >= 500 && m.Code != CodeNoHealthyBackend {
+		if m.Status >= 500 && m.Code != CodeNoHealthyBackend &&
+			m.Code != CodeLogCorrupt && m.Code != CodeLogClosed {
 			t.Errorf("%s: 5xx would make the client retry a rejection", m.Code)
 		}
 	}

@@ -32,6 +32,15 @@ type Config struct {
 	// 1024). A subscriber that falls further behind than this loses its
 	// oldest events and is told so via a synthetic "dropped" frame.
 	EventBuffer int
+	// LogHead reports the daemon's durability position for
+	// GET /v1/log/head. Nil means the daemon runs without persistence;
+	// the endpoint then reports persistent=false with the fleet's
+	// in-memory sequence.
+	LogHead func() LogHead
+	// Snapshot forces a checkpoint for POST /v1/snapshot, returning the
+	// sequence the snapshot covers. Nil (no persistence) maps to
+	// log_closed.
+	Snapshot func() (uint64, error)
 }
 
 func (c Config) lookup() func(string) (perfsim.Workload, bool) {
@@ -97,8 +106,10 @@ func NewServer(f *fleet.Fleet, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/fail", s.handleFail)
 	s.mux.HandleFunc("POST /v1/failover", s.handleFailover)
 	s.mux.HandleFunc("POST /v1/revive", s.handleRevive)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/assignments", s.handleAssignments)
+	s.mux.HandleFunc("GET /v1/log/head", s.handleLogHead)
 	s.mux.HandleFunc("GET /v1/health/{backend}", s.handleHealthOf)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -357,6 +368,32 @@ func (s *Server) handleRevive(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, ReviveResponse{Backend: req.Backend, Fenced: fenced})
 }
 
+// handleLogHead reports the durability position. The endpoint exists even
+// on an unpersisted daemon so monitors can probe one URL and branch on the
+// persistent flag instead of special-casing a 404.
+func (s *Server) handleLogHead(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.LogHead != nil {
+		s.writeJSON(w, http.StatusOK, s.cfg.LogHead())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, LogHead{Seq: s.f.WALSeq()})
+}
+
+// handleSnapshot forces a checkpoint, bounding the log tail a future
+// restart must replay (operators call it before planned maintenance).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Snapshot == nil {
+		s.writeError(w, "", fmt.Errorf("wire: snapshot: persistence not enabled: %w", nperr.ErrLogClosed), nil)
+		return
+	}
+	seq, err := s.cfg.Snapshot()
+	if err != nil {
+		s.writeError(w, "", err, nil)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SnapshotResponse{Seq: seq})
+}
+
 // handleStats serves the epoch-cached stats snapshot: the fleet is only
 // queried and re-marshaled after a mutation, so a stats-polling monitor
 // costs steady-state reads one atomic load and a buffer write.
@@ -392,7 +429,8 @@ func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
 			ID: adm.ID, Backend: adm.Backend,
 			Assignment: Assignment{
 				ID: a.ID, Workload: a.Workload, VCPUs: a.VCPUs, Class: a.Class,
-				Nodes: nodes, BasePerf: a.BasePerf, PredictedPerf: a.PredictedPerf,
+				Nodes: nodes, BasePerf: a.BasePerf, ProbePerf: a.ProbePerf,
+				PredictedPerf: a.PredictedPerf,
 			},
 		})
 	}

@@ -112,6 +112,45 @@ func (s *stubBackend) FreeNodes() topology.NodeSet {
 	return s.free
 }
 
+func (s *stubBackend) Adopt(ctx context.Context, r sched.Restore) (*sched.Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[r.ID]; dup {
+		return nil, fmt.Errorf("stub: adopting container %d: ID already admitted: %w", r.ID, nperr.ErrLogCorrupt)
+	}
+	if r.Nodes.Minus(s.free) != 0 {
+		return nil, fmt.Errorf("stub: adopting container %d: nodes not free: %w", r.ID, nperr.ErrLogCorrupt)
+	}
+	s.free = s.free.Minus(r.Nodes)
+	a := sched.Assignment{
+		ID: r.ID, Workload: r.Workload.Name, VCPUs: r.VCPUs, Class: r.ClassID,
+		Nodes: r.Nodes, BasePerf: r.BasePerf, ProbePerf: r.ProbePerf,
+		PredictedPerf: s.perf,
+	}
+	s.tenants[r.ID] = a
+	if r.ID >= s.nextID {
+		s.nextID = r.ID + 1
+	}
+	return &a, nil
+}
+
+func (s *stubBackend) ApplyMove(ctx context.Context, id, classID int, nodes topology.NodeSet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.tenants[id]
+	if !ok {
+		return nperr.ErrUnknownContainer
+	}
+	avail := s.free.Union(a.Nodes)
+	if nodes.Minus(avail) != 0 {
+		return fmt.Errorf("stub: applying move of container %d: nodes not free: %w", id, nperr.ErrLogCorrupt)
+	}
+	s.free = avail.Minus(nodes)
+	a.Class, a.Nodes = classID, nodes
+	s.tenants[id] = a
+	return nil
+}
+
 // testDaemon stands up a wire server over a two-stub fleet (AMD 8 nodes +
 // Intel 4 nodes = 12 single-node admissions) behind a real HTTP listener.
 func testDaemon(t *testing.T, cfg wire.Config) (*client.Client, *fleet.Fleet, *wire.Server) {
@@ -427,5 +466,55 @@ func TestWireBadRequests(t *testing.T) {
 	// Sanity: the catalog the server resolves against is the paper's.
 	if _, ok := workloads.ByName("gcc"); !ok {
 		t.Fatal("paper catalog missing gcc")
+	}
+}
+
+// TestWireLogHead covers both durability postures: without persistence the
+// endpoint answers persistent=false (monitors branch on the flag, not on a
+// 404), with persistence it relays the daemon's head and forced snapshots
+// acknowledge with the sequence they cover.
+func TestWireLogHead(t *testing.T) {
+	ctx := context.Background()
+
+	// Unpersisted daemon.
+	c, _, _ := testDaemon(t, wire.Config{})
+	head, err := c.LogHead(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Persistent || head.Seq != 0 {
+		t.Fatalf("unpersisted head %+v, want persistent=false seq=0", head)
+	}
+	_, err = c.Snapshot(ctx)
+	if !errors.Is(err, nperr.ErrLogClosed) {
+		t.Fatalf("snapshot without persistence: %v, want ErrLogClosed", err)
+	}
+	var werr *client.Error
+	if !errors.As(err, &werr) || werr.Code != wire.CodeLogClosed || werr.Status != 503 {
+		t.Fatalf("snapshot error detail %+v", werr)
+	}
+
+	// Persisted daemon: hooks stand in for the numaplaced WAL wiring.
+	var snaps int
+	cfg := wire.Config{
+		LogHead: func() wire.LogHead {
+			return wire.LogHead{Seq: 41, SnapshotSeq: 30, RecoveredSeq: 37,
+				RecoveredTenants: 5, Persistent: true}
+		},
+		Snapshot: func() (uint64, error) { snaps++; return 41, nil },
+	}
+	c2, _, _ := testDaemon(t, cfg)
+	head, err = c2.LogHead(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wire.LogHead{Seq: 41, SnapshotSeq: 30, RecoveredSeq: 37,
+		RecoveredTenants: 5, Persistent: true}
+	if *head != want {
+		t.Fatalf("persisted head %+v, want %+v", *head, want)
+	}
+	seq, err := c2.Snapshot(ctx)
+	if err != nil || seq != 41 || snaps != 1 {
+		t.Fatalf("snapshot: seq %d err %v (hook ran %d times), want 41/nil/1", seq, err, snaps)
 	}
 }

@@ -32,6 +32,7 @@ type Assignment struct {
 	Class         int     `json:"class"`
 	Nodes         []int   `json:"nodes"`
 	BasePerf      float64 `json:"base_perf"`
+	ProbePerf     float64 `json:"probe_perf"`
 	PredictedPerf float64 `json:"predicted_perf"`
 }
 
@@ -204,6 +205,31 @@ type AssignmentsResponse struct {
 	Assignments []PlaceResponse `json:"assignments"`
 }
 
+// LogHead reports the daemon's durability position (GET /v1/log/head).
+// Seq is the last write-ahead sequence the fleet assigned; on a daemon
+// running without -data-dir it still advances per mutation only if a
+// persister is attached, so Persistent distinguishes "seq 0 because
+// nothing happened" from "seq 0 because nothing is logged".
+type LogHead struct {
+	// Seq is the last sequence appended to the log (0 for a fresh log).
+	Seq uint64 `json:"seq"`
+	// SnapshotSeq is the sequence the newest snapshot covers (0: none).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// RecoveredSeq is the sequence boot-time recovery replayed up to;
+	// Seq minus RecoveredSeq is the work accepted since the last restart.
+	RecoveredSeq uint64 `json:"recovered_seq"`
+	// RecoveredTenants counts the live admissions reconstructed at boot.
+	RecoveredTenants int `json:"recovered_tenants"`
+	// Persistent reports whether a write-ahead log is attached at all.
+	Persistent bool `json:"persistent"`
+}
+
+// SnapshotResponse acknowledges a forced checkpoint (POST /v1/snapshot)
+// with the sequence the snapshot covers.
+type SnapshotResponse struct {
+	Seq uint64 `json:"seq"`
+}
+
 // ErrorBody is the JSON body of every non-2xx response.
 type ErrorBody struct {
 	Error ErrorDetail `json:"error"`
@@ -275,6 +301,8 @@ func AppendPlace(dst []byte, adm *fleet.Admission) []byte {
 	}
 	dst = append(dst, `],"base_perf":`...)
 	dst = strconv.AppendFloat(dst, a.BasePerf, 'g', -1, 64)
+	dst = append(dst, `,"probe_perf":`...)
+	dst = strconv.AppendFloat(dst, a.ProbePerf, 'g', -1, 64)
 	dst = append(dst, `,"predicted_perf":`...)
 	dst = strconv.AppendFloat(dst, a.PredictedPerf, 'g', -1, 64)
 	dst = append(dst, `}}`...)

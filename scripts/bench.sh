@@ -20,22 +20,26 @@
 #      and BenchmarkWireAppendSSE all at 0 allocs/op — event fan-out and
 #      response encoding must not tax admissions), BenchmarkWirePlace
 #      (full client→HTTP→fleet place+release round trip) present and
-#      under 1 ms, and the live loadgen p99 under 1 ms.
+#      under 1 ms, the live loadgen p99 under 1 ms, the write-ahead-log
+#      append (BenchmarkWALAppend, record encoding under Fleet.mu) at
+#      0 allocs/op, and crash recovery (BenchmarkRecovery, snapshot +
+#      >= 10k-record replay into a live fleet) under 100 ms.
 #   2. Compare gates against the previous BENCH_*.json. Against a
 #      pre-PR-3 baseline (BENCH_0..2) the PR 3 ns/op floors apply; against
 #      BENCH_3 the PR 4 flat-data-plane floors apply: Figure4AMD/Intel at
 #      <= 0.75x ns/op AND <= 0.3x bytes/op, AblationForestSize/trees-100
 #      at <= 0.5x allocs/op. Against BENCH_4 (the PR 5 fleet layer),
-#      BENCH_5 (the PR 6 failure-aware fleet) and BENCH_6 (the PR 7 wire
-#      daemon) — eras that add subsystems rather than speedups — only the
-#      generic > 20% ns/op regression check applies; it covers every
-#      benchmark present in both reports.
+#      BENCH_5 (the PR 6 failure-aware fleet), BENCH_6 (the PR 7 wire
+#      daemon) and BENCH_7 (the PR 8 write-ahead log) — eras that add
+#      subsystems rather than speedups — only the generic > 20% ns/op
+#      regression check applies; it covers every benchmark present in
+#      both reports.
 #
 # Usage:
 #   scripts/bench.sh [output.json]          run suite, write report, gate
 #   scripts/bench.sh --compare NEW OLD      compare two reports only
 #
-# Default output: BENCH_7.json. The comparison baseline is the
+# Default output: BENCH_8.json. The comparison baseline is the
 # highest-numbered BENCH_*.json other than the output file.
 set -eu
 
@@ -80,6 +84,7 @@ compare_reports() {
         BENCH_4.json)     era=pr5 ;;
         BENCH_5.json)     era=pr6 ;;
         BENCH_6.json)     era=pr7 ;;
+        BENCH_7.json)     era=pr8 ;;
     esac
     echo "comparing $new against $old (floor era: $era)"
     awk -v newfile="$new" -v oldfile="$old" -v era="$era" '
@@ -134,9 +139,10 @@ compare_reports() {
             bfloor["BenchmarkFigure4Intel"] = 0.3                  # >= 70% fewer bytes
             afloor["BenchmarkAblationForestSize/trees-100"] = 0.5  # >= 2x fewer allocs
         }
-        # era == "pr5" (fleet layer), era == "pr6" (failure-aware fleet)
-        # and era == "pr7" (wire daemon): no speedup floors — the generic
-        # regression gate below protects every earlier win.
+        # era == "pr5" (fleet layer), era == "pr6" (failure-aware fleet),
+        # era == "pr7" (wire daemon) and era == "pr8" (write-ahead log):
+        # no speedup floors — the generic regression gate below protects
+        # every earlier win.
         regress = 1.2                                              # > 20% beyond drift fails
         minns = 100000                                             # regression gate floor: 100 us
         while ((getline line < newfile) > 0) record("new", line)
@@ -196,7 +202,7 @@ if [ "${1:-}" = "--compare" ]; then
     exit 0
 fi
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 bindir="$(mktemp -d)"
@@ -218,6 +224,12 @@ go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count 1 . | tee "$
 # SSE encoders (internal/wire). Their lines land in the same report.
 go test -run '^$' -bench 'BenchmarkEventPublish' -benchmem -benchtime "$benchtime" -count 1 ./internal/fleet/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkWireAppend' -benchmem -benchtime "$benchtime" -count 1 ./internal/wire/ | tee -a "$tmp"
+
+# The durability hot and cold paths: BenchmarkWALAppend (record encoding
+# into the log buffer under Fleet.mu — must not tax admissions) and
+# BenchmarkRecovery (snapshot load + >= 10k-record replay into a live
+# fleet — bounds the restart blackout).
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count 1 ./internal/wal/ | tee -a "$tmp"
 
 # Live end-to-end measurement: a real daemon on an ephemeral loopback
 # port, driven by loadgen — one warm-up pass (first requests after
@@ -368,6 +380,24 @@ END {
     printf "wire place round trip: %s ns/op, live loadgen p99: %s ns\n", rt, p99
     if (rt + 0 > 1000000) { print "FAIL: wire place round trip slower than 1 ms"; exit 1 }
     if (p99 + 0 > 1000000) { print "FAIL: live loadgen place p99 above 1 ms"; exit 1 }
+}' "$tmp"
+
+# Gate: the write-ahead log must not tax the serving path or the restart.
+# BenchmarkWALAppend encodes one committed admission into the log buffer
+# while holding Fleet.mu — it must be allocation-free, like every other
+# per-admission cost. BenchmarkRecovery opens a log holding >= 10k
+# committed records (plus a snapshot) and replays it into a live fleet;
+# one recovery must finish in under 100 ms or a crashed daemon trades a
+# kill -9 for a visible serving blackout.
+awk '
+/^BenchmarkWALAppend/ { for (i=3;i<NF;i++) if ($(i+1)=="allocs/op") app=$i }
+/^BenchmarkRecovery/  { for (i=3;i<NF;i++) if ($(i+1)=="ns/op") rec=$i }
+END {
+    if (app == "") { print "FAIL: BenchmarkWALAppend missing"; exit 1 }
+    if (rec == "") { print "FAIL: BenchmarkRecovery missing"; exit 1 }
+    printf "wal: append %s allocs/op, recovery %.1f ms/op\n", app, rec / 1000000
+    if (app + 0 != 0) { print "FAIL: WAL append allocates under Fleet.mu"; exit 1 }
+    if (rec + 0 > 100000000) { print "FAIL: recovery of a 10k-record log slower than 100 ms"; exit 1 }
 }' "$tmp"
 
 # Compare against the previous report, if one exists.

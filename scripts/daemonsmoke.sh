@@ -56,7 +56,7 @@ if ! grep -q '"errors":0,' "$dir/loadgen.json"; then
     echo "FAIL: loadgen reported request errors"
     exit 1
 fi
-if ! grep -q '"events_dropped":0}' "$dir/loadgen.json"; then
+if ! grep -q '"events_dropped":0,' "$dir/loadgen.json"; then
     echo "FAIL: the daemon dropped event frames for the loadgen subscriber"
     exit 1
 fi
