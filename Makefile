@@ -35,17 +35,20 @@ race:
 	$(GO) test -race . ./internal/placement/ ./internal/core/ ./internal/mlearn/ ./internal/xparallel/ ./internal/experiments/ ./internal/sched/ ./internal/fleet/ ./internal/wal/ ./internal/wire/ ./client/ ./cmd/clustersim/ ./internal/des/ ./internal/workloads/
 
 # Runs the full benchmark suite with fixed -benchtime and emits
-# BENCH_8.json, then applies the gates: Engine warm-cache >= 50x, the
+# BENCH_9.json, then applies the gates: Engine warm-cache >= 50x, the
 # compiled-forest serving AND batch paths at 0 allocs/op, every fleet
-# routing policy admitting in < 1 ms with health tracking enabled, the
-# wire hot paths at 0 allocs/op (event publish, place-response and SSE
-# encoders), the client->daemon round trip and the live loadgen p99 both
-# under 1 ms, the WAL append at 0 allocs/op with a 10k-record recovery
-# under 100 ms, the era-matched speedup floors (ns/op, bytes/op and
-# allocs/op) and a > 20% regression check against the previous
-# BENCH_*.json. Override the budget with BENCHTIME=200ms etc.
+# routing policy admitting in < 1 ms with health tracking enabled, one
+# online admission at <= 12 allocs/op with BenchmarkAdmitThroughput
+# scaling beyond one core on multi-core recorders, the wire hot paths at
+# 0 allocs/op (event publish, place-response and SSE encoders), the
+# client->daemon round trip and the live loadgen p99 both under 1 ms,
+# the WAL append at 0 allocs/op with a 10k-record recovery under 100 ms,
+# the era-matched speedup floors (ns/op, bytes/op and allocs/op —
+# against BENCH_8: EnginePlace >= 3x faster) and a > 20% regression
+# check against the previous BENCH_*.json. Override the budget with
+# BENCHTIME=200ms etc.
 bench:
-	sh scripts/bench.sh BENCH_8.json
+	sh scripts/bench.sh BENCH_9.json
 
 # Deterministic fleet churn smoke: 200 containers over the AMD+Intel
 # cluster at reduced training fidelity. CI runs this on every push.

@@ -7,6 +7,7 @@ package numaplace
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -299,6 +300,68 @@ func BenchmarkEnginePlace(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAdmitThroughput measures sustained admission throughput on one
+// pre-trained engine, serial versus parallel: every iteration is a full
+// Place+Release cycle, so the parallel variant exercises the sharded admit
+// path end to end — concurrent observation, CAS node claiming, lock-free
+// cache hits. The bench.sh gate requires the parallel variant to beat the
+// serial per-op time whenever GOMAXPROCS > 1: with the admission lock
+// split, throughput must scale beyond one core instead of serializing on
+// a scheduler-wide mutex. Released nodes return before the next claim, so
+// iterations that lose a claim race retry internally rather than failing.
+func BenchmarkAdmitThroughput(b *testing.B) {
+	ctx := context.Background()
+	eng := New(machines.AMD(),
+		WithCollectConfig(CollectConfig{Trials: 2}),
+		WithTrainConfig(TrainConfig{
+			Seed: 1, Forest: mlearn.ForestConfig{Trees: 20},
+			SelectionTrees: 4, SelectionFolds: 3,
+		}),
+	)
+	ws := append(PaperWorkloads(), workloads.CorpusFrom(10, 3, []string{"flat", "bw", "lat"})...)
+	ds, err := eng.Collect(ctx, ws, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Train(ctx, ds); err != nil {
+		b.Fatal(err)
+	}
+	wt, _ := WorkloadByName("WTbtree")
+	cycle := func() error {
+		a, err := eng.Place(ctx, wt, 16)
+		if err != nil {
+			// Concurrent holders can transiently fill the machine; that
+			// is back-pressure, not a failure of the admission path.
+			if errors.Is(err, ErrMachineFull) {
+				return nil
+			}
+			return err
+		}
+		return eng.Release(ctx, a.ID)
+	}
+	if err := cycle(); err != nil { // warm the enumeration/pinning caches
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := cycle(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := cycle(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // benchCluster builds the warm two-machine AMD+Intel cluster the fleet

@@ -11,9 +11,17 @@
 // time against a real socket. The run is seeded (-seed) so the request
 // mix is reproducible; wall-clock latencies of course are not.
 //
+// With -rate the generator switches to an open loop: arrivals fire at the
+// given rate on a fixed schedule regardless of completions (each in its
+// own goroutine), so a daemon slower than the offered load accumulates
+// in-flight requests and its latency tail grows without bound instead of
+// being hidden by closed-loop self-throttling — the honest way to probe a
+// throughput ceiling. -c is ignored in this mode.
+//
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:7070 -n 20000 -c 32
+//	loadgen -addr http://127.0.0.1:7070 -n 50000 -rate 5000   # open loop
 //	loadgen -addr http://127.0.0.1:7070 -quick -json   # CI smoke, one JSON line
 package main
 
@@ -48,6 +56,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "request-mix seed (workload draws, hold times)")
 	hold := flag.Duration("hold", 2*time.Millisecond, "mean container hold time before release")
 	think := flag.Duration("think", 0, "mean per-worker think time between iterations (0 = none)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in placements/sec (0 = closed loop with -c workers)")
 	wait := flag.Duration("wait", 60*time.Second, "how long to wait for the daemon to become ready")
 	jsonOut := flag.Bool("json", false, "emit one JSON result line instead of the human report")
 	quick := flag.Bool("quick", false, "small smoke run (-n 400 -c 4) for CI")
@@ -69,8 +78,8 @@ func main() {
 			*hold = 0
 		}
 	}
-	if *n <= 0 || *c <= 0 || *vcpus <= 0 || *hold < 0 || *think < 0 {
-		fmt.Fprintln(os.Stderr, "-n, -c and -vcpus must be positive; -hold and -think non-negative")
+	if *n <= 0 || *c <= 0 || *vcpus <= 0 || *hold < 0 || *think < 0 || *rate < 0 {
+		fmt.Fprintln(os.Stderr, "-n, -c and -vcpus must be positive; -hold, -think and -rate non-negative")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -78,7 +87,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *addr, *n, *c, *vcpus, *seed, *hold, *think, *wait, *jsonOut); err != nil {
+	if err := run(ctx, *addr, *n, *c, *vcpus, *seed, *hold, *think, *rate, *wait, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -122,7 +131,7 @@ type result struct {
 }
 
 func run(ctx context.Context, addr string, n, workers, vcpus int, seed uint64,
-	hold, think, wait time.Duration, jsonOut bool) error {
+	hold, think time.Duration, rate float64, wait time.Duration, jsonOut bool) error {
 	// Rejections must surface as rejections, not retried into admissions:
 	// the measuring client never retries.
 	c := client.New(addr, client.WithRetries(0))
@@ -185,7 +194,79 @@ func run(ctx context.Context, addr string, n, workers, vcpus int, seed uint64,
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	if rate > 0 {
+		// Open loop: arrivals fire on a fixed schedule derived from -rate,
+		// each handled in its own goroutine, so slow responses never slow
+		// the arrival process down. Workload and hold draws happen in the
+		// pacing goroutine from the single seeded stream, keeping the
+		// request mix as reproducible as the closed loop's.
+		rng := xrand.New(seed)
+		exp := func(mean time.Duration) time.Duration {
+			if mean <= 0 {
+				return 0
+			}
+			return time.Duration(-float64(mean) * math.Log(1-rng.Float64()))
+		}
+		interval := time.Duration(float64(time.Second) / rate)
+		next := time.Now()
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(d):
+				}
+			}
+			next = next.Add(interval)
+			w := catalog[rng.Intn(len(catalog))]
+			holdFor := exp(hold)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				pr, err := c.Place(ctx, w.Name, vcpus)
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+				switch {
+				case err == nil:
+					atomic.AddInt64(&admitted, 1)
+					if holdFor > 0 {
+						select {
+						case <-ctx.Done():
+						case <-time.After(holdFor):
+						}
+					}
+					if err := c.Release(ctx, pr.ID); err != nil && ctx.Err() == nil {
+						atomic.AddInt64(&errCount, 1)
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("release %d: %w", pr.ID, err)
+						}
+						mu.Unlock()
+					}
+				case errors.Is(err, nperr.ErrFleetFull) || errors.Is(err, nperr.ErrNoHealthyBackend):
+					atomic.AddInt64(&rejected, 1)
+				default:
+					if ctx.Err() != nil {
+						return
+					}
+					atomic.AddInt64(&errCount, 1)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("place: %w", err)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		workers = 0 // reported: no closed-loop workers drove this run
+	}
+	for w := 0; rate == 0 && w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()

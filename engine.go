@@ -43,12 +43,19 @@ type Engine struct {
 	trainCfg   TrainConfig
 	serveCfg   ServeConfig
 
+	// The artifact caches are sync.Maps: the serving path reads them on
+	// every admission (placements and the predictor registry once per
+	// Place, pinnings once per commit), so lookups must not serialize on a
+	// mutex. Writes are rare — one per cold enumeration, pinning or
+	// (re)training — and singleflight coordination for enumerations still
+	// runs under mu.
 	mu         sync.Mutex
 	flight     map[uint64]*flightCall
-	placements map[uint64][]Important
-	pinnings   map[pinKey][]topology.ThreadID
-	predictors map[int]*Predictor
-	scheduler  *sched.Scheduler
+	placements sync.Map // uint64 -> []Important
+	pinnings   sync.Map // pinKey -> []topology.ThreadID
+	predictors sync.Map // int -> *Predictor
+	scheduler  atomic.Pointer[sched.Scheduler]
+	schedOnce  sync.Once
 
 	enumerations  atomic.Int64
 	placementHits atomic.Int64
@@ -115,7 +122,7 @@ func WithSeed(seed uint64) Option {
 // size, e.g. one loaded from disk with LoadPredictor. Place and Predict
 // consult the registry.
 func WithPredictor(vcpus int, p *Predictor) Option {
-	return func(e *Engine) { e.predictors[vcpus] = p }
+	return func(e *Engine) { e.predictors.Store(vcpus, p) }
 }
 
 // WithCollectConfig sets the ground-truth collection configuration used by
@@ -140,13 +147,10 @@ func WithServeConfig(cfg ServeConfig) Option {
 // lazily, once, on first use.
 func New(m Machine, opts ...Option) *Engine {
 	e := &Engine{
-		machine:    m,
-		fp:         m.Fingerprint(),
-		seed:       1,
-		flight:     map[uint64]*flightCall{},
-		placements: map[uint64][]Important{},
-		pinnings:   map[pinKey][]topology.ThreadID{},
-		predictors: map[int]*Predictor{},
+		machine: m,
+		fp:      m.Fingerprint(),
+		seed:    1,
+		flight:  map[uint64]*flightCall{},
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -187,11 +191,17 @@ func (e *Engine) placementsShared(ctx context.Context, spec *Spec, vcpus int) ([
 	key := xrand.Mix2(e.fp, uint64(vcpus))
 
 	for {
+		// Lock-free fast path: every admission resolves its enumeration
+		// here, so the cache hit must not serialize on e.mu.
+		if imps, ok := e.placements.Load(key); ok {
+			e.placementHits.Add(1)
+			return imps.([]Important), nil
+		}
 		e.mu.Lock()
-		if imps, ok := e.placements[key]; ok {
+		if imps, ok := e.placements.Load(key); ok {
 			e.mu.Unlock()
 			e.placementHits.Add(1)
-			return imps, nil
+			return imps.([]Important), nil
 		}
 		if c, ok := e.flight[key]; ok {
 			e.mu.Unlock()
@@ -224,7 +234,7 @@ func (e *Engine) placementsShared(ctx context.Context, spec *Spec, vcpus int) ([
 		e.mu.Lock()
 		delete(e.flight, key)
 		if c.err == nil {
-			e.placements[key] = c.val
+			e.placements.Store(key, c.val)
 		}
 		e.mu.Unlock()
 		close(c.done)
@@ -247,12 +257,9 @@ func (e *Engine) pinFor(ctx context.Context, spec *Spec, p Placement, vcpus int)
 	}
 	key, ok := pinKeyOf(p, vcpus)
 	if ok {
-		e.mu.Lock()
-		cached, hit := e.pinnings[key]
-		e.mu.Unlock()
-		if hit {
+		if cached, hit := e.pinnings.Load(key); hit {
 			e.pinHits.Add(1)
-			return append([]topology.ThreadID(nil), cached...), nil
+			return append([]topology.ThreadID(nil), cached.([]topology.ThreadID)...), nil
 		}
 	}
 	e.pinRuns.Add(1)
@@ -261,9 +268,7 @@ func (e *Engine) pinFor(ctx context.Context, spec *Spec, p Placement, vcpus int)
 		return nil, err
 	}
 	if ok {
-		e.mu.Lock()
-		e.pinnings[key] = threads
-		e.mu.Unlock()
+		e.pinnings.Store(key, threads)
 	}
 	return append([]topology.ThreadID(nil), threads...), nil
 }
@@ -326,9 +331,7 @@ func (e *Engine) trainWith(ctx context.Context, ds *Dataset, cfg TrainConfig) (*
 	// serving paths: the flat inference representation is otherwise built
 	// lazily, and the first Place/Predict should not pay it.
 	pred.Compile()
-	e.mu.Lock()
-	e.predictors[ds.V] = pred
-	e.mu.Unlock()
+	e.predictors.Store(ds.V, pred)
 	return pred, nil
 }
 
@@ -337,24 +340,22 @@ func (e *Engine) trainWith(ctx context.Context, ds *Dataset, cfg TrainConfig) (*
 // The predictor is compiled for serving if it was not already.
 func (e *Engine) UsePredictor(vcpus int, p *Predictor) {
 	p.Compile()
-	e.mu.Lock()
-	e.predictors[vcpus] = p
-	e.mu.Unlock()
+	e.predictors.Store(vcpus, p)
 }
 
 // Predictor returns the registered predictor for a container size, or
 // false if none has been trained or registered.
 func (e *Engine) Predictor(vcpus int) (*Predictor, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p, ok := e.predictors[vcpus]
-	return p, ok
+	p, ok := e.predictors.Load(vcpus)
+	if !ok {
+		return nil, false
+	}
+	return p.(*Predictor), true
 }
 
 func (e *Engine) predictorOrNil(vcpus int) *core.Predictor {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.predictors[vcpus]
+	p, _ := e.Predictor(vcpus)
+	return p
 }
 
 // Predict returns the predicted performance vector for a container of the
@@ -381,12 +382,15 @@ func (e *Engine) PredictInto(dst []float64, vcpus int, perfBase, perfProbe float
 	return p.PredictInto(dst, perfBase, perfProbe)
 }
 
-// serving returns the lazily built online scheduler.
+// serving returns the lazily built online scheduler. The built scheduler
+// is read through an atomic pointer so the admission path (Place, Release,
+// Preview) never serializes on e.mu just to find it.
 func (e *Engine) serving() *sched.Scheduler {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.scheduler == nil {
-		e.scheduler = sched.NewScheduler(e.spec,
+	if s := e.scheduler.Load(); s != nil {
+		return s
+	}
+	e.schedOnce.Do(func() {
+		e.scheduler.Store(sched.NewScheduler(e.spec,
 			func(ctx context.Context, v int) ([]Important, error) {
 				return e.placementsShared(ctx, e.spec, v)
 			},
@@ -394,9 +398,9 @@ func (e *Engine) serving() *sched.Scheduler {
 			func(ctx context.Context, p Placement, v int) ([]topology.ThreadID, error) {
 				return e.pinFor(ctx, e.spec, p, v)
 			},
-			e.serveCfg)
-	}
-	return e.scheduler
+			e.serveCfg))
+	})
+	return e.scheduler.Load()
 }
 
 // Place admits one container of workload w with the given vCPU count into

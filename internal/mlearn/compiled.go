@@ -49,6 +49,11 @@ type CompiledForest struct {
 	// (see steptable.go); stepOnce guards its one-time construction.
 	stepT    atomic.Pointer[stepTable]
 	stepOnce sync.Once
+
+	// gridT is the lazily-built multi-feature interval grid for 2..4-feature
+	// forests (see gridtable.go); gridOnce guards its construction.
+	gridT    atomic.Pointer[gridTable]
+	gridOnce sync.Once
 }
 
 // compile flattens the forest's pointer trees into SoA storage.
@@ -130,6 +135,14 @@ func (c *CompiledForest) PredictInto(dst, x []float64) error {
 	if c.inDim == 1 {
 		if st := c.step(); st.sums != nil {
 			row := st.row(x[0], c.outDim)
+			for d := range dst {
+				dst[d] = row[d] / n
+			}
+			return nil
+		}
+	} else if c.inDim <= maxGridDims {
+		if g := c.grid(); g.sums != nil {
+			row := g.row(x, c.outDim)
 			for d := range dst {
 				dst[d] = row[d] / n
 			}
@@ -369,6 +382,16 @@ func (c *CompiledForest) PredictBatch(dst [][]float64, xs [][]float64) error {
 			}
 			return nil
 		}
+	} else if g := c.gridT.Load(); g != nil && g.sums != nil {
+		n := float64(len(c.roots))
+		for r, x := range xs {
+			row := g.row(x, c.outDim)
+			out := dst[r]
+			for d := range out {
+				out[d] = row[d] / n
+			}
+		}
+		return nil
 	}
 	feat, thr, left, right := c.feat, c.thr, c.left, c.right
 	for _, root := range c.roots {
@@ -439,6 +462,15 @@ func (c *CompiledForest) PredictRowsInto(dst []float64, xs Matrix, sel []int) er
 			}
 			return nil
 		}
+	} else if g := c.gridT.Load(); g != nil && g.sums != nil {
+		for r := 0; r < n; r++ {
+			row := g.row(xs.Row(rowAt(sel, r)), c.outDim)
+			out := dst[r*c.outDim : (r+1)*c.outDim]
+			for d := range out {
+				out[d] = row[d] / nt
+			}
+		}
+		return nil
 	}
 	for i := range dst {
 		dst[i] = 0

@@ -1,0 +1,126 @@
+package mlearn
+
+import (
+	"math"
+	"sort"
+)
+
+// Multi-feature interval tables: the generalization of steptable.go's
+// single-feature compilation to the low-dimensional forests the serving
+// paths route on (the perf-ratio model is 1-D; the HPE and Combined
+// variants take a handful of selected counters). Every split in a forest
+// compares one input entry against a threshold, so the forest's output is
+// piecewise constant on the grid formed by taking, per feature, the
+// distinct thresholds splitting on it: prediction reduces to one binary
+// search per feature plus a row copy, independent of ensemble size and
+// depth.
+
+// maxGridDims bounds the dimensionality compiled into a grid. Beyond a few
+// features the threshold cross product explodes past any useful cap, and
+// the SoA traversal is the right tool anyway.
+const maxGridDims = 4
+
+// maxGridCells bounds the number of grid cells, and with it the one-time
+// build cost: each cell pays one accumulate walk over the whole forest.
+const maxGridCells = 1 << 12
+
+// gridTable is the fully-compiled form of a low-dimensional forest.
+// bounds[f] holds the sorted distinct thresholds splitting on feature f;
+// along that axis cell i covers (bounds[f][i-1], bounds[f][i]] with cell
+// len(bounds[f]) the open tail, exactly like stepTable's intervals. sums
+// holds one accumulated leaf-sum row per cell, row-major with stride[f]
+// cells per index step along feature f. Each row is produced by the
+// regular accumulate walk at a representative input inside the cell, so
+// every entry carries the exact floating-point value the tree-by-tree
+// accumulation yields — grid lookups stay bit-identical to the pointer
+// walk.
+//
+// A zero-value gridTable (nil sums) means "disabled": the forest is too
+// large for the caps, or outside the compilable dimensionalities.
+type gridTable struct {
+	bounds [][]float64
+	stride []int
+	sums   []float64
+}
+
+// buildGrid compiles the interval grid for a 2..maxGridDims-feature forest.
+func (c *CompiledForest) buildGrid() *gridTable {
+	if c.inDim < 2 || c.inDim > maxGridDims || len(c.roots) == 0 {
+		return &gridTable{}
+	}
+	bounds := make([][]float64, c.inDim)
+	for i, f := range c.feat {
+		if f >= 0 {
+			bounds[f] = append(bounds[f], c.thr[i])
+		}
+	}
+	cells := 1
+	for f := range bounds {
+		sort.Float64s(bounds[f])
+		bounds[f] = dedupeSorted(bounds[f])
+		if cells > maxGridCells { // avoid overflow before the real check
+			return &gridTable{}
+		}
+		cells *= len(bounds[f]) + 1
+	}
+	if cells > maxGridCells || cells*c.outDim > stepTableCap {
+		return &gridTable{}
+	}
+	stride := make([]int, c.inDim)
+	s := 1
+	for f := c.inDim - 1; f >= 0; f-- {
+		stride[f] = s
+		s *= len(bounds[f]) + 1
+	}
+	sums := make([]float64, cells*c.outDim)
+	// Walk every cell; idx[f] tracks the per-feature interval, x the
+	// representative input (the upper bound itself lies in its cell, since
+	// intervals are upper-inclusive to match the x <= threshold split rule;
+	// the open tail uses +Inf).
+	idx := make([]int, c.inDim)
+	x := make([]float64, c.inDim)
+	for cell := 0; cell < cells; cell++ {
+		for f := 0; f < c.inDim; f++ {
+			if i := idx[f]; i < len(bounds[f]) {
+				x[f] = bounds[f][i]
+			} else {
+				x[f] = math.Inf(1)
+			}
+		}
+		c.accumulate(sums[cell*c.outDim:(cell+1)*c.outDim], x)
+		for f := c.inDim - 1; f >= 0; f-- {
+			idx[f]++
+			if idx[f] <= len(bounds[f]) {
+				break
+			}
+			idx[f] = 0
+		}
+	}
+	return &gridTable{bounds: bounds, stride: stride, sums: sums}
+}
+
+// row returns the accumulated leaf-sum row for input x. Per feature the
+// search finds the first bound >= x[f], so x[f] == bound selects the
+// interval below it (the left branch of the corresponding split), and NaN —
+// for which every comparison is false — falls through to the rightmost
+// interval, exactly like the tree walk.
+func (g *gridTable) row(x []float64, outDim int) []float64 {
+	cell := 0
+	for f, b := range g.bounds {
+		cell += sort.SearchFloat64s(b, x[f]) * g.stride[f]
+	}
+	return g.sums[cell*outDim : (cell+1)*outDim]
+}
+
+// grid returns the forest's interval grid, building it on first use.
+// Construction is deliberately lazy, mirroring step(): the grid costs one
+// accumulate walk per cell, which only pays off for forests serving many
+// single-input predictions (fleet Preview fan-out on HPE/Combined
+// predictors); batch scoring during training never triggers it.
+func (c *CompiledForest) grid() *gridTable {
+	if g := c.gridT.Load(); g != nil {
+		return g
+	}
+	c.gridOnce.Do(func() { c.gridT.Store(c.buildGrid()) })
+	return c.gridT.Load()
+}

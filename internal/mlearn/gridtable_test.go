@@ -1,0 +1,128 @@
+package mlearn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGridTableBuilds asserts that small multi-feature forests actually
+// compile into an interval grid (not silently fall back to traversal) and
+// that grid-backed predictions — single, batch and flat-row — stay
+// bit-identical to the pointer walk, including on non-finite inputs.
+func TestGridTableBuilds(t *testing.T) {
+	for _, inDim := range []int{2, 3, 4} {
+		f, probes := randomForestCase(t, uint64(40+inDim), 30, inDim, 3, 4, 4, 2)
+		c := f.Compiled()
+		dst := make([]float64, f.OutDim())
+		if err := f.PredictInto(dst, probes[0]); err != nil { // triggers the lazy build
+			t.Fatal(err)
+		}
+		g := c.gridT.Load()
+		if g == nil || g.sums == nil {
+			t.Fatalf("inDim %d: no grid table built for a depth-4 forest", inDim)
+		}
+		cells := 1
+		for f := range g.bounds {
+			cells *= len(g.bounds[f]) + 1
+		}
+		if cells > maxGridCells {
+			t.Fatalf("inDim %d: grid has %d cells, cap is %d", inDim, cells, maxGridCells)
+		}
+		edge := [][]float64{
+			make([]float64, inDim), // zeros
+			make([]float64, inDim),
+			make([]float64, inDim),
+		}
+		for d := 0; d < inDim; d++ {
+			edge[1][d] = math.Inf(1)
+			edge[2][d] = math.NaN()
+		}
+		// Exact split thresholds are the intervals' boundary points.
+		for fx := range g.bounds {
+			for _, b := range g.bounds[fx] {
+				p := make([]float64, inDim)
+				p[fx] = b
+				edge = append(edge, p)
+			}
+		}
+		probes = append(probes, edge...)
+		for pi, p := range probes {
+			want := f.predictPointer(p)
+			if err := f.PredictInto(dst, p); err != nil {
+				t.Fatal(err)
+			}
+			for d := range want {
+				if dst[d] != want[d] && !(math.IsNaN(dst[d]) && math.IsNaN(want[d])) {
+					t.Fatalf("inDim %d probe %d dim %d: grid %v != pointer %v", inDim, pi, d, dst[d], want[d])
+				}
+			}
+		}
+		// Batch paths must serve from the same grid once it exists.
+		batch, err := f.PredictRows(probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := make([]float64, len(probes)*f.OutDim())
+		xs := Matrix{Data: make([]float64, len(probes)*inDim), Rows: len(probes), Cols: inDim}
+		for r, p := range probes {
+			copy(xs.Row(r), p)
+		}
+		if err := c.PredictRowsInto(flat, xs, nil); err != nil {
+			t.Fatal(err)
+		}
+		for pi, p := range probes {
+			want := f.predictPointer(p)
+			for d := range want {
+				got, fgot := batch[pi][d], flat[pi*f.OutDim()+d]
+				if (got != want[d] && !(math.IsNaN(got) && math.IsNaN(want[d]))) ||
+					(fgot != want[d] && !(math.IsNaN(fgot) && math.IsNaN(want[d]))) {
+					t.Fatalf("inDim %d probe %d dim %d: batch %v / flat %v != pointer %v",
+						inDim, pi, d, got, fgot, want[d])
+				}
+			}
+		}
+	}
+}
+
+// TestGridTableCaps asserts the fallbacks: too many features, or a
+// threshold cross product past the cell cap, disable the grid (nil sums)
+// and predictions keep flowing through the SoA traversal.
+func TestGridTableCaps(t *testing.T) {
+	// 6 features is beyond maxGridDims.
+	f, probes := randomForestCase(t, 51, 40, 6, 2, 10, 0, 1)
+	dst := make([]float64, f.OutDim())
+	if err := f.PredictInto(dst, probes[0]); err != nil {
+		t.Fatal(err)
+	}
+	if g := f.Compiled().gridT.Load(); g != nil && g.sums != nil {
+		t.Fatalf("6-feature forest built a grid; maxGridDims is %d", maxGridDims)
+	}
+	// Deep unconstrained trees on 4 features push the per-feature threshold
+	// counts so the cell product blows the cap.
+	f2, probes2 := randomForestCase(t, 52, 200, 4, 2, 30, 0, 1)
+	if err := f2.PredictInto(dst[:f2.OutDim()], probes2[0]); err != nil {
+		t.Fatal(err)
+	}
+	g2 := f2.Compiled().gridT.Load()
+	if g2 == nil {
+		t.Fatal("lazy grid build did not run")
+	}
+	if g2.sums != nil {
+		cells := 1
+		for fx := range g2.bounds {
+			cells *= len(g2.bounds[fx]) + 1
+		}
+		if cells > maxGridCells {
+			t.Fatalf("grid built with %d cells, cap is %d", cells, maxGridCells)
+		}
+	}
+	want := f2.predictPointer(probes2[1])
+	if err := f2.PredictInto(dst[:f2.OutDim()], probes2[1]); err != nil {
+		t.Fatal(err)
+	}
+	for d := range want {
+		if dst[d] != want[d] {
+			t.Fatalf("capped forest dim %d: %v != pointer %v", d, dst[d], want[d])
+		}
+	}
+}

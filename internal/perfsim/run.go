@@ -20,19 +20,62 @@ const icCoupling = 0.45
 // trial selects the noise draw; identical (workload, placement, trial)
 // triples always return the same value.
 func Run(m machines.Machine, w Workload, threads []topology.ThreadID, trial int) (float64, error) {
-	a, err := ComputeAttrs(m, threads)
+	p, err := Prepare(m, w, threads)
 	if err != nil {
 		return 0, err
 	}
-	return noisy(Perf(w, a, ExclusiveShares()), w, a, trial), nil
+	return p.At(trial), nil
+}
+
+// Prepared is a memoizable exclusive-node observation: the deterministic
+// part of Run (placement attributes plus the noise-free performance model)
+// captured once for a (machine, workload, thread assignment) triple. Only
+// the per-trial noise draw remains, so serving schedulers that observe the
+// same container shape in the same probe placements thousands of times per
+// second pay the O(vCPUs^2) attribute derivation once instead of per
+// admission. Prepared is immutable after Prepare and safe to share.
+type Prepared struct {
+	perf     float64 // noise-free model output
+	nameHash uint64  // xrand.HashString(w.Name)
+	nodes    topology.NodeSet
+	usedL2   int
+}
+
+// Prepare derives the trial-independent part of Run for one observation.
+func Prepare(m machines.Machine, w Workload, threads []topology.ThreadID) (Prepared, error) {
+	a, err := ComputeAttrs(m, threads)
+	if err != nil {
+		return Prepared{}, err
+	}
+	return Prepared{
+		perf:     Perf(w, a, ExclusiveShares()),
+		nameHash: xrand.HashString(w.Name),
+		nodes:    a.Nodes,
+		usedL2:   a.UsedL2,
+	}, nil
+}
+
+// At returns the observation for one noise trial. The value is
+// bit-identical to Run with the same (machine, workload, threads, trial):
+// the noise seed mixes exactly the fields noisy consumes, and the prepared
+// perf is the same float the model produces inside Run.
+func (p Prepared) At(trial int) float64 {
+	return applyNoise(p.perf, p.nameHash, p.nodes, p.usedL2, trial)
 }
 
 // noisy applies deterministic multiplicative measurement noise.
 func noisy(perf float64, w Workload, a Attrs, trial int) float64 {
+	return applyNoise(perf, xrand.HashString(w.Name), a.Nodes, a.UsedL2, trial)
+}
+
+// applyNoise is the shared noise draw: one seeded normal deviate scaled by
+// noiseSD. Every observation path (Run, Prepared.At, SimulateShared) funnels
+// through it so cached and recomputed observations stay bit-identical.
+func applyNoise(perf float64, nameHash uint64, nodes topology.NodeSet, usedL2, trial int) float64 {
 	seed := xrand.Mix(
-		xrand.HashString(w.Name),
-		uint64(a.Nodes),
-		uint64(a.UsedL2),
+		nameHash,
+		uint64(nodes),
+		uint64(usedL2),
 		uint64(trial),
 	)
 	rng := xrand.New(seed)

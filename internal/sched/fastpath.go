@@ -1,0 +1,220 @@
+// Admission fast path: the caches and scratch pools that turn the serving
+// scheduler's per-admission work — important-placement filtering, placement
+// observation, free-set scoring — into lookups. Everything here is an exact
+// memoization of a deterministic computation: each cache key captures every
+// input the cached value depends on, so a hit is bit-identical to the
+// recompute and no entry can ever be served stale. ServeConfig.Recompute
+// disables all of it, freezing the original search path as the reference
+// the parity suite compares against.
+package sched
+
+import (
+	"context"
+	"maps"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/perfsim"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// cowCache is a copy-on-write map for read-heavy, write-rare memoization:
+// readers follow one atomic pointer to an immutable map (no locks, no
+// interface boxing — admissions hit it millions of times per second),
+// writers clone under a mutex. Past max entries the next insert starts a
+// fresh map instead of cloning, bounding both memory and the per-miss clone
+// cost; dropping entries is always safe because values are pure functions
+// of their keys.
+type cowCache[K comparable, V any] struct {
+	m   atomic.Pointer[map[K]V]
+	mu  sync.Mutex
+	max int
+}
+
+func (c *cowCache[K, V]) get(k K) (V, bool) {
+	if m := c.m.Load(); m != nil {
+		v, ok := (*m)[k]
+		return v, ok
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *cowCache[K, V]) put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.m.Load()
+	var next map[K]V
+	if old == nil || len(*old) >= c.max {
+		next = make(map[K]V, 16)
+	} else {
+		next = maps.Clone(*old)
+	}
+	next[k] = v
+	c.m.Store(&next)
+}
+
+// obsKey identifies one cacheable placement observation: the workload, the
+// container size, and the important-placement index the container is
+// observed in. The concrete thread pinning and the noise-free performance
+// model output are deterministic functions of exactly these (the pin source
+// is memoized per placement, perfsim.Prepare per thread assignment), so the
+// prepared observation is shared across every admission of the same shape;
+// only the per-trial noise draw — keyed by container identity — remains
+// per-admission, applied by Prepared.At.
+type obsKey struct {
+	w  perfsim.Workload
+	v  int
+	pi int
+}
+
+// bestKey identifies one scored free-set search: bestFreeSet is a pure
+// function of the machine (fixed per scheduler), the free mask and the
+// class size, so the full key is (free, size). Keying by the mask is what
+// makes invalidation structural — every free-set mutation (Admit's CAS
+// commit, Release's union, Rebalance moves, Adopt, ApplyMove) publishes a
+// new mask, which by construction cannot hit another mask's entry, and
+// recurring masks (admit/release churn) hit their old entries exactly.
+type bestKey struct {
+	free topology.NodeSet
+	size int
+}
+
+// prevSlot is one cached Preview decision for a (workload, size, predictor)
+// shape, valid only against the exact free mask it was computed for. get
+// revalidates the mask against the live free set, so each of the mutation
+// points above invalidates every slot the moment it swings s.free.
+type prevSlot struct {
+	free topology.NodeSet
+	pv   Preview
+}
+
+// prevKey identifies a Preview shape. The predictor pointer is the model
+// fingerprint: predictors are immutable once trained, and retraining swaps
+// the registered pointer, so a stale model can never satisfy a lookup.
+type prevKey struct {
+	w    perfsim.Workload
+	v    int
+	pred *core.Predictor
+}
+
+// fastPath bundles the scheduler's admission caches. The zero value is
+// ready to use.
+type fastPath struct {
+	obs  cowCache[obsKey, perfsim.Prepared]
+	best cowCache[bestKey, topology.NodeSet]
+	prev cowCache[prevKey, prevSlot]
+	pool sync.Pool // *tenant with reusable prediction vector
+}
+
+func (f *fastPath) init() {
+	f.obs.max = 4096
+	f.best.max = 8192
+	f.prev.max = 4096
+	f.pool.New = func() any { return new(tenant) }
+}
+
+// getTenant returns a pooled tenant whose prediction vector has length n.
+// The vector's previous contents are fully overwritten by PredictInto
+// before any read, so reuse is exact.
+func (f *fastPath) getTenant(n int) *tenant {
+	t := f.pool.Get().(*tenant)
+	if cap(t.vec) < n {
+		t.vec = make([]float64, n)
+	} else {
+		t.vec = t.vec[:n]
+	}
+	return t
+}
+
+// putTenant recycles a tenant after release or a failed admission. Only the
+// vector's backing array survives; every other field is cleared so a pooled
+// tenant can never leak a container or stale decision into its next use.
+func (f *fastPath) putTenant(t *tenant) {
+	vec := t.vec
+	*t = tenant{vec: vec}
+	f.pool.Put(t)
+}
+
+// preparedObs returns the trial-independent observation of workload w in
+// placement imps[pi], computing and caching it on first use.
+func (s *Scheduler) preparedObs(ctx context.Context, w perfsim.Workload, v int, imps []placement.Important, pi int) (perfsim.Prepared, error) {
+	k := obsKey{w: w, v: v, pi: pi}
+	if prep, ok := s.fast.obs.get(k); ok {
+		return prep, nil
+	}
+	threads, err := s.pin(ctx, imps[pi].Placement, v)
+	if err != nil {
+		return perfsim.Prepared{}, err
+	}
+	prep, err := perfsim.Prepare(s.machine, w, threads)
+	if err != nil {
+		return perfsim.Prepared{}, err
+	}
+	s.fast.obs.put(k, prep)
+	return prep, nil
+}
+
+// bestSet is the cached bestFreeSet: the highest-bandwidth size-node subset
+// of free, resolved as a lookup for masks seen before.
+func (s *Scheduler) bestSet(free topology.NodeSet, size int) (topology.NodeSet, bool) {
+	if free.Len() < size {
+		return 0, false
+	}
+	k := bestKey{free: free, size: size}
+	if nodes, ok := s.fast.best.get(k); ok {
+		return nodes, true
+	}
+	nodes, ok := bestFreeSet(s.machine, free, size)
+	if !ok {
+		return 0, false
+	}
+	s.fast.best.put(k, nodes)
+	return nodes, true
+}
+
+// scanBest returns the index rankClasses would rank first among the classes
+// whose node count fits the free set, or -1 if no candidate fits. It is the
+// allocation-free replacement for sorting the full ranking per admission:
+// rankClasses' comparator is a total order (the index is the final
+// tiebreak), so the first fitting element of the sorted ranking is exactly
+// the minimum fitting candidate under the same comparator, found in one
+// pass.
+func scanBest(imps []placement.Important, vec []float64, basePerf, goal float64, freeLen int) int {
+	best := -1
+	var bestMeets bool
+	var bestNodes int
+	var bestPerf float64
+	for i, rel := range vec {
+		if rel <= 0 {
+			continue
+		}
+		n := imps[i].Nodes.Len()
+		if n > freeLen {
+			continue
+		}
+		perf := basePerf / rel
+		meets := perf >= goal
+		if best < 0 || rankLess(meets, n, perf, bestMeets, bestNodes, bestPerf) {
+			best, bestMeets, bestNodes, bestPerf = i, meets, n, perf
+		}
+	}
+	return best
+}
+
+// rankLess reports whether candidate a precedes candidate b in rankClasses'
+// preference order, mirroring its comparator field for field: goal-meeting
+// classes first; among those, fewest nodes; then highest predicted
+// performance. Equal keys keep the earlier index (scanBest only replaces on
+// strict precedence), matching the comparator's ascending-index tiebreak.
+func rankLess(aMeets bool, aNodes int, aPerf float64, bMeets bool, bNodes int, bPerf float64) bool {
+	if aMeets != bMeets {
+		return aMeets
+	}
+	if aMeets && aNodes != bNodes {
+		return aNodes < bNodes
+	}
+	return aPerf > bPerf
+}

@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/concern"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/mlearn"
+	"repro/internal/perfsim"
+	"repro/internal/placement"
+	"repro/internal/workloads"
+	"repro/internal/xrand"
+)
+
+// newParityPair trains one predictor and wraps the same artifacts (spec,
+// enumeration, predictor) in two schedulers: the cached fast path and the
+// frozen Recompute reference. Sharing the artifacts is what reduces every
+// divergence to the admission path itself — the two schedulers consume
+// bit-identical model inputs.
+func newParityPair(t *testing.T, m machines.Machine, v int, cfg ServeConfig) (fast, ref *Scheduler) {
+	t.Helper()
+	spec := concern.FromMachine(m)
+	imps, err := placement.Enumerate(spec, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := append(workloads.Paper(), workloads.CorpusFrom(8, 3, []string{"flat", "bw", "lat"})...)
+	ds, err := core.CollectPrepared(context.Background(), spec, imps, ws, v, core.CollectConfig{Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.Train(ds, core.TrainConfig{
+		Seed: 1, Forest: mlearn.ForestConfig{Trees: 10},
+		SelectionTrees: 4, SelectionFolds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(cfg ServeConfig) *Scheduler {
+		return NewScheduler(spec,
+			func(ctx context.Context, vv int) ([]placement.Important, error) {
+				if vv != v {
+					return placement.EnumerateCtx(ctx, spec, vv)
+				}
+				return imps, nil
+			},
+			func(vv int) *core.Predictor {
+				if vv != v {
+					return nil
+				}
+				return pred
+			},
+			nil,
+			cfg)
+	}
+	refCfg := cfg
+	refCfg.Recompute = true
+	return build(cfg), build(refCfg)
+}
+
+// sameErr fails unless both paths returned the same outcome: both nil, or
+// both the identical error text (typed sentinels wrap into identical
+// messages on both paths, so string equality is the strictest comparison
+// available across two scheduler instances).
+func sameErr(t *testing.T, op string, fast, ref error) {
+	t.Helper()
+	switch {
+	case (fast == nil) != (ref == nil):
+		t.Fatalf("%s: fast err = %v, recompute err = %v", op, fast, ref)
+	case fast != nil && fast.Error() != ref.Error():
+		t.Fatalf("%s: fast err %q, recompute err %q", op, fast, ref)
+	}
+}
+
+// TestSchedulerParityTrace drives the cached fast path and the frozen
+// recompute path through one identical randomized 500-op trace — admits
+// across several workloads, releases of random live tenants, releases of
+// unknown IDs, previews and rebalance passes — and asserts every returned
+// assignment, preview, report and error is deeply identical, as is the
+// final scheduler state. A third scheduler then adopts the survivors from
+// the fast scheduler's own assignments (the recovery path) and must land
+// on the same books. Run under -race this is also the parity suite's
+// concurrency guard: the fast path's caches fill and hit while the trace
+// churns the free mask through admit/release/rebalance cycles.
+func TestSchedulerParityTrace(t *testing.T) {
+	ctx := context.Background()
+	m := machines.AMD()
+	// GoalFrac 0.5 admits into the smallest classes, so the trace packs
+	// several tenants, fills the machine (exercising the ErrMachineFull
+	// arm on both paths) and leaves holes worth rebalancing into.
+	fast, ref := newParityPair(t, m, 16, ServeConfig{GoalFrac: 0.5})
+
+	names := []string{"WTbtree", "gcc", "canneal", "streamcluster", "pca"}
+	ws := make([]perfsim.Workload, 0, len(names))
+	for _, n := range names {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			t.Fatalf("unknown workload %q", n)
+		}
+		ws = append(ws, w)
+	}
+
+	rng := xrand.New(0x9e3779b97f4a7c15)
+	var live []int // IDs admitted and not yet released (identical on both)
+	admits, releases, previews, rebalances := 0, 0, 0, 0
+	for op := 0; op < 500; op++ {
+		switch k := rng.Intn(100); {
+		case k < 45: // admit
+			admits++
+			w := ws[rng.Intn(len(ws))]
+			af, errF := fast.Admit(ctx, w, 16)
+			ar, errR := ref.Admit(ctx, w, 16)
+			sameErr(t, "Admit", errF, errR)
+			if errF != nil {
+				continue
+			}
+			if !reflect.DeepEqual(af, ar) {
+				t.Fatalf("op %d: Admit(%s) diverged:\nfast      %+v\nrecompute %+v", op, w.Name, af, ar)
+			}
+			live = append(live, af.ID)
+		case k < 72: // release a live tenant
+			releases++
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			id := live[i]
+			sameErr(t, "Release", fast.Release(ctx, id), ref.Release(ctx, id))
+			live = append(live[:i], live[i+1:]...)
+		case k < 77: // release an unknown ID: identical typed failure
+			sameErr(t, "Release(unknown)", fast.Release(ctx, 1<<30), ref.Release(ctx, 1<<30))
+		case k < 90: // preview
+			previews++
+			w := ws[rng.Intn(len(ws))]
+			pf, errF := fast.Preview(ctx, w, 16)
+			pr, errR := ref.Preview(ctx, w, 16)
+			sameErr(t, "Preview", errF, errR)
+			if errF == nil && *pf != *pr {
+				t.Fatalf("op %d: Preview(%s) diverged:\nfast      %+v\nrecompute %+v", op, w.Name, pf, pr)
+			}
+		default: // rebalance
+			rebalances++
+			rf, errF := fast.Rebalance(ctx)
+			rr, errR := ref.Rebalance(ctx)
+			sameErr(t, "Rebalance", errF, errR)
+			if !reflect.DeepEqual(rf, rr) {
+				t.Fatalf("op %d: Rebalance diverged:\nfast      %+v\nrecompute %+v", op, rf, rr)
+			}
+		}
+	}
+	if admits == 0 || releases == 0 || previews == 0 || rebalances == 0 {
+		t.Fatalf("degenerate trace: %d admits, %d releases, %d previews, %d rebalances",
+			admits, releases, previews, rebalances)
+	}
+
+	// Final state: identical books, identical free mask, per-ID lookups
+	// agree with the snapshot on both paths.
+	fa, ra := fast.Assignments(), ref.Assignments()
+	if !reflect.DeepEqual(fa, ra) {
+		t.Fatalf("final assignments diverged:\nfast      %+v\nrecompute %+v", fa, ra)
+	}
+	if fast.Free() != ref.Free() {
+		t.Fatalf("final free masks diverged: fast %s, recompute %s", fast.Free(), ref.Free())
+	}
+	for _, a := range fa {
+		gf, okF := fast.Assignment(a.ID)
+		gr, okR := ref.Assignment(a.ID)
+		if !okF || !okR || !reflect.DeepEqual(gf, gr) {
+			t.Fatalf("Assignment(%d) diverged: fast %+v (%v), recompute %+v (%v)", a.ID, gf, okF, gr, okR)
+		}
+	}
+
+	// Recovery leg: adopt the fast scheduler's survivors into a fresh
+	// fast-path scheduler from their current assignments — exactly what
+	// the fleet's restore replays — and require identical books. Adopted
+	// tenants must then rebalance identically to the originals.
+	restored, _ := newParityPair(t, m, 16, ServeConfig{GoalFrac: 0.5})
+	for _, a := range fa {
+		w, ok := workloads.ByName(a.Workload)
+		if !ok {
+			t.Fatalf("assignment names unknown workload %q", a.Workload)
+		}
+		if _, err := restored.Adopt(ctx, Restore{
+			ID: a.ID, Workload: w, VCPUs: a.VCPUs, ClassID: a.Class,
+			Nodes: a.Nodes, BasePerf: a.BasePerf, ProbePerf: a.ProbePerf,
+		}); err != nil {
+			t.Fatalf("Adopt(%d): %v", a.ID, err)
+		}
+	}
+	if got := restored.Assignments(); !reflect.DeepEqual(got, fa) {
+		t.Fatalf("restored assignments diverged:\nrestored %+v\noriginal %+v", got, fa)
+	}
+	if restored.Free() != fast.Free() {
+		t.Fatalf("restored free mask %s, original %s", restored.Free(), fast.Free())
+	}
+	rf, errF := fast.Rebalance(ctx)
+	rr, errR := restored.Rebalance(ctx)
+	sameErr(t, "post-restore Rebalance", errF, errR)
+	if !reflect.DeepEqual(rf, rr) {
+		t.Fatalf("post-restore Rebalance diverged:\nrestored %+v\noriginal %+v", rr, rf)
+	}
+}

@@ -85,15 +85,19 @@ func (s *Scheduler) Adopt(ctx context.Context, r Restore) (*Assignment, error) {
 	}
 	goal := s.cfg.goalFrac() * r.BasePerf * (1 + s.cfg.headroom())
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if _, exists := s.tenants[r.ID]; exists {
+	s.books.Lock()
+	_, exists := s.books.tenants[r.ID]
+	s.books.Unlock()
+	if exists {
 		return nil, fmt.Errorf("sched: adopting container %d: ID already admitted: %w", r.ID, nperr.ErrLogCorrupt)
 	}
-	if r.Nodes.Minus(s.free) != 0 {
+	free := topology.NodeSet(s.free.Load())
+	if r.Nodes.Minus(free) != 0 {
 		return nil, fmt.Errorf("sched: adopting container %d: nodes %v not free: %w", r.ID, r.Nodes, nperr.ErrLogCorrupt)
 	}
 	threads, err := s.pin(ctx, placement.Placement{
@@ -107,14 +111,22 @@ func (s *Scheduler) Adopt(ctx context.Context, r Restore) (*Assignment, error) {
 	if err := c.Place(threads, true); err != nil {
 		return nil, s.discard(c, err)
 	}
-	s.free = s.free.Minus(r.Nodes)
+	s.free.Store(uint64(free.Minus(r.Nodes)))
 	t := &tenant{
 		c: c, class: choice, classID: r.ClassID, nodes: r.Nodes,
 		basePerf: r.BasePerf, probePerf: r.ProbePerf, vec: vec, goal: goal,
 	}
-	s.tenants[r.ID] = t
-	if r.ID >= s.nextID {
-		s.nextID = r.ID + 1
+	s.books.Lock()
+	s.books.tenants[r.ID] = t
+	s.insertLive(r.ID)
+	s.books.Unlock()
+	// Advance the ID allocator past every adopted identity; CAS-max
+	// because admissions allocate IDs outside the structural lock.
+	for {
+		cur := s.nextID.Load()
+		if int64(r.ID) < cur || s.nextID.CompareAndSwap(cur, int64(r.ID)+1) {
+			break
+		}
 	}
 	a := s.assignment(t)
 	return &a, nil
@@ -130,9 +142,11 @@ func (s *Scheduler) ApplyMove(ctx context.Context, id, classID int, nodes topolo
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tenants[id]
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
+	s.books.Lock()
+	t, ok := s.books.tenants[id]
+	s.books.Unlock()
 	if !ok {
 		return fmt.Errorf("sched: applying move of container %d: %w", id, nperr.ErrUnknownContainer)
 	}
@@ -145,7 +159,7 @@ func (s *Scheduler) ApplyMove(ctx context.Context, id, classID int, nodes topolo
 		return fmt.Errorf("sched: applying move of container %d: class %d not in the %d-vCPU enumeration: %w",
 			id, classID, t.c.VCPUs(), nperr.ErrLogCorrupt)
 	}
-	avail := s.free.Union(t.nodes)
+	avail := topology.NodeSet(s.free.Load()).Union(t.nodes)
 	if nodes.Minus(avail) != 0 {
 		return fmt.Errorf("sched: applying move of container %d: nodes %v not free: %w", id, nodes, nperr.ErrLogCorrupt)
 	}
@@ -159,7 +173,7 @@ func (s *Scheduler) ApplyMove(ctx context.Context, id, classID int, nodes topolo
 	if err := t.c.Place(threads, true); err != nil {
 		return err
 	}
-	s.free = avail.Minus(nodes)
+	s.free.Store(uint64(avail.Minus(nodes)))
 	t.class, t.classID, t.nodes = choice, classID, nodes
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/concern"
 	"repro/internal/container"
@@ -30,6 +31,13 @@ type ServeConfig struct {
 	// Migration configures the migration mechanism used when Rebalance
 	// moves a container (zero value = calibrated defaults).
 	Migration migrate.Config
+	// Recompute disables the admission fast path — the prepared-observation
+	// cache, the scored free-set cache, the preview cache and the scratch
+	// pools — so every decision re-runs the full search from scratch. The
+	// fast path is an exact memoization, so Recompute changes throughput
+	// and nothing else; it exists as the frozen reference the parity suite
+	// compares the cached path against, byte for byte.
+	Recompute bool
 }
 
 func (c ServeConfig) goalFrac() float64 {
@@ -115,10 +123,34 @@ type Scheduler struct {
 	pin func(ctx context.Context, p placement.Placement, v int) ([]topology.ThreadID, error)
 	cfg ServeConfig
 
-	mu      sync.Mutex
-	free    topology.NodeSet
-	nextID  int
-	tenants map[int]*tenant
+	// structMu serializes the structural passes — Rebalance, Adopt,
+	// ApplyMove — against the sharded admit/release paths: structural
+	// passes hold it exclusively, admissions and releases only shared, so
+	// independent admissions proceed in parallel and claim free nodes by
+	// CAS on the atomic free mask below. Tenant-field reads (Assignments,
+	// Assignment) also take it shared, which is what lets Rebalance mutate
+	// live tenants in place.
+	structMu sync.RWMutex
+	// free is the unallocated node mask (topology.NodeSet bits). Admissions
+	// claim nodes by compare-and-swap against the exact mask they planned
+	// with, retrying the plan when a concurrent admission won the race;
+	// releases return nodes with an atomic union. The mask only ever
+	// excludes committed reservations, so discard-on-failure still leaves
+	// it untouched: an admission CASes only after its pinning succeeded.
+	free   atomic.Uint64
+	nextID atomic.Int64
+
+	// books is the tenant registry: the live map plus the incrementally
+	// sorted ID slice that replaces per-snapshot sorting. Its mutex is a
+	// leaf lock (never held while acquiring anything else); every map or
+	// slice mutation, and every tenant-pointer fetch, happens under it.
+	books struct {
+		sync.Mutex
+		tenants map[int]*tenant
+		live    []int // admitted IDs, ascending
+	}
+
+	fast fastPath
 
 	// onDiscard, when set (tests only), receives every container abandoned
 	// by a failed admission after it was pinned for observation.
@@ -150,40 +182,42 @@ func NewScheduler(spec *concern.Spec,
 			return placement.Pin(spec, p, v)
 		}
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		machine: spec.Machine,
 		spec:    spec,
 		imps:    imps,
 		pred:    pred,
 		pin:     pin,
 		cfg:     cfg,
-		free:    topology.FullNodeSet(spec.Machine.Topo.NumNodes),
-		tenants: map[int]*tenant{},
 	}
+	s.free.Store(uint64(topology.FullNodeSet(spec.Machine.Topo.NumNodes)))
+	s.books.tenants = map[int]*tenant{}
+	s.fast.init()
+	return s
 }
 
 // Free returns the currently unallocated node set.
 func (s *Scheduler) Free() topology.NodeSet {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.free
+	return topology.NodeSet(s.free.Load())
 }
 
 // Len returns the number of admitted containers.
 func (s *Scheduler) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.tenants)
+	s.books.Lock()
+	defer s.books.Unlock()
+	return len(s.books.tenants)
 }
 
 // Assignments returns a snapshot of all admitted containers in ascending
 // ID order.
 func (s *Scheduler) Assignments() []Assignment {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Assignment, 0, len(s.tenants))
-	for _, id := range s.liveIDs() {
-		out = append(out, s.assignment(s.tenants[id]))
+	s.structMu.RLock()
+	defer s.structMu.RUnlock()
+	s.books.Lock()
+	defer s.books.Unlock()
+	out := make([]Assignment, 0, len(s.books.live))
+	for _, id := range s.books.live {
+		out = append(out, s.assignment(s.books.tenants[id]))
 	}
 	return out
 }
@@ -193,26 +227,36 @@ func (s *Scheduler) Assignments() []Assignment {
 // many fleet-wide IDs against large backends use it instead of
 // Assignments; ok is false for IDs the scheduler is not serving.
 func (s *Scheduler) Assignment(id int) (Assignment, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tenants[id]
+	s.structMu.RLock()
+	defer s.structMu.RUnlock()
+	s.books.Lock()
+	defer s.books.Unlock()
+	t, ok := s.books.tenants[id]
 	if !ok {
 		return Assignment{}, false
 	}
 	return s.assignment(t), true
 }
 
-// liveIDs returns the admitted container IDs in ascending (admission)
-// order. Callers hold s.mu. Iterating the live map rather than the whole
-// issued-ID range keeps long-lived engines O(live tenants) regardless of
-// how many admissions have come and gone.
-func (s *Scheduler) liveIDs() []int {
-	ids := make([]int, 0, len(s.tenants))
-	for id := range s.tenants {
-		ids = append(ids, id)
+// insertLive records a newly admitted ID in the sorted live slice. IDs are
+// allocated monotonically, so the overwhelmingly common case is an append;
+// adoption during recovery replay may interleave lower IDs, handled by a
+// binary-search insert. Callers hold s.books.
+func (s *Scheduler) insertLive(id int) {
+	if n := len(s.books.live); n == 0 || s.books.live[n-1] < id {
+		s.books.live = append(s.books.live, id)
+		return
 	}
-	slices.Sort(ids)
-	return ids
+	i, _ := slices.BinarySearch(s.books.live, id)
+	s.books.live = slices.Insert(s.books.live, i, id)
+}
+
+// removeLive drops a released ID from the sorted live slice. Callers hold
+// s.books.
+func (s *Scheduler) removeLive(id int) {
+	if i, ok := slices.BinarySearch(s.books.live, id); ok {
+		s.books.live = slices.Delete(s.books.live, i, i+1)
+	}
 }
 
 func (s *Scheduler) assignment(t *tenant) Assignment {
@@ -272,55 +316,71 @@ func (s *Scheduler) Admit(ctx context.Context, w perfsim.Workload, v int) (*Assi
 	// Phase 1 (unlocked): reserve an identity, then observe the container
 	// in the predictor's two input placements (measured alone, like the
 	// paper's in-place observation during the first seconds of execution)
-	// and predict its vector. Observation reads no scheduler state, so
-	// concurrent admissions observe in parallel; only node reservation
-	// below needs the lock. A failed admission leaves a gap in the ID
-	// space, which every iterator tolerates.
-	s.mu.Lock()
-	id := s.nextID
-	s.nextID++
-	s.mu.Unlock()
-
+	// and predict its vector. Observation reads no mutable scheduler
+	// state, so concurrent admissions observe in parallel; only node
+	// reservation below needs the shared lock. A failed admission leaves a
+	// gap in the ID space, which every iterator tolerates.
+	id := int(s.nextID.Add(1) - 1)
 	c := container.New(id, w, v)
-	obs, vec, err := s.observePredict(ctx, c, imps, p, admitTrial(c.ID()))
+	var t *tenant
+	if s.cfg.Recompute {
+		t = &tenant{vec: make([]float64, p.NumPlacements)}
+	} else {
+		t = s.fast.getTenant(p.NumPlacements)
+	}
+	obs, err := s.observePredict(ctx, c, imps, p, admitTrial(c.ID()), t.vec)
 	if err != nil {
+		s.fast.putTenant(t)
 		return nil, s.discard(c, err)
 	}
 	goal := s.cfg.goalFrac() * obs[0] * (1 + s.cfg.headroom())
 
-	// Phase 2 (locked): choose a class that fits the free nodes, pin,
-	// and commit the reservation. Any failure in this phase discards the
-	// container before the free set or tenant table is touched, so a
+	// Phase 2 (shared lock): choose a class that fits the free nodes, pin,
+	// and claim the nodes by CAS against the exact mask the choice was
+	// planned for — losing the race to a concurrent admission re-plans
+	// against the new mask. Any failure in this phase discards the
+	// container before the free mask or tenant table is touched, so a
 	// half-admitted container can never linger pinned to its probe
-	// placement.
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// placement and a failed admission never perturbs the free set.
+	s.structMu.RLock()
+	defer s.structMu.RUnlock()
 	if err := ctx.Err(); err != nil {
+		s.fast.putTenant(t)
 		return nil, s.discard(c, err)
 	}
-	choice, nodes, ok := s.chooseFitting(imps, vec, obs[0], goal, s.free)
-	if !ok {
-		return nil, s.discard(c, fmt.Errorf("sched: %d free nodes cannot host a %d-vCPU container: %w",
-			s.free.Len(), v, nperr.ErrMachineFull))
-	}
-	threads, err := s.pin(ctx, placement.Placement{
-		Nodes:         nodes,
-		PerNodeScores: imps[choice].PerNodeScores,
-	}, v)
-	if err != nil {
-		return nil, s.discard(c, err)
-	}
-	if err := c.Place(threads, true); err != nil {
-		return nil, s.discard(c, err)
+	for {
+		free := topology.NodeSet(s.free.Load())
+		choice, nodes, ok := s.chooseFitting(imps, t.vec, obs[0], goal, free)
+		if !ok {
+			s.fast.putTenant(t)
+			return nil, s.discard(c, fmt.Errorf("sched: %d free nodes cannot host a %d-vCPU container: %w",
+				free.Len(), v, nperr.ErrMachineFull))
+		}
+		threads, err := s.pin(ctx, placement.Placement{
+			Nodes:         nodes,
+			PerNodeScores: imps[choice].PerNodeScores,
+		}, v)
+		if err != nil {
+			s.fast.putTenant(t)
+			return nil, s.discard(c, err)
+		}
+		if err := c.Place(threads, true); err != nil {
+			s.fast.putTenant(t)
+			return nil, s.discard(c, err)
+		}
+		if !s.free.CompareAndSwap(uint64(free), uint64(free.Minus(nodes))) {
+			continue // lost the claim race; re-plan against the new mask
+		}
+		t.c, t.class, t.classID, t.nodes = c, choice, imps[choice].ID, nodes
+		t.basePerf, t.probePerf, t.goal = obs[0], obs[1], goal
+		break
 	}
 
-	s.free = s.free.Minus(nodes)
-	t := &tenant{
-		c: c, class: choice, classID: imps[choice].ID, nodes: nodes,
-		basePerf: obs[0], probePerf: obs[1], vec: vec, goal: goal,
-	}
-	s.tenants[c.ID()] = t
+	s.books.Lock()
+	s.books.tenants[id] = t
+	s.insertLive(id)
 	a := s.assignment(t)
+	s.books.Unlock()
 	return &a, nil
 }
 
@@ -336,36 +396,49 @@ func previewTrial(w perfsim.Workload, v int) int {
 	return -2 - int(xrand.Mix(xrand.HashString(w.Name), uint64(v))%(1<<30))
 }
 
-// observePredict pins c into the predictor's Base and Probe placements,
-// observes it alone in each (observation i draws the trialBase+i noise
-// stream), and predicts the full placement vector. It reads no mutable
-// scheduler state, so callers run it unlocked and concurrent observations
-// proceed in parallel.
+// observePredict observes c in the predictor's Base and Probe placements
+// (observation i draws the trialBase+i noise stream) and predicts the full
+// placement vector into vec (len p.NumPlacements, fully overwritten). It
+// reads no mutable scheduler state, so callers run it unlocked and
+// concurrent observations proceed in parallel.
+//
+// On the fast path the deterministic part of each observation — the thread
+// pinning and the noise-free performance model — comes from the prepared-
+// observation cache, and only the per-trial noise draw runs per admission;
+// the sample is recorded on the container exactly as Observe would. Under
+// Recompute the container is really pinned into both placements and
+// observed from scratch. Both paths produce bit-identical samples:
+// perfsim.Prepared.At is Run by construction.
 func (s *Scheduler) observePredict(ctx context.Context, c *container.Container,
-	imps []placement.Important, p *core.Predictor, trialBase int) ([2]float64, []float64, error) {
+	imps []placement.Important, p *core.Predictor, trialBase int, vec []float64) ([2]float64, error) {
 	var obs [2]float64
-	for i, pi := range []int{p.Base, p.Probe} {
-		threads, err := s.pin(ctx, imps[pi].Placement, c.VCPUs())
+	for i, pi := range [2]int{p.Base, p.Probe} {
+		if s.cfg.Recompute {
+			threads, err := s.pin(ctx, imps[pi].Placement, c.VCPUs())
+			if err != nil {
+				return obs, err
+			}
+			if err := c.Place(threads, true); err != nil {
+				return obs, err
+			}
+			perf, err := c.Observe(s.machine, trialBase+i)
+			if err != nil {
+				return obs, err
+			}
+			obs[i] = perf
+			continue
+		}
+		prep, err := s.preparedObs(ctx, c.Workload(), c.VCPUs(), imps, pi)
 		if err != nil {
-			return obs, nil, err
+			return obs, err
 		}
-		if err := c.Place(threads, true); err != nil {
-			return obs, nil, err
-		}
-		perf, err := c.Observe(s.machine, trialBase+i)
-		if err != nil {
-			return obs, nil, err
-		}
-		obs[i] = perf
+		obs[i] = prep.At(trialBase + i)
+		c.Report(obs[i])
 	}
-	// The vector may outlive the call (Admit keeps it on the tenant for
-	// later rebalancing), so it is allocated per observation; the
-	// prediction itself runs allocation-free through the compiled forest.
-	vec := make([]float64, p.NumPlacements)
 	if err := p.PredictInto(vec, obs[0], obs[1]); err != nil {
-		return obs, nil, err
+		return obs, err
 	}
-	return obs, vec, nil
+	return obs, nil
 }
 
 // Preview describes what Admit would do for a container right now, without
@@ -405,41 +478,96 @@ func (s *Scheduler) Preview(ctx context.Context, w perfsim.Workload, v int) (*Pr
 		return nil, fmt.Errorf("sched: predictor has %d placements, machine yields %d for %d vCPUs: %w",
 			p.NumPlacements, len(imps), v, nperr.ErrMachineMismatch)
 	}
+	// The preview observation draws an ID-independent noise stream, so the
+	// whole decision is a pure function of (free mask, workload, size,
+	// predictor): one cached slot per shape, revalidated against the live
+	// mask, turns fleet-wide preview fan-out into lookups. Every free-set
+	// mutation publishes a new mask and thereby invalidates every slot.
+	free := topology.NodeSet(s.free.Load())
+	key := prevKey{w: w, v: v, pred: p}
+	if !s.cfg.Recompute {
+		if slot, ok := s.fast.prev.get(key); ok && slot.free == free {
+			pv := slot.pv
+			return &pv, nil
+		}
+	}
 	c := container.New(0, w, v)
-	obs, vec, err := s.observePredict(ctx, c, imps, p, previewTrial(w, v))
+	var vec []float64
+	var t *tenant
+	if s.cfg.Recompute {
+		vec = make([]float64, p.NumPlacements)
+	} else {
+		t = s.fast.getTenant(p.NumPlacements)
+		defer s.fast.putTenant(t)
+		vec = t.vec
+	}
+	obs, err := s.observePredict(ctx, c, imps, p, previewTrial(w, v), vec)
 	c.Unplace()
 	if err != nil {
 		return nil, err
 	}
 	goal := s.cfg.goalFrac() * obs[0] * (1 + s.cfg.headroom())
-	s.mu.Lock()
-	free := s.free
-	s.mu.Unlock()
+	if s.cfg.Recompute {
+		// The reference path reads the mask where the original code did:
+		// after observation. Sequential traces see the same value either
+		// way; the parity suite compares against this ordering.
+		free = topology.NodeSet(s.free.Load())
+	}
 	choice, nodes, ok := s.chooseFitting(imps, vec, obs[0], goal, free)
 	if !ok {
 		return nil, fmt.Errorf("sched: %d free nodes cannot host a %d-vCPU container: %w",
 			free.Len(), v, nperr.ErrMachineFull)
 	}
-	return &Preview{
+	pv := Preview{
 		Class: choice, ClassID: imps[choice].ID, Nodes: nodes,
 		BasePerf: obs[0], PredictedPerf: predictedPerf(obs[0], vec, choice),
-	}, nil
+	}
+	if !s.cfg.Recompute {
+		s.fast.prev.put(key, prevSlot{free: free, pv: pv})
+	}
+	return &pv, nil
 }
 
 // chooseFitting walks placement classes in the batch policy's preference
 // order (fewest nodes first, fastest predicted within a node count; classes
 // meeting the goal before best-effort) and returns the first class whose
 // node count fits the free set, together with the best concrete node set.
+// The fast path finds the same class with a single allocation-free scan
+// (the ranking's comparator is a total order, so the first fitting element
+// of the sorted ranking is the minimum fitting candidate) and resolves the
+// concrete node set through the scored free-set cache; Recompute re-sorts
+// and re-scores from scratch.
 func (s *Scheduler) chooseFitting(imps []placement.Important, vec []float64, basePerf, goal float64, free topology.NodeSet) (int, topology.NodeSet, bool) {
-	for _, idx := range rankClasses(imps, vec, basePerf, goal) {
-		if imps[idx].Nodes.Len() > free.Len() {
-			continue
+	if s.cfg.Recompute {
+		for _, idx := range rankClasses(imps, vec, basePerf, goal) {
+			if imps[idx].Nodes.Len() > free.Len() {
+				continue
+			}
+			if nodes, ok := bestFreeSet(s.machine, free, imps[idx].Nodes.Len()); ok {
+				return idx, nodes, true
+			}
 		}
-		if nodes, ok := bestFreeSet(s.machine, free, imps[idx].Nodes.Len()); ok {
-			return idx, nodes, true
+		return 0, 0, false
+	}
+	idx := scanBest(imps, vec, basePerf, goal, free.Len())
+	if idx < 0 {
+		return 0, 0, false
+	}
+	nodes, ok := s.bestSet(free, imps[idx].Nodes.Len())
+	if !ok {
+		return 0, 0, false
+	}
+	return idx, nodes, true
+}
+
+// freeUnion returns nodes to the free mask with an atomic union.
+func (s *Scheduler) freeUnion(nodes topology.NodeSet) {
+	for {
+		old := s.free.Load()
+		if s.free.CompareAndSwap(old, old|uint64(nodes)) {
+			return
 		}
 	}
-	return 0, 0, false
 }
 
 // Release evicts the container with the given ID and returns its nodes to
@@ -448,14 +576,19 @@ func (s *Scheduler) Release(ctx context.Context, id int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tenants[id]
+	s.structMu.RLock()
+	defer s.structMu.RUnlock()
+	s.books.Lock()
+	t, ok := s.books.tenants[id]
 	if !ok {
+		s.books.Unlock()
 		return fmt.Errorf("sched: releasing container %d: %w", id, nperr.ErrUnknownContainer)
 	}
-	s.free = s.free.Union(t.nodes)
-	delete(s.tenants, id)
+	delete(s.books.tenants, id)
+	s.removeLive(id)
+	s.books.Unlock()
+	s.freeUnion(t.nodes)
+	s.fast.putTenant(t)
 	return nil
 }
 
@@ -477,11 +610,13 @@ func (s *Scheduler) Release(ctx context.Context, id int) error {
 // migration seconds were really spent, so callers must not discard the
 // partial report.
 func (s *Scheduler) Rebalance(ctx context.Context) (*RebalanceReport, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.structMu.Lock()
+	defer s.structMu.Unlock()
 	rep := &RebalanceReport{}
-	for _, id := range s.liveIDs() {
-		t := s.tenants[id]
+	// The exclusive lock blocks every books mutator, so the sorted live
+	// slice is stable for the whole pass and is iterated directly.
+	for _, id := range s.books.live {
+		t := s.books.tenants[id]
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
@@ -491,7 +626,7 @@ func (s *Scheduler) Rebalance(ctx context.Context) (*RebalanceReport, error) {
 			return rep, err
 		}
 		// Re-plan with the container's own nodes returned to the pool.
-		avail := s.free.Union(t.nodes)
+		avail := topology.NodeSet(s.free.Load()).Union(t.nodes)
 		choice, nodes, ok := s.chooseFitting(imps, t.vec, t.basePerf, t.goal, avail)
 		if !ok {
 			continue
@@ -536,7 +671,7 @@ func (s *Scheduler) Rebalance(ctx context.Context) (*RebalanceReport, error) {
 			FromNodes: t.nodes, ToNodes: nodes, Seconds: res.Seconds,
 		})
 		rep.TotalSeconds += res.Seconds
-		s.free = avail.Minus(nodes)
+		s.free.Store(uint64(avail.Minus(nodes)))
 		t.class, t.classID, t.nodes = choice, imps[choice].ID, nodes
 	}
 	return rep, nil

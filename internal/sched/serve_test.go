@@ -231,7 +231,9 @@ func slowerSameSizeClass(tn *tenant, imps []placement.Important) (int, bool) {
 // early-continue skipped the upgrade and classID stayed stale.
 func demoteTenant(t *testing.T, s *Scheduler, imps []placement.Important, id int) (fromClass, toClassID int) {
 	t.Helper()
-	tn := s.tenants[id]
+	s.books.Lock()
+	tn := s.books.tenants[id]
+	s.books.Unlock()
 	slower, ok := slowerSameSizeClass(tn, imps)
 	if !ok {
 		t.Skipf("no slower same-size class for container %d", id)
@@ -417,10 +419,13 @@ func TestSchedulerAdmitPhase2FailureDiscards(t *testing.T) {
 	}
 
 	// Cancellation between phase 1 (observation) and phase 2 (commit):
-	// same discard guarantees, and the error is the context's.
+	// same discard guarantees, and the error is the context's. A workload
+	// the scheduler has not seen keeps the prepared-observation cache cold,
+	// so the cancel really fires from inside this admission's observation.
 	cctx, cancel := context.WithCancel(ctx)
 	cancelPhase2 = cancel
-	if _, err := s.Admit(cctx, wt, 16); !errors.Is(err, context.Canceled) {
+	gcc, _ := workloads.ByName("gcc")
+	if _, err := s.Admit(cctx, gcc, 16); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Admit err = %v, want context.Canceled", err)
 	}
 	cancelPhase2 = nil

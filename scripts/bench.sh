@@ -24,6 +24,13 @@
 #      append (BenchmarkWALAppend, record encoding under Fleet.mu) at
 #      0 allocs/op, and crash recovery (BenchmarkRecovery, snapshot +
 #      >= 10k-record replay into a live fleet) under 100 ms.
+#      The admission fast path adds its own in-run gates: the
+#      BenchmarkEnginePlace admission must stay lean (<= 12 allocs/op —
+#      the pre-fast-path admission paid ~40), BenchmarkAdmitThroughput
+#      must be present in both serial and parallel variants, and on
+#      multi-core recorders (GOMAXPROCS > 1) the parallel variant must
+#      beat the serial per-op time: with the admission lock sharded,
+#      throughput has to scale beyond one core instead of serializing.
 #   2. Compare gates against the previous BENCH_*.json. Against a
 #      pre-PR-3 baseline (BENCH_0..2) the PR 3 ns/op floors apply; against
 #      BENCH_3 the PR 4 flat-data-plane floors apply: Figure4AMD/Intel at
@@ -33,13 +40,14 @@
 #      daemon) and BENCH_7 (the PR 8 write-ahead log) — eras that add
 #      subsystems rather than speedups — only the generic > 20% ns/op
 #      regression check applies; it covers every benchmark present in
-#      both reports.
+#      both reports. Against BENCH_8 the PR 9 admission-fast-path floor
+#      applies: BenchmarkEnginePlace at <= 0.33x ns/op (>= 3x faster).
 #
 # Usage:
 #   scripts/bench.sh [output.json]          run suite, write report, gate
 #   scripts/bench.sh --compare NEW OLD      compare two reports only
 #
-# Default output: BENCH_8.json. The comparison baseline is the
+# Default output: BENCH_9.json. The comparison baseline is the
 # highest-numbered BENCH_*.json other than the output file.
 set -eu
 
@@ -85,6 +93,7 @@ compare_reports() {
         BENCH_5.json)     era=pr6 ;;
         BENCH_6.json)     era=pr7 ;;
         BENCH_7.json)     era=pr8 ;;
+        BENCH_8.json)     era=pr9 ;;
     esac
     echo "comparing $new against $old (floor era: $era)"
     awk -v newfile="$new" -v oldfile="$old" -v era="$era" '
@@ -138,6 +147,11 @@ compare_reports() {
             bfloor["BenchmarkFigure4AMD"] = 0.3                    # >= 70% fewer bytes
             bfloor["BenchmarkFigure4Intel"] = 0.3                  # >= 70% fewer bytes
             afloor["BenchmarkAblationForestSize/trees-100"] = 0.5  # >= 2x fewer allocs
+        } else if (era == "pr9") {
+            # The admission fast path: one online admission (observe
+            # twice, predict, choose, pin, commit) drops from ~11.4 us to
+            # ~1.2 us; the floor demands at least the 3x the issue requires.
+            nsfloor["BenchmarkEnginePlace"] = 0.33                 # >= 3x faster
         }
         # era == "pr5" (fleet layer), era == "pr6" (failure-aware fleet),
         # era == "pr7" (wire daemon) and era == "pr8" (write-ahead log):
@@ -346,6 +360,34 @@ END {
     if (seen == 0) { print "FAIL: BenchmarkClusterAdmit missing"; exit 1 }
     if (failover == 0) { print "FAIL: BenchmarkFailover missing"; exit 1 }
     if (bad > 0) exit 1
+}' "$tmp"
+
+# Gate: the admission fast path. One online admission (BenchmarkEnginePlace:
+# observe twice, predict, choose, pin, commit) must stay lean — at most 12
+# allocs/op, where the pre-fast-path admission paid ~40. Both
+# BenchmarkAdmitThroughput variants must be present, and when the recorder
+# has more than one core (Go appends the GOMAXPROCS count to the benchmark
+# name) the parallel variant must beat the serial per-op time: the sharded
+# admit path has to scale beyond one core instead of serializing on a
+# scheduler-wide lock. Single-core recorders skip the scaling comparison —
+# there is nothing to scale onto — but still require both variants.
+awk '
+/^BenchmarkEnginePlace(-[0-9]+)? / { for (i=3;i<NF;i++) if ($(i+1)=="allocs/op") pa=$i }
+/^BenchmarkAdmitThroughput\/serial/ {
+    procs = 1
+    if (match($1, /-[0-9]+$/)) procs = substr($1, RSTART+1, RLENGTH-1) + 0
+    for (i=3;i<NF;i++) if ($(i+1)=="ns/op") sns=$i
+}
+/^BenchmarkAdmitThroughput\/parallel/ { for (i=3;i<NF;i++) if ($(i+1)=="ns/op") pns=$i }
+END {
+    if (pa == "") { print "FAIL: BenchmarkEnginePlace missing alloc data"; exit 1 }
+    printf "engine admission allocations: %s allocs/op\n", pa
+    if (pa + 0 > 12) { print "FAIL: one admission allocates more than 12 times"; exit 1 }
+    if (sns == "" || pns == "") { print "FAIL: BenchmarkAdmitThroughput serial/parallel missing"; exit 1 }
+    printf "admit throughput: serial %s ns/op, parallel %s ns/op (GOMAXPROCS %d)\n", sns, pns, procs
+    if (procs > 1 && pns + 0 >= sns + 0) {
+        print "FAIL: parallel admissions no faster than serial on a multi-core recorder"; exit 1
+    }
 }' "$tmp"
 
 # Gate: the wire hot paths must be allocation-free — event publication
