@@ -19,12 +19,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/concern"
+	"repro/internal/xrand"
 	"repro/internal/interconnect"
 	"repro/internal/machines"
 	"repro/internal/placement"
@@ -219,7 +219,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	rng := rand.New(rand.NewSource(2))
+	rng := xrand.New(2)
 	grid := func(lo, hi int64) int64 { return lo + 50*rng.Int63n((hi-lo)/50+1) }
 	miss := map[string]int{}
 	for iter := 0; iter < 500_000; iter++ {

@@ -387,9 +387,13 @@ func run(ctx context.Context, cfg simConfig, out, errw io.Writer) error {
 			}
 			account()
 			remaining--
-			start := time.Now()
+			// Wall-clock here measures the *implementation*, not the
+			// simulation: admitWall is the real CPU cost of one Place
+			// call, reported as telemetry and never fed back into
+			// simulated time or any decision.
+			start := time.Now() //numalint:ignore determinism telemetry: measures real Place latency, never feeds simulated state
 			adm, err := cl.Place(ctx, a.w, cfg.vcpus)
-			admitWall = append(admitWall, time.Since(start))
+			admitWall = append(admitWall, time.Since(start)) //numalint:ignore determinism telemetry: measures real Place latency, never feeds simulated state
 			if err != nil {
 				if errors.Is(err, numaplace.ErrFleetFull) {
 					rejected++

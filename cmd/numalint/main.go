@@ -1,0 +1,73 @@
+// Command numalint is the repo's multichecker: it runs the five
+// internal/analysis analyzers — lockorder, blockunderlock, noalloc,
+// determinism, sentinelwrap — over the named packages (default ./...) and
+// exits non-zero on any unsuppressed finding. `make lint` runs it in CI.
+//
+// Exit codes: 0 clean, 1 findings, 2 load or internal error.
+//
+// Findings are suppressed line-by-line with
+// //numalint:ignore <analyzer> <reason>; the reason is mandatory. See
+// DESIGN.md's "static invariants" section for the analyzer catalog and
+// the full annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print only the finding count")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: numalint [-q] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "numalint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "numalint:", err)
+		os.Exit(2)
+	}
+	broken := false
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			broken = true
+			fmt.Fprintf(os.Stderr, "numalint: %v\n", e)
+		}
+	}
+	if broken {
+		fmt.Fprintln(os.Stderr, "numalint: type errors in target packages; fix the build first")
+		os.Exit(2)
+	}
+
+	diags, err := analysis.NewRunner().Run(loader.Fset, pkgs, analysis.DefaultAnalyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "numalint:", err)
+		os.Exit(2)
+	}
+	if !*quiet {
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "numalint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

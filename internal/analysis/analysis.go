@@ -1,0 +1,197 @@
+// Package analysis is the repo's static-invariant checker: a minimal,
+// dependency-free mirror of the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic, object facts) plus the five numalint
+// analyzers that enforce the invariants nine PRs of perf and robustness
+// work piled up — lock ordering, zero-alloc hot paths, determinism,
+// sentinel wrapping and no-I/O-under-lock. The container this repo builds
+// in has no module cache and no network, so the framework is built
+// entirely on the standard library: go/parser + go/types for loading (see
+// loader.go) and a single-process in-memory fact store for cross-package
+// call-graph summaries.
+//
+// The analyzers are driven by cmd/numalint (the multichecker) and by the
+// golden-file tests under testdata/ (see golden.go). DESIGN.md's "static
+// invariants" section documents each analyzer and the annotation grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run inspects a single package and reports
+// findings through the Pass; it may also return a result value that
+// analyzers listing it in Requires can read with Pass.ResultOf, and may
+// export per-object facts that later passes (dependent packages) read with
+// Pass.FactOf — the mechanism the lock-order call-graph summaries ride.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Requires lists analyzers whose Run must complete on the same
+	// package first. Their results are available via Pass.ResultOf.
+	Requires []*Analyzer
+	Run      func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, positioned in the loaded FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	// Ann holds the package's parsed //numalint: directives.
+	Ann *Annotations
+
+	runner  *Runner
+	results map[*Analyzer]any
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.runner.diags = append(p.runner.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ResultOf returns the same-package result of a required analyzer.
+func (p *Pass) ResultOf(a *Analyzer) any { return p.results[a] }
+
+// ExportFact attaches a fact to obj under the running analyzer's name.
+// Facts are process-global: passes over dependent packages can read them.
+func (p *Pass) ExportFact(obj types.Object, v any) {
+	p.runner.facts[factKey{p.Analyzer, obj}] = v
+}
+
+// FactOf reads a fact exported for obj by analyzer a (typically from an
+// earlier pass over a dependency package).
+func (p *Pass) FactOf(a *Analyzer, obj types.Object) (any, bool) {
+	v, ok := p.runner.facts[factKey{a, obj}]
+	return v, ok
+}
+
+type factKey struct {
+	a   *Analyzer
+	obj types.Object
+}
+
+// Runner applies analyzers to packages in dependency order, resolves
+// Requires, filters suppressed findings and reports directive-hygiene
+// problems (malformed //numalint: comments, ignores without a reason).
+type Runner struct {
+	facts map[factKey]any
+	diags []Diagnostic
+}
+
+// NewRunner returns an empty runner. One runner must be reused across
+// every package of one checking session so facts flow between packages.
+func NewRunner() *Runner {
+	return &Runner{facts: map[factKey]any{}}
+}
+
+// expand returns analyzers plus their transitive requirements, dependencies
+// first, each exactly once.
+func expand(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	seen := map[*Analyzer]bool{}
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, r := range a.Requires {
+			visit(r)
+		}
+		out = append(out, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
+}
+
+// Run applies the analyzers to pkgs (which must already be in dependency
+// order — Loader.Load* returns them that way) and returns the surviving
+// diagnostics sorted by position. Suppressions (//numalint:ignore) are
+// applied per analyzer per line; a malformed directive or an ignore with
+// no reason is itself a diagnostic.
+func (r *Runner) Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ordered := expand(analyzers)
+	anns := make([]*Annotations, len(pkgs))
+	for i, pkg := range pkgs {
+		ann := ParseAnnotations(pkg)
+		anns[i] = ann
+		results := map[*Analyzer]any{}
+		for _, a := range ordered {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Types:    pkg.Types,
+				Info:     pkg.Info,
+				Ann:      ann,
+				runner:   r,
+				results:  results,
+			}
+			res, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path, err)
+			}
+			results[a] = res
+		}
+	}
+	var out []Diagnostic
+	for _, d := range r.diags {
+		if !suppressed(fset, anns, d) {
+			out = append(out, d)
+		}
+	}
+	// Directive hygiene rides along as its own pseudo-analyzer.
+	for _, ann := range anns {
+		out = append(out, ann.Bad...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	r.diags = nil
+	return out, nil
+}
+
+// suppressed reports whether d is covered by a //numalint:ignore directive
+// on the same line or the line directly above.
+func suppressed(fset *token.FileSet, anns []*Annotations, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, ann := range anns {
+		for _, ig := range ann.Ignores[pos.Filename] {
+			if ig.Analyzer != d.Analyzer {
+				continue
+			}
+			if ig.Line == pos.Line || ig.Line == pos.Line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}

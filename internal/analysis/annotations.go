@@ -1,0 +1,232 @@
+// Parsing of the //numalint: directive grammar. Four directives:
+//
+//	//numalint:noalloc
+//	    On a function's doc comment: the function is a zero-alloc hot
+//	    path; the noalloc analyzer flags allocation-forcing constructs in
+//	    its body.
+//
+//	//numalint:locks <name> rank=<N> [noblock]
+//	    On a mutex-bearing struct field (or package-level mutex var):
+//	    declares a ranked lock. Locks must be acquired in strictly
+//	    ascending rank order (lockorder); a lock marked noblock forbids
+//	    file/network/syscall work and Commit-class calls while held
+//	    (blockunderlock).
+//
+//	//numalint:ignore <analyzer> <reason>
+//	    On the offending line or the line directly above: suppresses that
+//	    analyzer's findings there. The reason is mandatory — an ignore
+//	    without one is itself a finding.
+//
+//	//numalint:errtable <sentinel-package|.>
+//	    On a wire error table var: sentinelwrap checks the table maps
+//	    every sentinel of the named package exactly once.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+const directivePrefix = "//numalint:"
+
+// IgnoreDirective is one parsed //numalint:ignore.
+type IgnoreDirective struct {
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// LockDecl is one parsed //numalint:locks, attached to the declaring
+// field or var.
+type LockDecl struct {
+	Name    string
+	Rank    int
+	NoBlock bool
+	// Field / VarName identify the declaration the directive documents.
+	Field   *ast.Field
+	VarName *ast.Ident
+	Pos     token.Pos
+}
+
+// ErrTableDecl is one parsed //numalint:errtable.
+type ErrTableDecl struct {
+	SentinelPkg string // import path, or "." for the table's own package
+	Var         *ast.Ident
+	Value       ast.Expr
+	Pos         token.Pos
+}
+
+// Annotations is every parsed directive of one package.
+type Annotations struct {
+	// Ignores maps filename → suppressions.
+	Ignores map[string][]IgnoreDirective
+	// NoAlloc holds the annotated function declarations.
+	NoAlloc map[*ast.FuncDecl]bool
+	Locks   []LockDecl
+	Tables  []ErrTableDecl
+	// Bad collects directive-hygiene findings (unknown verb, malformed
+	// arguments, ignore without a reason).
+	Bad []Diagnostic
+}
+
+// ParseAnnotations extracts every //numalint: directive from pkg. The
+// package must have been loaded in full mode (comments parsed).
+func ParseAnnotations(pkg *Package) *Annotations {
+	ann := &Annotations{
+		Ignores: map[string][]IgnoreDirective{},
+		NoAlloc: map[*ast.FuncDecl]bool{},
+	}
+	for _, f := range pkg.Files {
+		ann.parseFile(pkg, f)
+	}
+	return ann
+}
+
+func (ann *Annotations) bad(pos token.Pos, format string, args ...any) {
+	ann.Bad = append(ann.Bad, Diagnostic{Pos: pos, Analyzer: "numalint", Message: fmt.Sprintf(format, args...)})
+}
+
+func (ann *Annotations) parseFile(pkg *Package, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, rest, _ := strings.Cut(text, " ")
+			switch verb {
+			case "ignore":
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					ann.bad(c.Pos(), "numalint:ignore needs an analyzer name and a non-empty reason: //numalint:ignore <analyzer> <reason>")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ann.Ignores[pos.Filename] = append(ann.Ignores[pos.Filename], IgnoreDirective{
+					Line:     pos.Line,
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+				})
+			case "noalloc", "locks", "errtable":
+				// Attached to declarations by the walks below.
+			default:
+				ann.bad(c.Pos(), "unknown numalint directive %q (known: noalloc, locks, ignore, errtable)", verb)
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if hasDirective(d.Doc, "noalloc") {
+				ann.NoAlloc[d] = true
+			}
+		case *ast.GenDecl:
+			ann.parseGenDecl(d)
+		}
+	}
+	// Lock declarations on struct fields, at any nesting depth.
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+				if args, c := directiveArgs(doc, "locks"); c != nil {
+					ann.addLock(args, field, nil, c)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (ann *Annotations) parseGenDecl(d *ast.GenDecl) {
+	if d.Tok != token.VAR {
+		return
+	}
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Names) == 0 {
+			continue
+		}
+		for _, doc := range []*ast.CommentGroup{vs.Doc, d.Doc, vs.Comment} {
+			if args, c := directiveArgs(doc, "locks"); c != nil {
+				ann.addLock(args, nil, vs.Names[0], c)
+			}
+			if args, c := directiveArgs(doc, "errtable"); c != nil {
+				pkgArg := strings.TrimSpace(args)
+				if pkgArg == "" {
+					ann.bad(c.Pos(), "numalint:errtable needs the sentinel package path (or \".\")")
+					continue
+				}
+				var val ast.Expr
+				if len(vs.Values) > 0 {
+					val = vs.Values[0]
+				}
+				ann.Tables = append(ann.Tables, ErrTableDecl{
+					SentinelPkg: pkgArg, Var: vs.Names[0], Value: val, Pos: vs.Pos(),
+				})
+			}
+		}
+	}
+}
+
+// addLock parses "<name> rank=<N> [noblock]".
+func (ann *Annotations) addLock(args string, field *ast.Field, varName *ast.Ident, c *ast.Comment) {
+	fields := strings.Fields(args)
+	if len(fields) < 2 {
+		ann.bad(c.Pos(), "numalint:locks needs a name and a rank: //numalint:locks <name> rank=<N> [noblock]")
+		return
+	}
+	name := fields[0]
+	rankStr, ok := strings.CutPrefix(fields[1], "rank=")
+	rank, err := strconv.Atoi(rankStr)
+	if !ok || err != nil {
+		ann.bad(c.Pos(), "numalint:locks rank must be rank=<integer>, got %q", fields[1])
+		return
+	}
+	ld := LockDecl{Name: name, Rank: rank, Field: field, VarName: varName, Pos: c.Pos()}
+	for _, extra := range fields[2:] {
+		switch extra {
+		case "noblock":
+			ld.NoBlock = true
+		default:
+			ann.bad(c.Pos(), "numalint:locks: unknown attribute %q", extra)
+			return
+		}
+	}
+	ann.Locks = append(ann.Locks, ld)
+}
+
+// directiveArgs returns the argument string of the first directive with
+// the given verb in doc, plus the comment carrying it.
+func directiveArgs(doc *ast.CommentGroup, verb string) (string, *ast.Comment) {
+	if doc == nil {
+		return "", nil
+	}
+	for _, c := range doc.List {
+		if text, ok := strings.CutPrefix(c.Text, directivePrefix+verb); ok {
+			if text == "" || strings.HasPrefix(text, " ") {
+				return strings.TrimSpace(text), c
+			}
+		}
+	}
+	return "", nil
+}
+
+func hasDirective(doc *ast.CommentGroup, verb string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, directivePrefix+verb)
+		if ok && (text == "" || strings.HasPrefix(text, " ")) {
+			return true
+		}
+	}
+	return false
+}

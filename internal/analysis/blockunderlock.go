@@ -1,0 +1,47 @@
+// blockunderlock enforces the PR 8 design rule that commit-point locks
+// only cover in-memory work: while a lock declared `noblock` is held
+// (Fleet.mu — the hold that makes WAL record order equal commit order),
+// no file or network I/O, no syscalls and no Commit-class calls may run,
+// directly or through any statically-resolvable call chain. Persister
+// contract in internal/fleet/record.go: Append buffers under the lock,
+// Commit fsyncs strictly after the unlock.
+package analysis
+
+// BlockUnderLock reports blocking work under noblock locks.
+var BlockUnderLock = &Analyzer{
+	Name:     "blockunderlock",
+	Doc:      "no file/network I/O, syscalls or Commit-class calls while a //numalint:locks noblock lock is held",
+	Requires: []*Analyzer{LockSummary},
+	Run:      runBlockUnderLock,
+}
+
+func runBlockUnderLock(pass *Pass) (any, error) {
+	res := pass.ResultOf(LockSummary).(*lockResult)
+	c := &lockCollector{pass: pass}
+	for _, d := range res.details {
+		simulate(d, func(ev event, held []heldEntry) {
+			noblock := ""
+			for _, h := range held {
+				if h.lock.NoBlock {
+					noblock = h.lock.Name
+					break
+				}
+			}
+			if noblock == "" {
+				return
+			}
+			switch ev.kind {
+			case evBlockingOp:
+				pass.Report(ev.pos, "%s while %s is held; %s only covers in-memory work", ev.why, noblock, noblock)
+			case evCall:
+				if ev.callee == nil {
+					return
+				}
+				if summ := c.summaryOf(res, ev.callee); summ != nil && summ.Blocks {
+					pass.Report(ev.pos, "call to %s reaches blocking work (%s) while %s is held; %s only covers in-memory work", ev.name, summ.BlockWhy, noblock, noblock)
+				}
+			}
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestBlockUnderLockGolden(t *testing.T) {
+	RunGolden(t, "testdata/src/blockunderlock", BlockUnderLock)
+}

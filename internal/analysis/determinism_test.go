@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismGolden(t *testing.T) {
+	// nil scope: the testdata package is checked wherever it lives.
+	RunGolden(t, "testdata/src/determinism", NewDeterminism(nil))
+}

@@ -1,0 +1,89 @@
+// Golden-file test harness in the style of x/tools' analysistest: a
+// testdata package is loaded standalone, the analyzers run over it, and
+// every diagnostic must be matched by a `// want "regexp"` comment on the
+// flagged line (multiple quoted regexps allowed). Unmatched diagnostics
+// and unmet wants both fail the test.
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunGolden loads dir as a standalone package and checks the analyzers'
+// diagnostics against its want comments.
+func RunGolden(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(dir, "testdata/"+strings.TrimPrefix(dir, "testdata/src/"))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("type error in %s: %v", dir, e)
+	}
+	diags, err := NewRunner().Run(l.Fset, []*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		rest := wants[key][:0]
+		for _, w := range wants[key] {
+			if !matched && w.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("no diagnostic at %s matching %q", key, w.String())
+		}
+	}
+}
+
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func parseWants(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantRe.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}

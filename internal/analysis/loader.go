@@ -1,0 +1,314 @@
+// Source-level package loading for the numalint analyzers, built entirely
+// on the standard library (the build container has no module cache, so
+// golang.org/x/tools/go/packages is not available). Target packages are
+// enumerated with `go list -json`; every import — including the standard
+// library — is parsed and type-checked from source through one shared
+// FileSet and one package cache, so a given types.Object has exactly one
+// identity across the whole session. That single identity is what lets
+// cross-package facts (lock summaries) key on types.Object directly.
+//
+// Dependency packages are checked API-only (types.Config.IgnoreFuncBodies)
+// to keep `make lint` fast; target packages get full bodies and full
+// types.Info maps. Cgo is disabled for the whole session: the pure-Go
+// fallbacks of net and friends type-check from source, matching how the
+// analyzers reason about the code.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type errors (targets only). Load fails hard
+	// only when a package cannot be parsed or its import graph is broken.
+	TypeErrors []error
+}
+
+// Loader loads and type-checks packages from source. It implements
+// types.ImporterFrom so the type-checker resolves every import through the
+// same cache.
+type Loader struct {
+	Fset *token.FileSet
+
+	ctx       build.Context
+	module    string // module path from go.mod ("repro")
+	moduleDir string
+	pkgs      map[string]*Package // by import path, full and API-only alike
+	full      map[string]bool     // paths loaded with function bodies
+	loading   map[string]bool     // cycle guard
+	listed    map[string]listInfo // go list results for target packages
+	order     []*Package          // full-mode packages, dependencies first
+}
+
+type listInfo struct {
+	Dir     string
+	GoFiles []string
+}
+
+// NewLoader builds a loader rooted at the enclosing module of dir (any
+// directory inside the repo).
+func NewLoader(dir string) (*Loader, error) {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		ctx:     ctx,
+		pkgs:    map[string]*Package{},
+		full:    map[string]bool{},
+		loading: map[string]bool{},
+		listed:  map[string]listInfo{},
+	}
+	out, err := goCmd(dir, "env", "GOMOD")
+	if err != nil {
+		return nil, fmt.Errorf("locating go.mod: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return nil, fmt.Errorf("numalint must run inside a module (no go.mod found from %s)", dir)
+	}
+	l.moduleDir = filepath.Dir(gomod)
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			l.module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if l.module == "" {
+		return nil, fmt.Errorf("no module directive in %s", gomod)
+	}
+	return l, nil
+}
+
+func goCmd(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// LoadPatterns resolves go-list patterns (e.g. "./...") to packages and
+// loads each fully, dependencies first. The returned slice is in
+// dependency order: analyzing it front to back guarantees a package's
+// facts exist before any dependent reads them.
+func (l *Loader) LoadPatterns(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,GoFiles,Imports", "--"}, patterns...)
+	out, err := goCmd(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	imports := map[string][]string{}
+	var paths []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var li struct {
+			Dir        string
+			ImportPath string
+			GoFiles    []string
+			Imports    []string
+		}
+		if err := dec.Decode(&li); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if len(li.GoFiles) == 0 {
+			continue
+		}
+		l.listed[li.ImportPath] = listInfo{Dir: li.Dir, GoFiles: li.GoFiles}
+		imports[li.ImportPath] = li.Imports
+		paths = append(paths, li.ImportPath)
+	}
+	// Load targets dependencies-first so no target is ever pulled in
+	// API-only by an earlier target and then re-checked under a second
+	// types.Package identity (which would make its types incompatible
+	// with themselves across packages).
+	start := len(l.order)
+	var visit func(p string) error
+	visiting := map[string]bool{}
+	for _, p := range paths {
+		visit = func(p string) error {
+			if l.full[p] || visiting[p] {
+				return nil
+			}
+			visiting[p] = true
+			for _, imp := range imports[p] {
+				if _, ok := l.listed[imp]; ok {
+					if err := visit(imp); err != nil {
+						return err
+					}
+				}
+			}
+			_, err := l.load(p, true)
+			return err
+		}
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	// l.order already holds the newly loaded packages dependencies-first;
+	// restrict it to the requested set.
+	want := map[string]bool{}
+	for _, p := range paths {
+		want[p] = true
+	}
+	var pkgs []*Package
+	for _, pkg := range l.order[start:] {
+		if want[pkg.Path] {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the .go files of one directory as a standalone package
+// under the synthetic import path path — the golden-test entry point for
+// testdata packages, which go list does not see. Imports must resolve
+// (stdlib or module packages); _test.go files are skipped.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, name)
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	l.listed[path] = listInfo{Dir: dir, GoFiles: files}
+	return l.load(path, true)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.moduleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: dependencies load API-only.
+func (l *Loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	pkg, err := l.load(path, false)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// load parses and type-checks one package. full selects whether function
+// bodies are checked and Info maps populated; a package first loaded
+// API-only is re-checked in full when requested as a target.
+func (l *Loader) load(path string, full bool) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok && (l.full[path] || !full) {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, names, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	mode := parser.SkipObjectResolution
+	if full {
+		mode |= parser.ParseComments
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	cfg := types.Config{
+		Importer:         l,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		IgnoreFuncBodies: !full,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	if full {
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Instances:  map[*ast.Ident]types.Instance{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+	}
+	tpkg, err := cfg.Check(path, l.Fset, pkg.Files, pkg.Info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	if full {
+		l.full[path] = true
+		l.order = append(l.order, pkg)
+	}
+	return pkg, nil
+}
+
+// resolve maps an import path to its directory and build-tag-filtered file
+// list: go list metadata for targets, module layout for in-module paths,
+// GOROOT lookup (no subprocess) for the standard library.
+func (l *Loader) resolve(path string) (string, []string, error) {
+	if li, ok := l.listed[path]; ok {
+		return li.Dir, li.GoFiles, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		dir := filepath.Join(l.moduleDir, strings.TrimPrefix(path, l.module))
+		bp, err := l.ctx.ImportDir(dir, 0)
+		if err != nil {
+			return "", nil, fmt.Errorf("resolving %s: %w", path, err)
+		}
+		return dir, bp.GoFiles, nil
+	}
+	// Standard library: empty srcDir keeps go/build in GOROOT/GOPATH
+	// resolution (no `go list` subprocess per import).
+	bp, err := l.ctx.Import(path, "", 0)
+	if err != nil {
+		return "", nil, fmt.Errorf("resolving %s: %w", path, err)
+	}
+	return bp.Dir, bp.GoFiles, nil
+}

@@ -1,0 +1,32 @@
+package analysis
+
+import "testing"
+
+// TestLoadRepo type-checks the whole module through the loader: every
+// target package must come back clean, and dependency-first ordering must
+// give each package exactly one types.Package identity (type errors of the
+// "X is not X" kind are the symptom when it does not).
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadPatterns(l.moduleDir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from ./...; expected the full module", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: %d type errors, first: %v", p.Path, len(p.TypeErrors), p.TypeErrors[0])
+		}
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("%s: loaded without types", p.Path)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLockOrderGolden(t *testing.T) {
+	RunGolden(t, "testdata/src/lockorder", LockOrder)
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestNoAllocGolden(t *testing.T) {
+	RunGolden(t, "testdata/src/noalloc", NoAlloc)
+}

@@ -1,0 +1,150 @@
+// sentinelwrap keeps errors.Is working across the wire: every error that
+// crosses the facade must carry an nperr sentinel in its chain, because
+// the wire layer classifies by sentinel (internal/wire/errors.go) and the
+// client re-materializes the sentinel from the code. Three rules, scoped
+// by the driver to internal/fleet, internal/sched and internal/wire:
+//
+//   - fmt.Errorf must wrap with %w: an Errorf without %w starts a fresh
+//     chain and the wire table classifies it as a bare 500/internal
+//   - errors.New is banned outside internal/nperr: sentinels live there
+//     (or the error must wrap one); package-local sentinels that never
+//     serialize carry a //numalint:ignore with the reason
+//   - a table var annotated //numalint:errtable must map every sentinel
+//     of the named package exactly once, so daemon, client and docs
+//     cannot drift from nperr
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewSentinelWrap builds the analyzer scoped to the given package paths
+// (nil means every package).
+func NewSentinelWrap(scope []string) *Analyzer {
+	return &Analyzer{
+		Name: "sentinelwrap",
+		Doc:  "errors crossing the facade must wrap an nperr sentinel with %w, and the wire table must cover every sentinel",
+		Run: func(pass *Pass) (any, error) {
+			if !inScope(scope, pass.Pkg.Path) {
+				// Error tables are annotation-driven and may sit outside
+				// the scoped packages in tests; always honor them.
+				checkErrTables(pass)
+				return nil, nil
+			}
+			runSentinelWrap(pass)
+			checkErrTables(pass)
+			return nil, nil
+		},
+	}
+}
+
+func runSentinelWrap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				if len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+				if !ok {
+					return true // computed format: can't see the verbs
+				}
+				if !strings.Contains(lit.Value, "%w") {
+					pass.Report(call.Pos(), "fmt.Errorf without %%w starts a fresh error chain; wrap an nperr sentinel so errors.Is survives the wire")
+				}
+			case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+				pass.Report(call.Pos(), "errors.New outside internal/nperr creates an unclassifiable error; define the sentinel in nperr (and map it in the wire table) or wrap an existing one")
+			}
+			return true
+		})
+	}
+}
+
+// checkErrTables verifies //numalint:errtable vars: every "Err"-prefixed
+// exported error var of the sentinel package appears in the table value
+// exactly once.
+func checkErrTables(pass *Pass) {
+	for _, tbl := range pass.Ann.Tables {
+		spkg := sentinelPackage(pass, tbl.SentinelPkg)
+		if spkg == nil {
+			pass.Report(tbl.Pos, "numalint:errtable: package %q is not imported here", tbl.SentinelPkg)
+			continue
+		}
+		if tbl.Value == nil {
+			pass.Report(tbl.Pos, "numalint:errtable: table var %s has no composite literal value", tbl.Var.Name)
+			continue
+		}
+		sentinels := map[types.Object]string{}
+		scope := spkg.Scope()
+		for _, name := range scope.Names() {
+			obj, ok := scope.Lookup(name).(*types.Var)
+			if !ok || !obj.Exported() || !strings.HasPrefix(name, "Err") {
+				continue
+			}
+			if types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+				sentinels[obj] = name
+			}
+		}
+		used := map[types.Object]int{}
+		ast.Inspect(tbl.Value, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if _, isSentinel := sentinels[obj]; isSentinel {
+					used[obj]++
+				}
+			}
+			return true
+		})
+		var missing, dup []string
+		for obj, name := range sentinels {
+			switch used[obj] {
+			case 0:
+				missing = append(missing, name)
+			case 1:
+			default:
+				dup = append(dup, name)
+			}
+		}
+		sort.Strings(missing)
+		sort.Strings(dup)
+		for _, name := range missing {
+			pass.Report(tbl.Pos, "sentinel %s.%s has no entry in error table %s; every sentinel needs a stable wire code", spkg.Name(), name, tbl.Var.Name)
+		}
+		for _, name := range dup {
+			pass.Report(tbl.Pos, "sentinel %s.%s appears more than once in error table %s", spkg.Name(), name, tbl.Var.Name)
+		}
+	}
+}
+
+// sentinelPackage resolves an errtable package argument: "." is the
+// table's own package, anything else must be a direct import.
+func sentinelPackage(pass *Pass, arg string) *types.Package {
+	if arg == "." {
+		return pass.Types
+	}
+	for _, imp := range pass.Types.Imports() {
+		if imp.Path() == arg {
+			return imp
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+func TestSentinelWrapGolden(t *testing.T) {
+	RunGolden(t, "testdata/src/sentinelwrap", NewSentinelWrap([]string{"testdata/sentinelwrap"}))
+}
+
+// TestErrTableGolden runs with the errtable package OUT of scope: the
+// errors.New sentinel declarations are legal (as in internal/nperr), but
+// the //numalint:errtable completeness check still applies.
+func TestErrTableGolden(t *testing.T) {
+	RunGolden(t, "testdata/src/errtable", NewSentinelWrap([]string{"testdata/sentinelwrap"}))
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuppressGolden(t *testing.T) {
+	RunGolden(t, "testdata/src/suppress", NewDeterminism(nil))
+}
+
+// TestDirectiveHygiene checks the malformed-directive findings directly:
+// want comments cannot share a line with the directive under test, so the
+// hygiene package is asserted in code rather than through RunGolden.
+func TestDirectiveHygiene(t *testing.T) {
+	const dir = "testdata/src/hygiene"
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, "testdata/hygiene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Fatalf("type error: %v", e)
+	}
+	diags, err := NewRunner().Run(l.Fset, []*Package{pkg}, []*Analyzer{NewDeterminism(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstr := []string{
+		"needs an analyzer name and a non-empty reason", // reasonless ignore
+		`unknown numalint directive "frobnicate"`,       // unknown verb
+		"needs a name and a rank",                       // //numalint:locks broken
+		"rank must be rank=<integer>",                   // rank=ten
+		"time.Now reads the wall clock",                 // reasonless ignore must NOT suppress
+	}
+	for _, want := range wantSubstr {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q; got %d diagnostics:", want, len(diags))
+			for _, d := range diags {
+				t.Logf("  %s: %s: %s", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			}
+		}
+	}
+	if len(diags) != len(wantSubstr) {
+		t.Errorf("got %d diagnostics, want %d", len(diags), len(wantSubstr))
+		for _, d := range diags {
+			t.Logf("  %s: %s: %s", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

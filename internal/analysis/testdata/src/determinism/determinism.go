@@ -1,0 +1,57 @@
+// Golden cases for the determinism analyzer: wall-clock reads, math/rand,
+// and map-order-dependent output, plus the sanctioned collect-then-sort
+// idiom.
+package determinism
+
+import (
+	"fmt"
+	"math/rand" // want "import of math/rand is non-deterministic across runs"
+	"sort"
+	"time"
+)
+
+func draw() int { return rand.Int() }
+
+func clock() int64 {
+	t := time.Now() // want "time\\.Now reads the wall clock"
+	return t.Unix()
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "time\\.Since reads the wall clock"
+}
+
+// keysUnsorted leaks map order into its result.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration depends on map order"
+	}
+	return out
+}
+
+// keysSorted collects then sorts: the sanctioned idiom, no finding.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// printUnsorted writes output in map-traversal order.
+func printUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output written inside map iteration is ordered by map traversal"
+	}
+}
+
+// rangeOverSlice is ordered; no finding.
+func rangeOverSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Golden cases for sentinelwrap's errtable check: a complete table is
+// silent; a table with a missing and a doubled sentinel is flagged. The
+// analyzer runs with this package out of scope, so the errors.New sentinel
+// declarations themselves are legal here — mirroring how internal/nperr is
+// exempt in the real tree.
+package errtable
+
+import "errors"
+
+var (
+	ErrOne   = errors.New("one")
+	ErrTwo   = errors.New("two")
+	ErrThree = errors.New("three")
+)
+
+type mapping struct {
+	Code     string
+	Sentinel error
+}
+
+// Good maps every sentinel exactly once: no finding.
+//
+//numalint:errtable .
+var Good = []mapping{
+	{"one", ErrOne},
+	{"two", ErrTwo},
+	{"three", ErrThree},
+}
+
+// Bad drops ErrThree and doubles ErrOne.
+//
+//numalint:errtable .
+var Bad = []mapping{ // want "sentinel errtable.ErrThree has no entry in error table Bad" "sentinel errtable.ErrOne appears more than once in error table Bad"
+	{"one", ErrOne},
+	{"two", ErrTwo},
+	{"one_again", ErrOne},
+}

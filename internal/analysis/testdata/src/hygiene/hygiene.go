@@ -1,0 +1,28 @@
+// Directive-hygiene cases, asserted by TestDirectiveHygiene in Go code
+// (want comments cannot share a line with the directive under test):
+// an ignore without a reason, an unknown verb, a rankless locks directive
+// and a non-integer rank must each produce a "numalint" finding, and the
+// reasonless ignore must NOT suppress the violation beneath it.
+package hygiene
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	//numalint:locks broken
+	mu sync.Mutex
+	//numalint:locks bad rank=ten
+	mu2 sync.Mutex
+}
+
+//numalint:frobnicate
+func misc() {}
+
+// bare's ignore has no reason: hygiene finding, and time.Now still fires.
+func bare() int64 {
+	//numalint:ignore determinism
+	t := time.Now()
+	return t.Unix()
+}

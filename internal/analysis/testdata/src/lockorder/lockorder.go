@@ -1,0 +1,71 @@
+// Golden cases for the lockorder analyzer: two ranked locks, acquired in
+// and out of order, directly and through a call.
+package lockorder
+
+import "sync"
+
+type server struct {
+	//numalint:locks srv.low rank=10
+	low sync.Mutex
+	//numalint:locks srv.high rank=20
+	high sync.Mutex
+}
+
+// good acquires in ascending rank order: no finding.
+func (s *server) good() {
+	s.low.Lock()
+	defer s.low.Unlock()
+	s.high.Lock()
+	defer s.high.Unlock()
+}
+
+// goodSequential releases before acquiring the lower rank: no finding.
+func (s *server) goodSequential() {
+	s.high.Lock()
+	s.high.Unlock()
+	s.low.Lock()
+	s.low.Unlock()
+}
+
+// bad inverts the order.
+func (s *server) bad() {
+	s.high.Lock()
+	defer s.high.Unlock()
+	s.low.Lock() // want "lock srv.low \\(rank 10\\) acquired while holding srv.high \\(rank 20\\)"
+	defer s.low.Unlock()
+}
+
+// relock self-deadlocks on a plain mutex.
+func (s *server) relock() {
+	s.low.Lock()
+	s.low.Lock() // want "self-deadlock"
+	s.low.Unlock()
+	s.low.Unlock()
+}
+
+// grabLow is safe on its own; the violation is in its caller.
+func (s *server) grabLow() {
+	s.low.Lock()
+	defer s.low.Unlock()
+}
+
+// transitive inverts the order through a call.
+func (s *server) transitive() {
+	s.high.Lock()
+	defer s.high.Unlock()
+	s.grabLow() // want "call to grabLow acquires srv.low \\(rank 10\\) while srv.high \\(rank 20\\) is held"
+}
+
+// transitiveSame re-enters a held lock through a call.
+func (s *server) transitiveSame() {
+	s.low.Lock()
+	defer s.low.Unlock()
+	s.grabLow() // want "call to grabLow acquires srv.low while it is already held"
+}
+
+// transitiveOK calls grabLow with nothing held: no finding.
+func (s *server) transitiveOK() {
+	s.grabLow()
+	s.high.Lock()
+	s.high.Unlock()
+}

@@ -1,0 +1,22 @@
+// Golden cases for sentinelwrap's in-scope checks: fmt.Errorf must wrap
+// with %w, and errors.New belongs in the sentinel package only.
+package sentinelwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errLocal = errors.New("local sentinel") // want "errors.New outside internal/nperr creates an unclassifiable error"
+
+// wrapped keeps the chain alive: no finding.
+func wrapped(err error) error {
+	return fmt.Errorf("while serving: %w", err)
+}
+
+// unwrapped starts a fresh chain.
+func unwrapped(name string) error {
+	return fmt.Errorf("bad thing %q", name) // want "fmt.Errorf without %w starts a fresh error chain"
+}
+
+func use() error { return errLocal }

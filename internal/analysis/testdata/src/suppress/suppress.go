@@ -1,0 +1,32 @@
+// Golden cases for //numalint:ignore: a reasoned suppression silences the
+// named analyzer on its line (or the line below), and nothing else.
+package suppress
+
+import "time"
+
+// sameLine suppresses on the offending line: no finding.
+func sameLine() int64 {
+	t := time.Now() //numalint:ignore determinism golden case: reasoned same-line suppression
+	return t.Unix()
+}
+
+// lineAbove suppresses from the line directly above: no finding.
+func lineAbove(t0 time.Time) float64 {
+	//numalint:ignore determinism golden case: reasoned suppression from the line above
+	return time.Since(t0).Seconds()
+}
+
+// wrongAnalyzer names a different analyzer, so determinism still fires.
+func wrongAnalyzer() int64 {
+	//numalint:ignore noalloc golden case: suppression for another analyzer must not apply
+	t := time.Now() // want "time\\.Now reads the wall clock"
+	return t.Unix()
+}
+
+// tooFar is two lines above the violation: out of range, still fires.
+func tooFar() int64 {
+	//numalint:ignore determinism golden case: suppression two lines up is out of range
+
+	t := time.Now() // want "time\\.Now reads the wall clock"
+	return t.Unix()
+}

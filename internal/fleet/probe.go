@@ -89,9 +89,11 @@ type Monitor struct {
 // until Start is called.
 func (f *Fleet) Monitor(timers TimerSource, cfg MonitorConfig) (*Monitor, error) {
 	if timers == nil {
+		//numalint:ignore sentinelwrap construction-time misuse, never reaches the wire path
 		return nil, fmt.Errorf("fleet: monitor needs a timer source")
 	}
 	if cfg.Probe == nil {
+		//numalint:ignore sentinelwrap construction-time misuse, never reaches the wire path
 		return nil, fmt.Errorf("fleet: monitor needs a probe function")
 	}
 	return &Monitor{f: f, cfg: cfg, timers: timers}, nil

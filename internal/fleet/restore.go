@@ -44,9 +44,11 @@ func (f *Fleet) Restore(ctx context.Context, st *State, recs []Record, lookup Wo
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.persister != nil {
+		//numalint:ignore sentinelwrap startup-sequence misuse by the embedding daemon, never reaches the wire path
 		return fmt.Errorf("fleet: restore with a persister attached (attach it after Restore)")
 	}
 	if len(f.tenants) != 0 || f.nextID != 0 || f.walSeq != 0 {
+		//numalint:ignore sentinelwrap startup-sequence misuse by the embedding daemon, never reaches the wire path
 		return fmt.Errorf("fleet: restore into a fleet that already served")
 	}
 	snapSeq := uint64(0)

@@ -28,11 +28,16 @@ import (
 // cost; dropping entries is always safe because values are pure functions
 // of their keys.
 type cowCache[K comparable, V any] struct {
-	m   atomic.Pointer[map[K]V]
+	m atomic.Pointer[map[K]V]
+	// mu serializes writers only; it is the innermost lock of the
+	// hierarchy (a cache miss under any scheduler lock may fill here).
+	//numalint:locks sched.cowCache.mu rank=40
 	mu  sync.Mutex
 	max int
 }
 
+// get is the lock-free hit path: one atomic load, one map probe.
+//numalint:noalloc
 func (c *cowCache[K, V]) get(k K) (V, bool) {
 	if m := c.m.Load(); m != nil {
 		v, ok := (*m)[k]
@@ -159,6 +164,7 @@ func (s *Scheduler) preparedObs(ctx context.Context, w perfsim.Workload, v int, 
 
 // bestSet is the cached bestFreeSet: the highest-bandwidth size-node subset
 // of free, resolved as a lookup for masks seen before.
+//numalint:noalloc
 func (s *Scheduler) bestSet(free topology.NodeSet, size int) (topology.NodeSet, bool) {
 	if free.Len() < size {
 		return 0, false

@@ -194,6 +194,7 @@ func (e *Experiment) RunCtx(ctx context.Context, kind PolicyKind, goalFrac float
 		}
 		tenantsFn = func(int) ([]perfsim.Tenant, error) { return tenants, nil }
 	default:
+		//numalint:ignore sentinelwrap experiment-config validation; policies are compile-time constants, not wire input
 		return nil, fmt.Errorf("sched: unknown policy %v", kind)
 	}
 

@@ -129,7 +129,10 @@ type Scheduler struct {
 	// independent admissions proceed in parallel and claim free nodes by
 	// CAS on the atomic free mask below. Tenant-field reads (Assignments,
 	// Assignment) also take it shared, which is what lets Rebalance mutate
-	// live tenants in place.
+	// live tenants in place. Ranked after fleet.mu: a fleet commit hold
+	// may enter the scheduler, but no scheduler path may call back into
+	// the fleet.
+	//numalint:locks sched.structMu rank=20
 	structMu sync.RWMutex
 	// free is the unallocated node mask (topology.NodeSet bits). Admissions
 	// claim nodes by compare-and-swap against the exact mask they planned
@@ -144,6 +147,7 @@ type Scheduler struct {
 	// sorted ID slice that replaces per-snapshot sorting. Its mutex is a
 	// leaf lock (never held while acquiring anything else); every map or
 	// slice mutation, and every tenant-pointer fetch, happens under it.
+	//numalint:locks sched.books rank=30
 	books struct {
 		sync.Mutex
 		tenants map[int]*tenant

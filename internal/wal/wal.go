@@ -275,11 +275,13 @@ func decodeSnapshotFrame(body []byte) (*fleet.State, error) {
 // owned buffer. Called under the fleet's lock — no syscalls, no blocking,
 // zero allocations once the buffers are warm. Errors (a record that does
 // not encode, an append after Close) latch and surface on the next Commit.
+//numalint:noalloc
 func (l *Log) Append(r fleet.Record) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		if l.err == nil {
+			//numalint:ignore noalloc cold path: first-error latch after Close, taken at most once
 			l.err = fmt.Errorf("wal: append of seq %d: %w", r.Seq, nperr.ErrLogClosed)
 		}
 		return
@@ -288,6 +290,7 @@ func (l *Log) Append(r fleet.Record) {
 	l.scratch, err = appendRecord(l.scratch[:0], &r)
 	if err != nil {
 		if l.err == nil {
+			//numalint:ignore noalloc cold path: first-error latch on encode failure, taken at most once
 			l.err = fmt.Errorf("wal: encoding seq %d: %w", r.Seq, err)
 		}
 		return

@@ -56,6 +56,8 @@ type mapping struct {
 //   - fleet_full next, ahead of the per-member codes it aggregates.
 //   - everything else is mutually exclusive in practice.
 //
+//numalint:errtable repro/internal/nperr
+//
 // Status choices: 503 for no_healthy_backend and log_closed (retryable by
 // the client — the daemon is overloaded or shutting down); capacity and
 // state conflicts are 409 (retrying unchanged is pointless); unknown names

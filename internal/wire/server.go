@@ -207,6 +207,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	wl, ok := s.cfg.lookup()(req.Workload)
 	if !ok {
+		//numalint:ignore sentinelwrap code is assigned explicitly (CodeBadRequest); CodeFor classification is bypassed
 		s.writeError(w, CodeBadRequest, fmt.Errorf("unknown workload %q", req.Workload), nil)
 		return
 	}
@@ -455,6 +456,7 @@ func (s *Server) handleHealthOf(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
+		//numalint:ignore sentinelwrap code is assigned explicitly (CodeInternal); a non-Flusher writer is a server wiring bug
 		s.writeError(w, CodeInternal, errors.New("wire: response writer cannot stream"), nil)
 		return
 	}

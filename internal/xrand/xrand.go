@@ -99,3 +99,11 @@ func (r *SplitMix64) Shuffle(n int, swap func(i, j int)) {
 		swap(i, r.Intn(i+1))
 	}
 }
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *SplitMix64) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
